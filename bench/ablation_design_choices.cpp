@@ -1,0 +1,173 @@
+// Ablation bench: quantifies the design choices DESIGN.md calls out, on the
+// four-core MEM workloads.
+//
+//   A. Hardware priority table (Figure 1): exact ME/p division vs the
+//      10-bit quantised table, plus a bit-width sweep — supports the
+//      paper's claim that the table implementation is performance-neutral.
+//   B. Hit-first vs thread-priority ordering: the §4.1 command-engine
+//      reading (hits above thread priority; our default) vs the literal
+//      Figure-1 reading (thread priority above everything).
+//   C. Address interleaving: hybrid (default) vs pure line vs page.
+//   D. Write-drain hysteresis thresholds.
+//   E. Online-ME extension (paper §7 future work) vs off-line profiling.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+#include "sim/runner.hpp"
+#include "sim/workloads.hpp"
+#include "util/stats.hpp"
+
+using namespace memsched;
+using bench::BenchSetup;
+
+namespace {
+
+/// Mean SMT speedup of a scheme over the 4-core MEM mixes under `cfg`.
+double mean_speedup(const sim::ExperimentConfig& cfg, const std::string& scheme) {
+  sim::Experiment exp(cfg);
+  const auto workloads = sim::table3_workloads(4, "MEM");
+  util::RunningStat s;
+  for (const auto& w : workloads) s.add(exp.run(w, scheme).smt_speedup);
+  return s.mean();
+}
+
+/// Mean unfairness of a scheme over the 4-core MEM mixes under `cfg`.
+double mean_unfairness(const sim::ExperimentConfig& cfg, const std::string& scheme) {
+  sim::Experiment exp(cfg);
+  const auto workloads = sim::table3_workloads(4, "MEM");
+  util::RunningStat s;
+  for (const auto& w : workloads) s.add(exp.run(w, scheme).unfairness);
+  return s.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchSetup setup;
+  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+  bench::print_header(setup, "Ablation — design choices (4-core MEM mean SMT speedup)",
+                      "priority-table quantisation is performance-neutral; ordering, "
+                      "interleaving and drain thresholds quantified");
+
+  const sim::ExperimentConfig base = setup.experiment;
+  bench::CsvSink csv(setup.csv_path);
+  csv.row({"study", "variant", "mean_smt_speedup"});
+  const auto report = [&](const char* study, const std::string& variant, double v,
+                          double ref) {
+    std::printf("  %-28s %8.4f  (%s vs reference)\n", variant.c_str(), v,
+                bench::fmt_pct(bench::pct(v, ref)).c_str());
+    csv.row({study, variant, util::fmt(v, 4)});
+  };
+
+  // A. Exact division vs hardware table, with bit-width sweep.
+  std::printf("A. ME-LREQ arithmetic (Figure 1 hardware table):\n");
+  const double exact = mean_speedup(base, "ME-LREQ");
+  report("table", "exact division", exact, exact);
+  for (unsigned bits : {10u, 8u, 6u, 4u}) {
+    sim::ExperimentConfig cfg = base;
+    cfg.table_bits = bits;
+    report("table", std::to_string(bits) + "-bit table", mean_speedup(cfg, "ME-LREQ-HW"),
+           exact);
+  }
+
+  // B. Hit-first above vs below thread priority.
+  std::printf("B. Priority ordering (hit-first vs thread-first):\n");
+  for (const std::string s : {"LREQ", "ME", "ME-LREQ"}) {
+    const double hf_above = mean_speedup(base, s);
+    const double thread_above = mean_speedup(base, s + "/TOH");
+    report("ordering", s + " (hit above)", hf_above, hf_above);
+    report("ordering", s + " (thread above)", thread_above, hf_above);
+  }
+
+  // C. Address interleaving.
+  std::printf("C. Address interleaving (HF-RF / ME-LREQ):\n");
+  double ref_c = 0.0;
+  for (const auto il : {dram::Interleave::kHybrid, dram::Interleave::kLineInterleave,
+                        dram::Interleave::kPageInterleave}) {
+    sim::ExperimentConfig cfg = base;
+    cfg.base.interleave = il;
+    const double hf = mean_speedup(cfg, "HF-RF");
+    const double ml = mean_speedup(cfg, "ME-LREQ");
+    if (ref_c == 0.0) ref_c = ml;
+    report("interleave", dram::AddressMap::scheme_name(il) + " HF-RF", hf, ref_c);
+    report("interleave", dram::AddressMap::scheme_name(il) + " ME-LREQ", ml, ref_c);
+  }
+
+  // D. Write-drain thresholds (high/low as fractions of the 64-entry buffer).
+  std::printf("D. Write-drain hysteresis (paper: 1/2 and 1/4 of the buffer):\n");
+  double ref_d = 0.0;
+  for (const auto& [hi, lo] : {std::pair{32u, 16u}, {48u, 16u}, {16u, 8u}, {56u, 40u}}) {
+    sim::ExperimentConfig cfg = base;
+    cfg.base.controller.drain_high = hi;
+    cfg.base.controller.drain_low = lo;
+    const double v = mean_speedup(cfg, "ME-LREQ");
+    if (ref_d == 0.0) ref_d = v;
+    report("drain", "high=" + std::to_string(hi) + " low=" + std::to_string(lo), v,
+           ref_d);
+  }
+
+  // E. Online ME estimation (future work, §7).
+  std::printf("E. Online-ME extension vs off-line profiling:\n");
+  const double offline = mean_speedup(base, "ME-LREQ");
+  report("online", "ME-LREQ (off-line profile)", offline, offline);
+  report("online", "ME-LREQ-ONLINE (epoch EWMA)", mean_speedup(base, "ME-LREQ-ONLINE"),
+         offline);
+  report("online", "LREQ (no ME at all)", mean_speedup(base, "LREQ"), offline);
+
+  // H. Baseline scheduling-window depth (DESIGN.md §4.6): how far the
+  // arrival-ordered HF-RF baseline may look past a blocked head request.
+  std::printf("H. HF-RF scheduling-window depth (vs unbounded ME-LREQ):\n");
+  {
+    const double melreq = mean_speedup(base, "ME-LREQ");
+    report("window", "ME-LREQ (unbounded)", melreq, melreq);
+    report("window", "HF-RF window=8 (default)", mean_speedup(base, "HF-RF"), melreq);
+    report("window", "HF-RF unbounded (OOO)", mean_speedup(base, "HF-RF-OOO"), melreq);
+    report("window", "FCFS-RF window=1 (strict)", mean_speedup(base, "FCFS-RF"), melreq);
+  }
+
+  // F. Row-buffer management policy.
+  std::printf("F. Page policy (paper: close page with lookahead):\n");
+  {
+    const double close_hf = mean_speedup(base, "HF-RF");
+    sim::ExperimentConfig cfg = base;
+    cfg.base.controller.page_policy = mc::PagePolicy::kOpenPage;
+    report("page", "close-page HF-RF", close_hf, close_hf);
+    report("page", "open-page HF-RF", mean_speedup(cfg, "HF-RF"), close_hf);
+    report("page", "open-page ME-LREQ", mean_speedup(cfg, "ME-LREQ"), close_hf);
+    cfg.base.controller.page_policy = mc::PagePolicy::kAdaptive;
+    report("page", "adaptive HF-RF", mean_speedup(cfg, "HF-RF"), close_hf);
+    report("page", "adaptive ME-LREQ", mean_speedup(cfg, "ME-LREQ"), close_hf);
+  }
+
+  // I. The SS7 combination design space: Priority = ME^a / Pending^b.
+  std::printf("I. Combination exponents (ME^a / Pending^b, paper = a=1 b=1):\n");
+  {
+    const double eq2 = mean_speedup(base, "ME-LREQ");
+    report("exponents", "a=1.0 b=1.0 (Equation 2)", eq2, eq2);
+    for (const char* spec : {"ME-LREQ-POW-05-10", "ME-LREQ-POW-20-10",
+                             "ME-LREQ-POW-10-05", "ME-LREQ-POW-10-20",
+                             "ME-LREQ-POW-05-20", "ME-LREQ-POW-20-05"}) {
+      report("exponents", spec, mean_speedup(base, spec), eq2);
+    }
+  }
+
+  // G. Fairness contrast with fair queueing (paper §6 related work).
+  std::printf("G. Fairness: related-work baselines (mean unfairness, lower=fairer):\n");
+  {
+    const double u_hf = mean_unfairness(base, "HF-RF");
+    std::printf("  %-28s %8.4f\n", "HF-RF", u_hf);
+    std::printf("  %-28s %8.4f\n", "FQ (Nesbit-style)", mean_unfairness(base, "FQ"));
+    std::printf("  %-28s %8.4f\n", "STFM (Mutlu-style)", mean_unfairness(base, "STFM"));
+    std::printf("  %-28s %8.4f\n", "PAR-BS (batching)", mean_unfairness(base, "PAR-BS"));
+    std::printf("  %-28s %8.4f\n", "ME-LREQ", mean_unfairness(base, "ME-LREQ"));
+    std::printf("  %-28s %8.4f\n", "ME", mean_unfairness(base, "ME"));
+  }
+
+  std::printf("\nexpected: (A) table variants within noise of exact division down to\n"
+              "~6 bits; (B) ordering choice small for ME-LREQ; (C) hybrid mapping\n"
+              "strongest for both schemes; (D) paper thresholds competitive;\n"
+              "(E) online ME approaches off-line profiling and beats plain LREQ.\n");
+  return 0;
+}

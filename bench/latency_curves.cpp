@@ -1,0 +1,68 @@
+// Extension bench: open-loop latency-vs-load curves per scheduling scheme.
+//
+// Classic queueing characterization of the controller: sweep the offered
+// request rate and report mean/p99 read latency until saturation. Shows the
+// knee of each policy — and that the thread-aware schemes (unbounded
+// scheduling) push the knee further right than the windowed HF-RF baseline.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/scheduler_factory.hpp"
+#include "report.hpp"
+#include "sim/open_loop.hpp"
+#include "util/stats.hpp"
+
+using namespace memsched;
+using bench::BenchSetup;
+
+int main(int argc, char** argv) {
+  BenchSetup setup;
+  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+  bench::print_header(setup, "Extension — open-loop latency-vs-load curves",
+                      "queueing knees per policy; thread-aware scheduling defers "
+                      "saturation relative to the windowed arrival-order baseline");
+
+  bench::CsvSink csv(setup.csv_path);
+  csv.row({"scheme", "offered_per_tick", "accepted_per_tick", "avg_lat_ticks",
+           "p99_ticks", "row_hit", "bus_util"});
+
+  const std::vector<std::string> schemes = {"HF-RF", "HF-RF-OOO", "RR", "LREQ",
+                                            "ME-LREQ", "FQ"};
+  core::SchedulerArgs args;
+  args.core_count = 4;
+  // Open-loop traffic has no application semantics; give the ME schemes a
+  // mildly heterogeneous profile so their ranking logic engages.
+  args.me = core::MeTable({2.0, 1.0, 0.5, 0.25});
+  args.ipc_single = {1.0, 1.0, 1.0, 1.0};
+
+  const std::vector<double> loads = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35,
+                                     0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70,
+                                     0.75, 0.80};
+
+  for (const std::string& scheme : schemes) {
+    auto sched = core::make_scheduler(scheme, args);
+    std::printf("%s:\n", sched->name().c_str());
+    std::printf("  %10s %10s %10s %10s %8s %8s\n", "offered/t", "accepted/t",
+                "avg-lat", "p99-lat", "row-hit", "bus-util");
+    for (const double load : loads) {
+      sim::OpenLoopConfig cfg;
+      cfg.inject_per_tick = load;
+      cfg.seed = setup.experiment.eval_seed;
+      const sim::OpenLoopResult r = sim::run_open_loop(cfg, *sched);
+      std::printf("  %10.3f %10.3f %10.1f %10.1f %8.2f %8.2f%s\n",
+                  r.offered_per_tick, r.accepted_per_tick, r.avg_read_latency_ticks,
+                  r.p99_ticks, r.row_hit_rate, r.data_bus_utilization,
+                  r.saturated() ? "  <-- saturated" : "");
+      csv.row({scheme, util::fmt(r.offered_per_tick, 3),
+               util::fmt(r.accepted_per_tick, 3),
+               util::fmt(r.avg_read_latency_ticks, 2), util::fmt(r.p99_ticks, 2),
+               util::fmt(r.row_hit_rate, 3), util::fmt(r.data_bus_utilization, 3)});
+      if (r.saturated()) break;  // past the knee; higher loads are noise
+    }
+    std::printf("\n");
+  }
+  std::printf("latencies in bus ticks (x8 for 3.2 GHz CPU cycles); a row is\n"
+              "marked saturated when >1%% of offered requests were rejected.\n");
+  return 0;
+}

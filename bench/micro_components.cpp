@@ -1,0 +1,116 @@
+// Component microbenchmarks (google-benchmark): cost of the simulator's
+// building blocks, and of one scheduling decision per policy. These measure
+// the *simulator*, not the modeled hardware — they answer "how fast does
+// memsched run" and guard against performance regressions in the hot loop.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "core/me_schedulers.hpp"
+#include "core/priority_table.hpp"
+#include "core/scheduler_factory.hpp"
+#include "dram/address_map.hpp"
+#include "sched/policies.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace memsched;
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_AddressDecode(benchmark::State& state) {
+  dram::Organization org;
+  dram::AddressMap map(org, dram::Interleave::kHybrid);
+  util::Xoshiro256 rng(2);
+  Addr a = 0;
+  for (auto _ : state) {
+    a += 64 * 1024 + 64;
+    benchmark::DoNotOptimize(map.decode(a));
+  }
+}
+BENCHMARK(BM_AddressDecode);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::CacheConfig cfg;
+  cfg.size_bytes = 4ull << 20;
+  cfg.ways = 4;
+  cache::SetAssocCache cache(cfg);
+  util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(64ull << 20) & ~63ull, false));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_SyntheticStream(benchmark::State& state) {
+  const auto& app = trace::spec2000_by_name("swim");
+  trace::SyntheticStream s(app, 0, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(s.next());
+}
+BENCHMARK(BM_SyntheticStream);
+
+void BM_PriorityTableLookup(benchmark::State& state) {
+  core::MeTable me({2.5, 0.3, 0.7, 0.08});
+  core::PriorityTable table(me);
+  std::uint32_t p = 1;
+  for (auto _ : state) {
+    p = (p % 64) + 1;
+    benchmark::DoNotOptimize(table.lookup(p & 3, p));
+  }
+}
+BENCHMARK(BM_PriorityTableLookup);
+
+// One full simulated bus cycle of an N-core system under a given scheduler,
+// measured end to end (cores + caches + controller + DRAM).
+void BM_SystemTick(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  sim::SystemConfig cfg;
+  cfg.cores = cores;
+  std::vector<trace::AppProfile> apps;
+  const char* names[] = {"swim", "applu", "mgrid", "wupwise",
+                         "mcf",  "equake", "galgel", "lucas"};
+  for (std::uint32_t c = 0; c < cores; ++c)
+    apps.push_back(trace::spec2000_by_name(names[c % 8]));
+  sched::HitFirstReadFirstScheduler sched;
+  sim::MultiCoreSystem sys(cfg, apps, sched, 11);
+  sys.run(5'000, 0);  // settle
+  for (auto _ : state) sys.run(200, 0);
+  state.SetItemsProcessed(state.iterations() * 200 * cores);
+}
+BENCHMARK(BM_SystemTick)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+// Scheduling-decision cost per policy: a loaded 8-core controller ticking.
+void BM_SchedulerDecision(benchmark::State& state) {
+  const char* schemes[] = {"HF-RF", "RR", "LREQ", "ME", "ME-LREQ", "ME-LREQ-HW"};
+  const std::string scheme = schemes[state.range(0)];
+  sim::SystemConfig cfg;
+  cfg.cores = 8;
+  std::vector<trace::AppProfile> apps;
+  const char* names[] = {"swim", "applu", "mgrid", "wupwise",
+                         "mcf",  "equake", "galgel", "lucas"};
+  std::vector<double> me;
+  for (int c = 0; c < 8; ++c) {
+    apps.push_back(trace::spec2000_by_name(names[c]));
+    me.push_back(apps.back().predicted_me());
+  }
+  core::SchedulerArgs args;
+  args.core_count = 8;
+  args.me = core::MeTable(me);
+  auto sched = core::make_scheduler(scheme, args);
+  sim::MultiCoreSystem sys(cfg, apps, *sched, 13);
+  sys.run(5'000, 0);
+  for (auto _ : state) sys.run(200, 0);
+  state.SetLabel(scheme);
+}
+BENCHMARK(BM_SchedulerDecision)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+#include "report.hpp"
+
+#include <cstdio>
+
+namespace memsched::bench {
+
+bool BenchSetup::parse(int argc, char** argv, BenchSetup& out) {
+  if (auto err = out.cli.parse_args(argc, argv)) {
+    std::fprintf(stderr, "argument error: %s\n", err->c_str());
+    std::fprintf(stderr,
+                 "usage: %s [insts=N] [repeats=N] [warmup=N] [profile_insts=N]\n"
+                 "          [seed=N] [profile_seed=N] [interleave=line|page|hybrid]\n"
+                 "          [refresh=0|1] [csv=path]\n",
+                 argv[0]);
+    return false;
+  }
+  sim::ExperimentConfig& e = out.experiment;
+  e.eval_insts = out.cli.get_uint("insts", e.eval_insts);
+  e.eval_repeats = static_cast<std::uint32_t>(out.cli.get_uint("repeats", e.eval_repeats));
+  e.warmup_insts = out.cli.get_uint("warmup", e.warmup_insts);
+  e.profile_insts = out.cli.get_uint("profile_insts", e.profile_insts);
+  e.eval_seed = out.cli.get_uint("seed", e.eval_seed);
+  e.profile_seed = out.cli.get_uint("profile_seed", e.profile_seed);
+  const std::string il = out.cli.get_string("interleave", "hybrid");
+  if (il == "line") e.base.interleave = dram::Interleave::kLineInterleave;
+  else if (il == "page") e.base.interleave = dram::Interleave::kPageInterleave;
+  else if (il == "hybrid") e.base.interleave = dram::Interleave::kHybrid;
+  else {
+    std::fprintf(stderr, "unknown interleave '%s'\n", il.c_str());
+    return false;
+  }
+  e.base.timing.refresh_enabled = out.cli.get_bool("refresh", false);
+  out.csv_path = out.cli.get_string("csv", "");
+  return true;
+}
+
+void print_header(const BenchSetup& setup, const char* artefact,
+                  const char* paper_claim) {
+  const sim::ExperimentConfig& e = setup.experiment;
+  std::printf("memsched reproduction — %s\n", artefact);
+  std::printf("paper: Zheng et al., \"Memory Access Scheduling Schemes for Systems with\n");
+  std::printf("       Multi-Core Processors\", ICPP 2008\n");
+  std::printf("claim: %s\n", paper_claim);
+  std::printf(
+      "config (Table 1): %u-issue cores @%.1f GHz, 64KB L1, 4MB shared L2,\n"
+      "  %u logic channels x %u banks DDR2-800 5-5-5, %u-entry controller buffer,\n"
+      "  %s mapping, close page, read-first + hit-first, write drain %u/%u\n",
+      e.base.core.issue_width, e.base.cpu_ghz, e.base.org.channels,
+      e.base.org.banks_per_channel(), e.base.controller.buffer_entries,
+      dram::AddressMap::scheme_name(e.base.interleave).c_str(),
+      e.base.controller.drain_high, e.base.controller.drain_low);
+  std::printf("run: eval %llu insts x %u slices (seed %llu), profile %llu insts "
+              "(seed %llu), warmup %llu\n\n",
+              static_cast<unsigned long long>(e.eval_insts), e.eval_repeats,
+              static_cast<unsigned long long>(e.eval_seed),
+              static_cast<unsigned long long>(e.profile_insts),
+              static_cast<unsigned long long>(e.profile_seed),
+              static_cast<unsigned long long>(e.warmup_insts));
+}
+
+CsvSink::CsvSink(const std::string& path) {
+  if (path.empty()) return;
+  f_ = std::fopen(path.c_str(), "w");
+  if (!f_) std::fprintf(stderr, "warning: cannot open CSV path %s\n", path.c_str());
+}
+
+CsvSink::~CsvSink() {
+  if (f_) std::fclose(f_);
+}
+
+void CsvSink::row(const std::vector<std::string>& cells) {
+  if (!f_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::fprintf(f_, "%s%s", i ? "," : "", cells[i].c_str());
+  }
+  std::fputc('\n', f_);
+}
+
+double pct(double x, double base) { return base != 0.0 ? 100.0 * (x / base - 1.0) : 0.0; }
+
+std::string fmt_pct(double percent) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", percent);
+  return buf;
+}
+
+}  // namespace memsched::bench

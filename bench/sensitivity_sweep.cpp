@@ -1,0 +1,118 @@
+// Extension bench: memory-system sensitivity sweep (paper §7 mentions
+// "other design choices" as future work).
+//
+// Sweeps the device speed grade (DDR2-400 … DDR3-1600), the logic-channel
+// count, and permutation-based (XOR) bank indexing, reporting HF-RF
+// throughput and the ME-LREQ gain at each point. The interesting readout:
+// scheduling matters most where the memory system is scarcest — slow
+// grades and few channels — and XOR hashing trades row locality for bank
+// spread.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+#include "sim/workloads.hpp"
+#include "util/stats.hpp"
+
+using namespace memsched;
+using bench::BenchSetup;
+
+namespace {
+
+struct Point {
+  double hf_speedup;
+  double melreq_gain_pct;
+  double hf_latency;
+  double row_hit;
+};
+
+Point measure(const sim::ExperimentConfig& cfg, const sim::Workload& w) {
+  sim::Experiment exp(cfg);
+  const auto hf = exp.run(w, "HF-RF");
+  const auto ml = exp.run(w, "ME-LREQ");
+  return {hf.smt_speedup, bench::pct(ml.smt_speedup, hf.smt_speedup),
+          hf.avg_read_latency_cpu, hf.row_hit_rate};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchSetup setup;
+  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+  bench::print_header(setup, "Extension — device/organization sensitivity sweep",
+                      "scheduling gains grow as the memory system gets scarcer");
+
+  bench::CsvSink csv(setup.csv_path);
+  csv.row({"workload", "grade", "channels", "bank_xor", "hf_smt", "melreq_gain_pct",
+           "hf_latency", "row_hit"});
+
+  const std::string wname = setup.cli.get_string("workload", "4MEM-1");
+  const sim::Workload& w = sim::workload_by_name(wname);
+  std::printf("workload: %s (%s)\n\n", w.name.c_str(), w.codes.c_str());
+
+  std::printf("A. speed grade (2 channels):\n");
+  std::printf("  %-10s %10s %14s %12s %8s\n", "grade", "HF-RF", "ME-LREQ-gain",
+              "HF-latency", "row-hit");
+  for (const dram::SpeedGrade& g : dram::SpeedGrade::all()) {
+    sim::ExperimentConfig cfg = setup.experiment;
+    cfg.base.apply_speed_grade(g);
+    const Point p = measure(cfg, w);
+    std::printf("  %-10s %10.4f %13.1f%% %12.0f %8.2f\n", g.name, p.hf_speedup,
+                p.melreq_gain_pct, p.hf_latency, p.row_hit);
+    csv.row({w.name, g.name, "2", "0", util::fmt(p.hf_speedup, 4),
+             util::fmt(p.melreq_gain_pct, 2), util::fmt(p.hf_latency, 0),
+             util::fmt(p.row_hit, 3)});
+  }
+
+  std::printf("\nB. channel count (DDR2-800):\n");
+  std::printf("  %-10s %10s %14s %12s %8s\n", "channels", "HF-RF", "ME-LREQ-gain",
+              "HF-latency", "row-hit");
+  for (const std::uint32_t channels : {1u, 2u, 4u}) {
+    sim::ExperimentConfig cfg = setup.experiment;
+    cfg.base.org.channels = channels;
+    const Point p = measure(cfg, w);
+    std::printf("  %-10u %10.4f %13.1f%% %12.0f %8.2f\n", channels, p.hf_speedup,
+                p.melreq_gain_pct, p.hf_latency, p.row_hit);
+    csv.row({w.name, "DDR2-800", std::to_string(channels), "0",
+             util::fmt(p.hf_speedup, 4), util::fmt(p.melreq_gain_pct, 2),
+             util::fmt(p.hf_latency, 0), util::fmt(p.row_hit, 3)});
+  }
+
+  std::printf("\nC. XOR bank hashing (DDR2-800, 2 channels):\n");
+  std::printf("  %-10s %10s %14s %12s %8s\n", "bank-xor", "HF-RF", "ME-LREQ-gain",
+              "HF-latency", "row-hit");
+  for (const bool xor_on : {false, true}) {
+    sim::ExperimentConfig cfg = setup.experiment;
+    cfg.base.bank_xor = xor_on;
+    const Point p = measure(cfg, w);
+    std::printf("  %-10s %10.4f %13.1f%% %12.0f %8.2f\n", xor_on ? "on" : "off",
+                p.hf_speedup, p.melreq_gain_pct, p.hf_latency, p.row_hit);
+    csv.row({w.name, "DDR2-800", "2", xor_on ? "1" : "0", util::fmt(p.hf_speedup, 4),
+             util::fmt(p.melreq_gain_pct, 2), util::fmt(p.hf_latency, 0),
+             util::fmt(p.row_hit, 3)});
+  }
+
+  std::printf("\nD. L2 stream prefetcher (DDR2-800, 2 channels):\n");
+  std::printf("  %-14s %10s %14s %12s %8s\n", "prefetch", "HF-RF", "ME-LREQ-gain",
+              "HF-latency", "row-hit");
+  for (const std::uint32_t degree : {0u, 2u, 4u}) {
+    sim::ExperimentConfig cfg = setup.experiment;
+    cfg.base.hierarchy.prefetch.enabled = degree > 0;
+    cfg.base.hierarchy.prefetch.degree = degree > 0 ? degree : 2;
+    const Point p = measure(cfg, w);
+    char label[32];
+    std::snprintf(label, sizeof label, degree ? "degree=%u" : "off", degree);
+    std::printf("  %-14s %10.4f %13.1f%% %12.0f %8.2f\n", label, p.hf_speedup,
+                p.melreq_gain_pct, p.hf_latency, p.row_hit);
+    csv.row({w.name, "DDR2-800", "2", "0", util::fmt(p.hf_speedup, 4),
+             util::fmt(p.melreq_gain_pct, 2), util::fmt(p.hf_latency, 0),
+             util::fmt(p.row_hit, 3)});
+  }
+
+  std::printf("\nexpected: HF-RF throughput rises monotonically with grade and\n"
+              "channel count while the ME-LREQ gain shrinks (contention is the\n"
+              "scheduler's opportunity); XOR hashing preserves the hybrid map's\n"
+              "row locality for sequential streams (low row bits untouched).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Trace replay: run the simulator over user-supplied instruction traces
+// instead of the synthetic SPEC2000 models.
+//
+// With no arguments the example (1) dumps a short slice of two synthetic
+// apps to .txt/.bin trace files, (2) reads them back, and (3) runs a 2-core
+// simulation over the replayed streams — demonstrating the full round trip.
+// Pass trace0=path trace1=path ... (text or binary, auto-detected) to
+// replay your own traces, one per core.
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sched/policies.hpp"
+#include "sim/system.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace_file.hpp"
+#include "util/config.hpp"
+
+using namespace memsched;
+
+namespace {
+
+std::vector<trace::InstRecord> load_any(const std::string& path) {
+  try {
+    return trace::read_binary_trace(path);
+  } catch (const std::runtime_error&) {
+    return trace::read_text_trace(path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config cli;
+  if (auto err = cli.parse_args(argc, argv)) {
+    std::fprintf(stderr, "usage: trace_replay [trace0=path trace1=path ...] "
+                         "[insts=N] [ipc=F]\n");
+    return 1;
+  }
+  const std::uint64_t insts = cli.get_uint("insts", 100'000);
+  const double ipc = cli.get_double("ipc", 2.0);
+
+  std::vector<std::string> paths;
+  for (int c = 0; c < 64; ++c) {
+    const std::string key = "trace" + std::to_string(c);
+    if (!cli.has(key)) break;
+    paths.push_back(cli.get_string(key, ""));
+  }
+
+  if (paths.empty()) {
+    // Self-demo: dump slices of two synthetic apps in both formats.
+    std::printf("no traces given — generating demo traces from the synthetic models\n");
+    for (const auto& [app_name, path, binary] :
+         {std::tuple{"swim", "demo_swim.bin", true},
+          std::tuple{"mcf", "demo_mcf.txt", false}}) {
+      trace::SyntheticStream gen(trace::spec2000_by_name(app_name), 0, 99);
+      std::vector<trace::InstRecord> slice;
+      slice.reserve(1'500'000);
+      for (int i = 0; i < 1'500'000; ++i) slice.push_back(gen.next());
+      if (binary)
+        trace::write_binary_trace(path, slice);
+      else
+        trace::write_text_trace(path, slice);
+      std::printf("  wrote %s (%zu records)\n", path, slice.size());
+      paths.push_back(path);
+    }
+  }
+
+  sim::SystemConfig cfg;
+  cfg.cores = static_cast<std::uint32_t>(paths.size());
+  // Replayed traces carry their own addresses; cache pre-warming needs the
+  // synthetic profiles' region layout, so start cold and warm architecturally.
+  cfg.warm_caches = false;
+
+  std::vector<std::unique_ptr<trace::InstStream>> streams;
+  for (const auto& p : paths) {
+    auto records = load_any(p);
+    std::printf("loaded %s: %zu records\n", p.c_str(), records.size());
+    streams.push_back(std::make_unique<trace::ReplayStream>(std::move(records)));
+  }
+  std::vector<double> rates(paths.size(), ipc);
+
+  sched::HitFirstReadFirstScheduler policy;
+  sim::MultiCoreSystem sys(cfg, std::move(streams), rates, policy, 123);
+  const sim::RunResult r = sys.run(insts, /*warmup_insts=*/30'000);
+
+  std::printf("\nresults over %llu measured insts/core (HF-RF):\n",
+              static_cast<unsigned long long>(insts));
+  for (std::size_t c = 0; c < r.cores.size(); ++c) {
+    std::printf("  core %zu: IPC %.3f, %llu DRAM reads, %llu writes, "
+                "read-lat %.0f cycles\n",
+                c, r.cores[c].ipc, static_cast<unsigned long long>(r.cores[c].dram_reads),
+                static_cast<unsigned long long>(r.cores[c].dram_writes),
+                r.cores[c].avg_read_latency_cpu);
+  }
+  std::printf("  bus utilization %.2f, row-hit rate %.2f\n", r.data_bus_utilization,
+              r.row_hit_rate);
+  std::printf("note: traces shorter than the run wrap around; a wrapped trace's\n"
+              "working set becomes cache-resident, so supply slices comfortably\n"
+              "longer than warmup+measured instructions per core.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Workload explorer: sweep a synthetic application's memory intensity and
+// watch where scheduling starts to matter.
+//
+// Builds N-core homogeneous-plus-one workloads: N-1 copies of a streaming
+// app whose fresh-line rate is swept, plus one fixed light (high-ME) app.
+// For each intensity it reports the light app's slowdown and the gain of
+// ME-LREQ over HF-RF — showing the crossover from "memory idle, scheduling
+// irrelevant" to "saturated, scheduling decides who makes progress".
+#include <cstdio>
+#include <vector>
+
+#include "core/me_schedulers.hpp"
+#include "sched/policies.hpp"
+#include "sim/system.hpp"
+#include "trace/app_profile.hpp"
+#include "util/config.hpp"
+
+using namespace memsched;
+
+namespace {
+
+struct Sample {
+  double total_ipc;
+  double light_ipc;
+  double bus_util;
+};
+
+Sample run_once(const std::vector<trace::AppProfile>& apps, sched::Scheduler& policy,
+                std::uint64_t insts, std::uint64_t seed) {
+  sim::SystemConfig cfg;
+  cfg.cores = static_cast<std::uint32_t>(apps.size());
+  sim::MultiCoreSystem sys(cfg, apps, policy, seed);
+  const sim::RunResult r = sys.run(insts);
+  return {r.total_ipc(), r.cores.back().ipc, r.data_bus_utilization};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config cli;
+  if (auto err = cli.parse_args(argc, argv)) {
+    std::fprintf(stderr,
+                 "usage: workload_explorer [cores=4] [insts=N] [seed=N] [light=gzip]\n");
+    return 1;
+  }
+  const auto cores = static_cast<std::uint32_t>(cli.get_uint("cores", 4));
+  const std::uint64_t insts = cli.get_uint("insts", 150'000);
+  const std::uint64_t seed = cli.get_uint("seed", 7);
+  const trace::AppProfile light = trace::spec2000_by_name(cli.get_string("light", "gzip"));
+
+  std::printf("sweep: %u cores = %u x synthetic streamer (fresh lines/kinst swept) "
+              "+ 1 x %s\n\n", cores, cores - 1, light.name.c_str());
+  std::printf("%10s %9s | %-21s | %-21s | %s\n", "fresh/ki", "bus-util",
+              "HF-RF  total / light", "ME-LREQ total / light", "ME-LREQ gain");
+
+  for (const double fresh : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0}) {
+    trace::AppProfile heavy = trace::spec2000_by_name("swim");
+    heavy.name = "sweep";
+    heavy.fresh_lines_per_kinst = fresh;
+
+    std::vector<trace::AppProfile> apps(cores - 1, heavy);
+    apps.push_back(light);
+
+    std::vector<double> me;
+    for (const auto& a : apps) me.push_back(a.predicted_me());
+    // The swept app's analytic ME must reflect the swept rate.
+    for (std::uint32_t c = 0; c + 1 < cores; ++c)
+      me[c] = 4.8828125 / (fresh * (1.0 + heavy.dirty_fresh_share));
+
+    sched::HitFirstReadFirstScheduler hf;
+    core::MeLreqScheduler melreq{core::MeTable(me)};
+
+    const Sample a = run_once(apps, hf, insts, seed);
+    const Sample b = run_once(apps, melreq, insts, seed);
+    std::printf("%10.1f %9.2f | %8.3f / %8.3f | %8.3f / %8.3f | %+7.2f%%\n", fresh,
+                a.bus_util, a.total_ipc, a.light_ipc, b.total_ipc, b.light_ipc,
+                100.0 * (b.total_ipc / a.total_ipc - 1.0));
+  }
+
+  std::printf("\nreading the sweep: at low intensity both schemes coincide (memory\n"
+              "is idle); as the streamers approach saturation, ME-LREQ protects the\n"
+              "light, memory-efficient application and total throughput diverges.\n");
+  return 0;
+}

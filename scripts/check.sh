@@ -1,0 +1,30 @@
+#!/bin/sh
+# Full local gate: configure, build, run the test suite, and smoke every
+# bench/tool/example with small parameters. Exits nonzero on any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== bench smoke (small parameters) =="
+for b in table2_memory_efficiency fig3_fixed_priority fig4_read_latency \
+         fig5_fairness; do
+  ./build/bench/$b insts=40000 repeats=1 profile_insts=100000 > /dev/null
+  echo "  $b ok"
+done
+./build/bench/fig2_smt_speedup insts=30000 repeats=1 profile_insts=80000 > /dev/null
+echo "  fig2_smt_speedup ok"
+./build/bench/micro_components --benchmark_min_time=0.01 > /dev/null
+echo "  micro_components ok"
+
+echo "== tool smoke =="
+./build/tools/memsched_sim run workload=2MEM-1 scheme=ME-LREQ insts=20000 \
+    profile_insts=60000 repeats=1 > /dev/null
+./build/tools/memsched_trace gen app=swim insts=10000 out=/tmp/check_trace.bin
+./build/tools/memsched_trace info in=/tmp/check_trace.bin > /dev/null
+rm -f /tmp/check_trace.bin
+echo "  tools ok"
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Terminal plots for memsched CSV outputs (stdlib only).
+
+Examples:
+  scripts/plot_ascii.py results/latency_curves.csv \
+      --x offered_per_tick --y avg_lat_ticks --series scheme
+  scripts/plot_ascii.py results/fig2_smt_speedup.csv \
+      --bar --label workload --y vs_hfrf_pct --filter scheme=ME-LREQ
+"""
+import argparse
+import csv
+import sys
+
+WIDTH = 72
+HEIGHT = 20
+MARKS = "ox+*#@%&"
+
+
+def load(path, flt):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    for cond in flt or []:
+        key, _, value = cond.partition("=")
+        rows = [r for r in rows if r.get(key) == value]
+    return rows
+
+
+def bar_chart(rows, label_col, y_col):
+    data = [(r[label_col], float(r[y_col])) for r in rows]
+    if not data:
+        sys.exit("no rows after filtering")
+    lo = min(0.0, min(v for _, v in data))
+    hi = max(0.0, max(v for _, v in data))
+    span = (hi - lo) or 1.0
+    print(f"{y_col}  [{lo:.3g} .. {hi:.3g}]")
+    for name, v in data:
+        n = int(round((v - lo) / span * WIDTH))
+        zero = int(round((0.0 - lo) / span * WIDTH))
+        line = [" "] * (WIDTH + 1)
+        a, b = sorted((zero, n))
+        for i in range(a, b + 1):
+            line[i] = "█" if i != zero else "|"
+        print(f"{name:>12} {''.join(line)} {v:.3f}")
+
+
+def xy_chart(rows, x_col, y_col, series_col):
+    series = {}
+    for r in rows:
+        key = r.get(series_col, "") if series_col else ""
+        series.setdefault(key, []).append((float(r[x_col]), float(r[y_col])))
+    if not series:
+        sys.exit("no rows after filtering")
+    xs = [p[0] for pts in series.values() for p in pts]
+    ys = [p[1] for pts in series.values() for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * (WIDTH + 1) for _ in range(HEIGHT + 1)]
+    for si, (name, pts) in enumerate(sorted(series.items())):
+        mark = MARKS[si % len(MARKS)]
+        for x, y in pts:
+            col = int(round((x - x0) / xspan * WIDTH))
+            row = HEIGHT - int(round((y - y0) / yspan * HEIGHT))
+            grid[row][col] = mark
+    print(f"{y_col}  [{y0:.3g} .. {y1:.3g}]")
+    for row in grid:
+        print("  |" + "".join(row))
+    print("  +" + "-" * (WIDTH + 1))
+    print(f"   {x_col}: {x0:.3g} .. {x1:.3g}")
+    for si, name in enumerate(sorted(series)):
+        print(f"   {MARKS[si % len(MARKS)]} = {name or '(all)'}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("csv")
+    ap.add_argument("--x", help="x column (scatter mode)")
+    ap.add_argument("--y", required=True, help="y column")
+    ap.add_argument("--series", help="group scatter points by this column")
+    ap.add_argument("--bar", action="store_true", help="horizontal bar chart")
+    ap.add_argument("--label", help="bar label column")
+    ap.add_argument("--filter", action="append",
+                    help="keep rows where col=value (repeatable)")
+    args = ap.parse_args()
+
+    rows = load(args.csv, args.filter)
+    if args.bar:
+        if not args.label:
+            sys.exit("--bar requires --label")
+        bar_chart(rows, args.label, args.y)
+    else:
+        if not args.x:
+            sys.exit("scatter mode requires --x")
+        xy_chart(rows, args.x, args.y, args.series)
+
+
+if __name__ == "__main__":
+    main()

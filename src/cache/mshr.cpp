@@ -1,0 +1,67 @@
+#include "cache/mshr.hpp"
+
+#include "util/assert.hpp"
+
+namespace memsched::cache {
+
+MshrFile::MshrFile(std::uint32_t entries) {
+  MEMSCHED_ASSERT(entries > 0, "MSHR file needs at least one entry");
+  entries_.resize(entries);
+}
+
+MshrEntry* MshrFile::find(Addr line_addr) {
+  for (MshrEntry& e : entries_) {
+    if (e.valid && e.line_addr == line_addr) return &e;
+  }
+  return nullptr;
+}
+
+MshrEntry* MshrFile::allocate(Addr line_addr, CoreId requester) {
+  if (full() || find(line_addr) != nullptr) return nullptr;
+  for (MshrEntry& e : entries_) {
+    if (!e.valid) {
+      e.valid = true;
+      e.dispatched = false;
+      e.prefetch = false;
+      e.line_addr = line_addr;
+      e.requester = requester;
+      e.waiters.clear();
+      ++used_;
+      ++allocations_;
+      return &e;
+    }
+  }
+  return nullptr;  // unreachable: full() was false
+}
+
+bool MshrFile::release(Addr line_addr, std::vector<std::uint64_t>& waiters_out) {
+  for (MshrEntry& e : entries_) {
+    if (e.valid && e.line_addr == line_addr) {
+      waiters_out.insert(waiters_out.end(), e.waiters.begin(), e.waiters.end());
+      e.valid = false;
+      e.waiters.clear();
+      MEMSCHED_ASSERT(used_ > 0, "MSHR accounting underflow");
+      --used_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void MshrFile::for_each_undispatched(const std::function<void(MshrEntry&)>& fn) {
+  for (MshrEntry& e : entries_) {
+    if (e.valid && !e.dispatched) fn(e);
+  }
+}
+
+void MshrFile::reset() {
+  for (MshrEntry& e : entries_) {
+    e.valid = false;
+    e.waiters.clear();
+  }
+  used_ = 0;
+  allocations_ = 0;
+  merges_ = 0;
+}
+
+}  // namespace memsched::cache

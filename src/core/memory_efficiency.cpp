@@ -1,0 +1,29 @@
+#include "core/memory_efficiency.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace memsched::core {
+
+MeProfile MeProfile::from_measurement(std::string app_name, double ipc, double bw_gbs) {
+  MEMSCHED_ASSERT(ipc >= 0.0 && bw_gbs >= 0.0, "negative profiling measurement");
+  MeProfile p;
+  p.app_name = std::move(app_name);
+  p.ipc_single = ipc;
+  p.bandwidth_gbs = bw_gbs;
+  // An application with (near-)zero measured bandwidth has effectively
+  // unbounded memory efficiency; clamp the divisor so ME stays finite, as
+  // any real profiling pass would.
+  constexpr double kMinBw = 1e-6;
+  p.memory_efficiency = ipc / std::max(bw_gbs, kMinBw);
+  return p;
+}
+
+double MeTable::max_me() const {
+  double m = 0.0;
+  for (const double v : me_) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace memsched::core

@@ -1,0 +1,51 @@
+// Memory efficiency (paper §3.1, Equation 1).
+//
+//   ME[i] = IPC_single[i] / BW_single[i]
+//
+// where IPC_single and BW_single (GB/s) are measured on a single-core run of
+// the application with the same core configuration. The value captures the
+// *long-term* return on memory bandwidth: instructions committed per unit of
+// bandwidth consumed. It is produced by off-line profiling (a different
+// program slice than the evaluation run) and loaded into the controller "by
+// the OS at the time of program loading".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace memsched::core {
+
+/// One application's profiling result.
+struct MeProfile {
+  std::string app_name;
+  double ipc_single = 0.0;      ///< committed IPC on a single-core system
+  double bandwidth_gbs = 0.0;   ///< DRAM traffic (reads + writes) in GB/s
+  double memory_efficiency = 0.0;  ///< Equation 1
+
+  static MeProfile from_measurement(std::string app_name, double ipc, double bw_gbs);
+};
+
+/// Per-core ME vector handed to the ME/ME-LREQ schedulers — the software-
+/// visible content of the workload priority tables.
+class MeTable {
+ public:
+  MeTable() = default;
+  explicit MeTable(std::vector<double> me_values) : me_(std::move(me_values)) {}
+
+  [[nodiscard]] std::uint32_t core_count() const {
+    return static_cast<std::uint32_t>(me_.size());
+  }
+  [[nodiscard]] double me(CoreId core) const { return me_.at(core); }
+  [[nodiscard]] const std::vector<double>& values() const { return me_; }
+
+  /// Largest ME across cores; the hardware table scales by this.
+  [[nodiscard]] double max_me() const;
+
+ private:
+  std::vector<double> me_;
+};
+
+}  // namespace memsched::core

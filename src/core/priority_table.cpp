@@ -1,0 +1,36 @@
+#include "core/priority_table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/fixed_point.hpp"
+
+namespace memsched::core {
+
+PriorityTable::PriorityTable(const MeTable& me, std::uint32_t max_pending, unsigned bits)
+    : max_pending_(max_pending), bits_(bits) {
+  MEMSCHED_ASSERT(max_pending >= 1, "priority table needs at least one entry");
+  // The largest value any entry can hold is max_i ME[i] / 1; one common
+  // scale factor preserves the relative order of all entries across cores.
+  scale_max_ = std::max(me.max_me(), 1e-9);
+  table_.resize(me.core_count());
+  for (CoreId c = 0; c < me.core_count(); ++c) {
+    reload(c, me.me(c));
+  }
+}
+
+void PriorityTable::reload(CoreId core, double me_value) {
+  MEMSCHED_ASSERT(core < table_.size(), "reload of unknown core");
+  auto& row = table_[core];
+  row.resize(max_pending_);
+  for (std::uint32_t p = 1; p <= max_pending_; ++p) {
+    row[p - 1] = util::quantize(me_value / static_cast<double>(p), scale_max_, bits_);
+  }
+}
+
+std::uint32_t PriorityTable::lookup(CoreId core, std::uint32_t pending_reads) const {
+  const std::uint32_t p = std::clamp<std::uint32_t>(pending_reads, 1, max_pending_);
+  return table_.at(core)[p - 1];
+}
+
+}  // namespace memsched::core

@@ -1,0 +1,62 @@
+// Hardware workload-priority-table model (paper Figure 1).
+//
+// The exact ME-LREQ priority ME[i]/PendingRead[i] involves a division, which
+// is too expensive for a memory controller's critical path. The paper's
+// implementation instead pre-computes, for every core and every possible
+// pending-read count p in [1, 64], the scaled quotient and stores it as a
+// 10-bit integer ("the total number of bits in the tables is only
+// N x 64 x 10"). At scheduling time the controller indexes all tables in
+// parallel with the current counters and compares plain integers.
+//
+// The tables are software-managed: the OS fills them at program load /
+// context switch from the profiled ME values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/memory_efficiency.hpp"
+#include "util/types.hpp"
+
+namespace memsched::core {
+
+class PriorityTable {
+ public:
+  static constexpr std::uint32_t kDefaultMaxPending = 64;  ///< Table 1 buffer size
+  static constexpr unsigned kDefaultBits = 10;             ///< paper §3.2
+
+  /// Builds the tables from profiled ME values. `max_pending` is the largest
+  /// representable pending-read count (counters saturate there) and `bits`
+  /// the entry width.
+  PriorityTable(const MeTable& me, std::uint32_t max_pending = kDefaultMaxPending,
+                unsigned bits = kDefaultBits);
+
+  /// Priority code for `core` with `pending_reads` outstanding reads.
+  /// pending_reads is clamped to [1, max_pending]; the controller never
+  /// queries a core with zero pending reads (it has nothing to schedule).
+  [[nodiscard]] std::uint32_t lookup(CoreId core, std::uint32_t pending_reads) const;
+
+  /// Re-fill one core's table (OS context switch: a new program with a new
+  /// ME value now runs on `core`).
+  void reload(CoreId core, double me_value);
+
+  [[nodiscard]] std::uint32_t core_count() const {
+    return static_cast<std::uint32_t>(table_.size());
+  }
+  [[nodiscard]] std::uint32_t max_pending() const { return max_pending_; }
+  [[nodiscard]] unsigned bits() const { return bits_; }
+
+  /// Total storage in bits: N x max_pending x bits (640N bits by default,
+  /// matching the paper's cost estimate).
+  [[nodiscard]] std::uint64_t storage_bits() const {
+    return static_cast<std::uint64_t>(core_count()) * max_pending_ * bits_;
+  }
+
+ private:
+  std::uint32_t max_pending_;
+  unsigned bits_;
+  double scale_max_;  ///< the ME/1 maximum the whole table is scaled by
+  std::vector<std::vector<std::uint32_t>> table_;  ///< [core][pending-1]
+};
+
+}  // namespace memsched::core

@@ -1,0 +1,40 @@
+// Name-based scheduler construction — one place that knows every scheme.
+//
+// Used by the bench harnesses and examples so a scheme is just a string
+// ("HF-RF", "ME-LREQ", ...). Library users embedding memsched can of course
+// construct policy objects directly or supply their own Scheduler subclass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/memory_efficiency.hpp"
+#include "sched/scheduler.hpp"
+
+namespace memsched::core {
+
+/// Everything a factory might need; schemes ignore what they don't use.
+struct SchedulerArgs {
+  std::uint32_t core_count = 1;
+  MeTable me;  ///< profiled ME per core (ME/ME-LREQ variants)
+  std::vector<double> ipc_single;  ///< profiled alone-IPC per core (STFM)
+  std::uint32_t table_max_pending = 64;
+  unsigned table_bits = 10;
+  double cpu_hz = 3.2e9;
+  double epoch_cpu_cycles = 32768.0;  ///< on_epoch interval in CPU cycles
+};
+
+/// Creates a scheduler by name. Known names:
+///   FCFS, FCFS-RF, HF-RF, HF-RF-OOO, RR, LREQ, FQ, STFM, PAR-BS,
+///   FIX-DESC, FIX-ASC, ME, ME-LREQ, ME-LREQ-HW, ME-LREQ-ONLINE,
+/// plus two parameterised families:
+///   "<name>/TOH"            — thread-priority-over-hit ablation variant;
+///   "ME-LREQ-POW-<a>-<b>"   — generalized exponents in tenths
+///                             (ME-LREQ-POW-05-20 = ME^0.5 / Pending^2.0).
+/// Throws std::invalid_argument for unknown names.
+sched::SchedulerPtr make_scheduler(const std::string& name, const SchedulerArgs& args);
+
+/// All scheme names make_scheduler accepts, in evaluation order.
+std::vector<std::string> known_schedulers();
+
+}  // namespace memsched::core

@@ -1,0 +1,220 @@
+#include "cpu/core_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace memsched::cpu {
+
+using cache::AccessOutcome;
+
+CoreModel::CoreModel(CoreId id, const CoreConfig& cfg, double dispatch_ipc,
+                     trace::InstStream& stream, cache::CacheHierarchy& hierarchy)
+    : id_(id),
+      cfg_(cfg),
+      dispatch_ipc_(dispatch_ipc),
+      stream_(stream),
+      hierarchy_(hierarchy),
+      insts_to_next_line_(cfg.insts_per_fetch_line) {
+  MEMSCHED_ASSERT(dispatch_ipc > 0.0, "dispatch IPC must be positive");
+  MEMSCHED_ASSERT(cfg.issue_width > 0 && cfg.rob_entries > 0, "invalid core config");
+}
+
+bool CoreModel::last_load_complete() const {
+  if (!last_load_tracked_) return true;  // it was an L1 hit (or none yet)
+  for (const OutstandingLoad& o : outstanding_) {
+    if (o.token == last_load_token_)
+      return o.done != kPending && o.done <= cycle_;
+  }
+  return true;  // already retired from the list
+}
+
+void CoreModel::do_ifetch_accounting() {
+  if (!cfg_.model_ifetch || stream_.code_bytes() == 0) return;
+  if (--insts_to_next_line_ > 0) return;
+  insts_to_next_line_ = cfg_.insts_per_fetch_line;
+  const Addr addr = stream_.code_base() + code_pos_;
+  code_pos_ = (code_pos_ + kLineBytes) % stream_.code_bytes();
+  const std::uint64_t token = make_token(id_, next_token_seq_++, /*ifetch=*/true);
+  const cache::AccessReply reply = hierarchy_.ifetch(id_, addr, cycle_, token);
+  switch (reply.outcome) {
+    case AccessOutcome::kHitL1:
+      break;  // pipelined fetch, no stall
+    case AccessOutcome::kHitL2:
+      frontend_ready_ = reply.done_cpu;
+      break;
+    case AccessOutcome::kMiss:
+      frontend_ready_ = kPending;
+      frontend_token_ = token;
+      break;
+    case AccessOutcome::kRetry:
+      // Treat as a short fixed stall and refetch the same line next time.
+      frontend_ready_ = cycle_ + 4;
+      insts_to_next_line_ = 1;
+      code_pos_ = (code_pos_ + stream_.code_bytes() - kLineBytes) % stream_.code_bytes();
+      break;
+  }
+}
+
+bool CoreModel::try_issue_one() {
+  // ROB occupancy limit.
+  if (issue_num_ - commit_num_ >= cfg_.rob_entries) {
+    ++stats_.stall_rob;
+    return false;
+  }
+  if (!have_pending_rec_) {
+    pending_rec_ = stream_.next();
+    have_pending_rec_ = true;
+  }
+  const trace::InstRecord& rec = pending_rec_;
+
+  switch (rec.cls) {
+    case trace::InstClass::kCompute:
+      break;  // always issuable
+
+    case trace::InstClass::kLoad: {
+      if (rec.dep_on_prev && !last_load_complete()) {
+        ++stats_.stall_dep;
+        return false;
+      }
+      const auto limit = std::min(cfg_.lq_entries, cfg_.l1d_mshr);
+      if (outstanding_.size() >= limit) {
+        ++stats_.stall_mshr;
+        return false;
+      }
+      const std::uint64_t token = make_token(id_, next_token_seq_++, /*ifetch=*/false);
+      const cache::AccessReply reply = hierarchy_.load(id_, rec.addr, cycle_, token);
+      switch (reply.outcome) {
+        case AccessOutcome::kRetry:
+          ++stats_.stall_backpressure;
+          return false;
+        case AccessOutcome::kHitL1:
+          // Completes within the pipeline; never blocks commit in practice.
+          ++stats_.l1d_hits;
+          last_load_tracked_ = false;
+          break;
+        case AccessOutcome::kHitL2:
+          ++stats_.l2_hits;
+          outstanding_.push_back({issue_num_, reply.done_cpu, token});
+          last_load_token_ = token;
+          last_load_tracked_ = true;
+          break;
+        case AccessOutcome::kMiss:
+          ++stats_.dram_loads;
+          outstanding_.push_back({issue_num_, kPending, token});
+          last_load_token_ = token;
+          last_load_tracked_ = true;
+          break;
+      }
+      ++stats_.loads;
+      break;
+    }
+
+    case trace::InstClass::kStore: {
+      if (store_q_used_ >= cfg_.sq_entries) {
+        ++stats_.stall_sq;
+        return false;
+      }
+      // An L1 hit retires instantly; a miss occupies a store-queue entry
+      // until its fill returns (tracked via a bit-62 token).
+      const Addr line = line_base(rec.addr);
+      const bool will_miss = !hierarchy_.l1d(id_).probe(line);
+      const std::uint64_t token =
+          will_miss ? make_token(id_, next_token_seq_++, false, /*store=*/true)
+                    : cache::CacheHierarchy::kNoWaiterToken;
+      if (!hierarchy_.store(id_, rec.addr, token)) {
+        ++stats_.stall_backpressure;
+        return false;
+      }
+      if (will_miss && hierarchy_.l2_mshr().find(line) != nullptr) {
+        // The fill is genuinely in flight and our token is registered.
+        ++store_q_used_;
+      }
+      ++stats_.stores;
+      break;
+    }
+  }
+
+  have_pending_rec_ = false;
+  ++issue_num_;
+  do_ifetch_accounting();
+  return true;
+}
+
+void CoreModel::step_to(CpuCycle target_cpu) {
+  while (cycle_ < target_cpu) {
+    // Retire loads whose data has arrived (front of the program-order list).
+    while (!outstanding_.empty() && outstanding_.front().done != kPending &&
+           outstanding_.front().done <= cycle_) {
+      outstanding_.pop_front();
+    }
+
+    // In-order commit up to the oldest incomplete load, at most issue_width
+    // per cycle.
+    const std::uint64_t commit_limit =
+        outstanding_.empty() ? issue_num_ : outstanding_.front().inst_num;
+    commit_num_ = std::min(commit_num_ + cfg_.issue_width, commit_limit);
+
+    // Dispatch.
+    bool issue_blocked = false;
+    if (frontend_ready_ == kPending || frontend_ready_ > cycle_) {
+      ++stats_.stall_frontend;
+      issue_blocked = true;
+    } else {
+      budget_ = std::min(budget_ + dispatch_ipc_, static_cast<double>(cfg_.issue_width));
+      while (budget_ >= 1.0) {
+        if (!try_issue_one()) {
+          issue_blocked = true;
+          break;
+        }
+        budget_ -= 1.0;
+        if (frontend_ready_ == kPending || frontend_ready_ > cycle_) break;
+      }
+    }
+
+    ++cycle_;
+
+    // Fast-forward: if commit is blocked on an incomplete load AND issue is
+    // blocked, nothing changes until the next known completion (or the end
+    // of this stepping window — fills arrive only at tick boundaries).
+    const bool commit_blocked =
+        !outstanding_.empty() && commit_num_ == outstanding_.front().inst_num;
+    if (issue_blocked && commit_blocked) {
+      CpuCycle next_event = target_cpu;
+      for (const OutstandingLoad& o : outstanding_) {
+        if (o.done != kPending) next_event = std::min(next_event, o.done);
+      }
+      if (frontend_ready_ != kPending && frontend_ready_ > cycle_)
+        next_event = std::min(next_event, frontend_ready_);
+      if (next_event > cycle_) cycle_ = std::min(next_event, target_cpu);
+    }
+  }
+}
+
+void CoreModel::on_fill(std::uint64_t token, CpuCycle done_cpu) {
+  if (token >> 63) {
+    // Frontend fill.
+    if (frontend_ready_ == kPending && token == frontend_token_) {
+      frontend_ready_ = std::max(done_cpu, cycle_);
+    }
+    return;
+  }
+  if ((token >> 62) & 1) {
+    // Store-queue entry retires with its fill.
+    MEMSCHED_ASSERT(store_q_used_ > 0, "store queue accounting underflow");
+    --store_q_used_;
+    return;
+  }
+  for (OutstandingLoad& o : outstanding_) {
+    if (o.token == token) {
+      MEMSCHED_ASSERT(o.done == kPending, "double fill for one load");
+      o.done = std::max(done_cpu, cycle_);
+      return;
+    }
+  }
+  // Token not found: the load was an MSHR merge whose entry the core never
+  // tracked? Cannot happen — every kMiss reply records a token. Abort.
+  MEMSCHED_ASSERT(false, "fill for unknown load token");
+}
+
+}  // namespace memsched::cpu

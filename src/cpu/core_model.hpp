@@ -1,0 +1,138 @@
+// Out-of-order core performance model.
+//
+// Trace-driven occupancy model of the paper's Table-1 core (4-issue,
+// 196-entry ROB, 32-entry LQ/SQ, 16-stage pipeline at 3.2 GHz). The model
+// captures what the memory system sees and feels:
+//
+//   * dispatch proceeds at the application's inherent ILP rate (dispatch_ipc)
+//     up to issue_width, while the ROB has room;
+//   * loads issue into the cache hierarchy; L1 hits complete immediately,
+//     deeper hits/misses occupy the load queue / L1D MSHRs and block in-order
+//     commit when they reach the ROB head — multiple independent misses
+//     inside the ROB window overlap (memory-level parallelism), while
+//     dependent (pointer-chasing) loads serialize;
+//   * stores retire into the hierarchy without stalling commit (store queue
+//     semantics), back-pressured only by L2-MSHR availability;
+//   * optional I-fetch modeling: one line fetch per 16 instructions; an
+//     L1I miss stalls the frontend until the line returns.
+//
+// The model is stepped in CPU-cycle windows by the simulation kernel
+// (cpu_ratio cycles per memory-bus tick) and fast-forwards through cycles
+// where both commit and issue are provably blocked.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "cache/hierarchy.hpp"
+#include "trace/inst_stream.hpp"
+#include "util/types.hpp"
+
+namespace memsched::cpu {
+
+struct CoreConfig {
+  std::uint32_t issue_width = 4;
+  std::uint32_t rob_entries = 196;
+  std::uint32_t lq_entries = 32;
+  std::uint32_t sq_entries = 32;
+  std::uint32_t l1d_mshr = 32;  ///< max outstanding L1D misses (Table 1)
+  std::uint32_t l1i_mshr = 8;
+  bool model_ifetch = true;
+  std::uint32_t insts_per_fetch_line = 16;  ///< 64 B line / 4 B instructions
+};
+
+struct CoreRunStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1d_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t dram_loads = 0;
+  std::uint64_t stall_rob = 0;       ///< cycles issue blocked: ROB full
+  std::uint64_t stall_dep = 0;       ///< dependent load waiting
+  std::uint64_t stall_mshr = 0;      ///< LQ / L1D MSHR full
+  std::uint64_t stall_sq = 0;        ///< store queue full
+  std::uint64_t stall_backpressure = 0;  ///< L2 MSHR / controller retry
+  std::uint64_t stall_frontend = 0;  ///< I-fetch miss
+};
+
+class CoreModel {
+ public:
+  CoreModel(CoreId id, const CoreConfig& cfg, double dispatch_ipc,
+            trace::InstStream& stream, cache::CacheHierarchy& hierarchy);
+
+  /// Advance the core to absolute CPU cycle `target_cpu` (exclusive).
+  void step_to(CpuCycle target_cpu);
+
+  /// Fill delivery for a waiter token this core registered.
+  void on_fill(std::uint64_t token, CpuCycle done_cpu);
+
+  [[nodiscard]] CoreId id() const { return id_; }
+  [[nodiscard]] std::uint64_t committed() const { return commit_num_; }
+  [[nodiscard]] CpuCycle cycle() const { return cycle_; }
+  [[nodiscard]] std::uint32_t outstanding_misses() const {
+    return static_cast<std::uint32_t>(outstanding_.size());
+  }
+  [[nodiscard]] std::uint32_t outstanding_stores() const { return store_q_used_; }
+  [[nodiscard]] const CoreRunStats& stats() const { return stats_; }
+
+  /// Zero the stall/access counters (pipeline state untouched).
+  void reset_stats() { stats_ = CoreRunStats{}; }
+
+  /// Pack/unpack waiter tokens: the simulation kernel routes fills by core.
+  /// Bit 63 marks I-fetch tokens, bit 62 store-queue tokens.
+  static std::uint64_t make_token(CoreId core, std::uint64_t seq, bool ifetch,
+                                  bool store = false) {
+    return (static_cast<std::uint64_t>(ifetch) << 63) |
+           (static_cast<std::uint64_t>(store) << 62) |
+           (static_cast<std::uint64_t>(core) << 48) | (seq & 0xffffffffffffULL);
+  }
+  static CoreId token_core(std::uint64_t token) {
+    return static_cast<CoreId>((token >> 48) & 0x3fff);
+  }
+
+ private:
+  static constexpr CpuCycle kPending = ~CpuCycle{0};
+
+  struct OutstandingLoad {
+    std::uint64_t inst_num;  ///< position in program order
+    CpuCycle done;           ///< kPending until the fill arrives
+    std::uint64_t token;
+  };
+
+  /// Try to issue one instruction; returns false when blocked this cycle.
+  bool try_issue_one();
+  void do_ifetch_accounting();
+  [[nodiscard]] bool last_load_complete() const;
+
+  CoreId id_;
+  CoreConfig cfg_;
+  double dispatch_ipc_;
+  trace::InstStream& stream_;
+  cache::CacheHierarchy& hierarchy_;
+
+  CpuCycle cycle_ = 0;
+  std::uint64_t issue_num_ = 0;   ///< instructions dispatched
+  std::uint64_t commit_num_ = 0;  ///< instructions committed (in order)
+  double budget_ = 0.0;
+
+  std::deque<OutstandingLoad> outstanding_;  ///< issue-order, L1-missing loads
+  std::uint64_t next_token_seq_ = 0;
+
+  bool have_pending_rec_ = false;
+  trace::InstRecord pending_rec_{};
+
+  std::uint64_t last_load_token_ = 0;
+  bool last_load_tracked_ = false;  ///< last load is (or was) in outstanding_
+
+  std::uint32_t store_q_used_ = 0;  ///< store-miss entries awaiting their fill
+
+  // Frontend state.
+  std::uint32_t insts_to_next_line_;
+  Addr code_pos_ = 0;
+  CpuCycle frontend_ready_ = 0;  ///< issue allowed from this cycle; kPending while miss in flight
+  std::uint64_t frontend_token_ = 0;
+
+  CoreRunStats stats_;
+};
+
+}  // namespace memsched::cpu

@@ -1,0 +1,63 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace memsched::dram {
+
+void Bank::issue_activate(Tick now, std::uint64_t row) {
+  MEMSCHED_ASSERT(can_activate(now), "ACT issued while illegal");
+  row_open_ = true;
+  open_row_ = row;
+  act_tick_ = now;
+  earliest_cas_ = now + timing_->tRCD;
+  earliest_pre_ = std::max(earliest_pre_, now + timing_->tRAS);
+  earliest_act_ = now + timing_->tRC();
+  ++activates_;
+}
+
+void Bank::issue_precharge(Tick now) {
+  MEMSCHED_ASSERT(can_precharge(now), "PRE issued while illegal");
+  row_open_ = false;
+  active_ticks_ += now - act_tick_;
+  earliest_act_ = std::max(earliest_act_, now + timing_->tRP);
+  ++precharges_;
+}
+
+void Bank::issue_read(Tick now, bool auto_precharge) {
+  MEMSCHED_ASSERT(can_cas(now), "READ issued while illegal");
+  // Read-to-precharge: PRE may not issue before now + tRTP.
+  earliest_pre_ = std::max(earliest_pre_, now + timing_->tRTP);
+  if (auto_precharge) {
+    // Internal precharge begins once both tRTP (from this CAS) and tRAS
+    // (from the ACT) are satisfied.
+    const Tick pre_start = std::max(now + timing_->tRTP, act_tick_ + timing_->tRAS);
+    row_open_ = false;
+    active_ticks_ += pre_start - act_tick_;
+    earliest_act_ = std::max(act_tick_ + timing_->tRC(), pre_start + timing_->tRP);
+    ++precharges_;
+  }
+}
+
+void Bank::issue_write(Tick now, bool auto_precharge) {
+  MEMSCHED_ASSERT(can_cas(now), "WRITE issued while illegal");
+  // Write recovery: PRE only after the last data beat + tWR.
+  const Tick write_done = now + timing_->tWL + timing_->burst_cycles + timing_->tWR;
+  earliest_pre_ = std::max(earliest_pre_, write_done);
+  if (auto_precharge) {
+    const Tick pre_start = std::max(write_done, act_tick_ + timing_->tRAS);
+    row_open_ = false;
+    active_ticks_ += pre_start - act_tick_;
+    earliest_act_ = std::max(act_tick_ + timing_->tRC(), pre_start + timing_->tRP);
+    ++precharges_;
+  }
+}
+
+void Bank::issue_refresh(Tick now) {
+  MEMSCHED_ASSERT(!row_open_, "REF issued with a row open");
+  MEMSCHED_ASSERT(now >= earliest_act_, "REF issued while bank busy");
+  earliest_act_ = now + timing_->tRFC;
+}
+
+}  // namespace memsched::dram

@@ -1,0 +1,29 @@
+// DRAM command vocabulary.
+#pragma once
+
+namespace memsched::dram {
+
+enum class CommandType {
+  kActivate,    ///< open a row into the bank's row buffer
+  kPrecharge,   ///< close the open row
+  kRead,        ///< column read, row stays open
+  kReadAp,      ///< column read with auto-precharge (close-page mode)
+  kWrite,       ///< column write, row stays open
+  kWriteAp,     ///< column write with auto-precharge
+  kRefresh,     ///< all-bank refresh (optional modeling)
+};
+
+constexpr const char* command_name(CommandType c) {
+  switch (c) {
+    case CommandType::kActivate: return "ACT";
+    case CommandType::kPrecharge: return "PRE";
+    case CommandType::kRead: return "RD";
+    case CommandType::kReadAp: return "RDA";
+    case CommandType::kWrite: return "WR";
+    case CommandType::kWriteAp: return "WRA";
+    case CommandType::kRefresh: return "REF";
+  }
+  return "?";
+}
+
+}  // namespace memsched::dram

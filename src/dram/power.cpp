@@ -1,0 +1,69 @@
+#include "dram/power.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace memsched::dram {
+
+PowerModel::PowerModel(const PowerConfig& cfg, const Timing& timing, double bus_hz)
+    : cfg_(cfg), timing_(timing), tick_seconds_(1.0 / bus_hz) {
+  MEMSCHED_ASSERT(bus_hz > 0.0, "bus frequency must be positive");
+  const double devs = cfg.devices_per_channel();
+  const double v = cfg.vdd;
+
+  // One ACT-PRE cycle draws IDD0 for tRC; the background current the device
+  // would draw anyway (IDD3N for tRAS, IDD2N for tRP) is charged to the
+  // background term, so subtract it here (Micron power-calculator form).
+  const double t_ras = timing.tRAS * tick_seconds_;
+  const double t_rp = timing.tRP * tick_seconds_;
+  const double t_rc = t_ras + t_rp;
+  e_act_ = std::max(0.0, cfg.idd0 * t_rc - cfg.idd3n * t_ras - cfg.idd2n * t_rp) *
+           v * devs;
+
+  const double t_burst = timing.burst_cycles * tick_seconds_;
+  e_read_ = (cfg.idd4r - cfg.idd3n) * v * t_burst * devs;
+  e_write_ = (cfg.idd4w - cfg.idd3n) * v * t_burst * devs;
+  e_refresh_ = (cfg.idd5 - cfg.idd2n) * v * (timing.tRFC * tick_seconds_) * devs;
+
+  p_active_ = cfg.idd3n * v * devs;
+  p_idle_ = cfg.idd2n * v * devs;
+}
+
+EnergyBreakdown PowerModel::energy_of(const DramSystem& dram, Tick elapsed) const {
+  EnergyBreakdown e;
+  for (std::uint32_t c = 0; c < dram.channel_count(); ++c) {
+    const Channel& ch = dram.channel(c);
+    std::uint64_t acts = 0;
+    Tick active = 0;
+    for (std::uint32_t b = 0; b < ch.bank_count(); ++b) {
+      acts += ch.bank(b).activate_count();
+      active += ch.bank(b).active_ticks(elapsed);
+    }
+    e.activate += static_cast<double>(acts) * e_act_;
+    // Data-bus busy cycles split between reads and writes are not tracked
+    // separately at channel level; attribute by burst counts via the
+    // read/write ratio of data cycles (equal burst lengths make the split
+    // exact at transaction granularity).
+    // Channel keeps total bursts; the controller's read/write counts are
+    // not visible here, so charge the mean of read/write burst energy —
+    // they differ by < 3% on DDR2.
+    const double e_burst = 0.5 * (e_read_ + e_write_);
+    e.read += static_cast<double>(ch.bursts()) * e_burst * 0.5;
+    e.write += static_cast<double>(ch.bursts()) * e_burst * 0.5;
+    // Background: per-bank active residency at IDD3N-share, the rest idle.
+    // IDD3N/IDD2N are device currents with >= 1 bank open, not per bank;
+    // approximate "any bank open" residency by the max per-bank residency
+    // bound: min(sum of bank active ticks, elapsed).
+    const Tick any_active = std::min<Tick>(active, elapsed);
+    e.background += p_active_ * static_cast<double>(any_active) * tick_seconds_ +
+                    p_idle_ * static_cast<double>(elapsed - any_active) * tick_seconds_;
+  }
+  if (timing_.refresh_enabled && timing_.tREFI > 0) {
+    const double refreshes = static_cast<double>(elapsed) / timing_.tREFI;
+    e.refresh = refreshes * e_refresh_ * dram.channel_count();
+  }
+  return e;
+}
+
+}  // namespace memsched::dram

@@ -1,0 +1,90 @@
+// DDR2 power model (Micron "DDR2 power calculator" methodology).
+//
+// Energy is computed from event counts and state-residency times that the
+// device model already tracks:
+//
+//   * activate/precharge energy per ACT — the IDD0 cycle current minus the
+//     background current the device would have drawn anyway;
+//   * read/write burst energy — (IDD4R/W − IDD3N) during data transfer;
+//   * refresh energy — (IDD5 − IDD2N) for tRFC per refresh;
+//   * background power — IDD3N while any row is open, IDD2N otherwise
+//     (no power-down modes: the paper's controller never idles long
+//     enough for them to matter, and DDR2 CKE management is out of scope).
+//
+// All currents are per device; a logic channel is a ganged pair of x64
+// ranks, i.e. `devices` x8 chips share every access. Defaults are
+// Micron 1 Gb DDR2-800 (MT47H128M8) data-sheet values.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/dram_system.hpp"
+#include "dram/timing.hpp"
+#include "util/types.hpp"
+
+namespace memsched::dram {
+
+struct PowerConfig {
+  double vdd = 1.8;        ///< volts
+  double idd0 = 0.085;     ///< amps: one ACT-PRE cycle average
+  double idd2n = 0.045;    ///< precharge standby
+  double idd3n = 0.060;    ///< active standby
+  double idd4r = 0.185;    ///< read burst
+  double idd4w = 0.190;    ///< write burst
+  double idd5 = 0.215;     ///< refresh
+  std::uint32_t devices_per_rank = 8;  ///< x8 chips forming a 64-bit rank
+  std::uint32_t ranks_per_channel = 2; ///< ganged physical-channel pair
+
+  [[nodiscard]] std::uint32_t devices_per_channel() const {
+    return devices_per_rank * ranks_per_channel;
+  }
+};
+
+/// Energy breakdown in joules, plus derived figures.
+struct EnergyBreakdown {
+  double activate = 0.0;
+  double read = 0.0;
+  double write = 0.0;
+  double refresh = 0.0;
+  double background = 0.0;
+
+  [[nodiscard]] double total() const {
+    return activate + read + write + refresh + background;
+  }
+  /// Average power in watts over `seconds`.
+  [[nodiscard]] double average_power(double seconds) const {
+    return seconds > 0.0 ? total() / seconds : 0.0;
+  }
+};
+
+/// Computes the energy a DramSystem consumed over `elapsed` bus ticks.
+///
+/// Stateless: call at any point (e.g. after RunResult) with the same
+/// DramSystem the run used. `bus_hz` converts ticks to seconds.
+class PowerModel {
+ public:
+  PowerModel(const PowerConfig& cfg, const Timing& timing, double bus_hz);
+
+  [[nodiscard]] EnergyBreakdown energy_of(const DramSystem& dram, Tick elapsed) const;
+
+  /// Per-event energies (joules), for tests and reports.
+  [[nodiscard]] double activate_energy() const { return e_act_; }
+  [[nodiscard]] double read_burst_energy() const { return e_read_; }
+  [[nodiscard]] double write_burst_energy() const { return e_write_; }
+  [[nodiscard]] double refresh_energy() const { return e_refresh_; }
+
+  [[nodiscard]] const PowerConfig& config() const { return cfg_; }
+
+ private:
+  PowerConfig cfg_;
+  Timing timing_;
+  double tick_seconds_;
+  double e_act_;      ///< per ACT-PRE pair, whole channel
+  double e_read_;     ///< per read burst
+  double e_write_;    ///< per write burst
+  double e_refresh_;  ///< per all-bank refresh
+  double p_active_;   ///< background watts while a bank is active
+  double p_idle_;     ///< background watts while all banks precharged
+};
+
+}  // namespace memsched::dram

@@ -1,0 +1,98 @@
+#include "dram/timing.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace memsched::dram {
+
+namespace {
+
+Timing make_timing(std::uint32_t cl, std::uint32_t rcd, std::uint32_t rp,
+                   std::uint32_t ras, std::uint32_t wl, std::uint32_t wr,
+                   std::uint32_t wtr, std::uint32_t rtw, std::uint32_t rtp,
+                   std::uint32_t rrd, std::uint32_t faw, std::uint32_t ccd,
+                   std::uint32_t refi, std::uint32_t rfc) {
+  Timing t;
+  t.tCL = cl;
+  t.tRCD = rcd;
+  t.tRP = rp;
+  t.tRAS = ras;
+  t.tWL = wl;
+  t.tWR = wr;
+  t.tWTR = wtr;
+  t.tRTW = rtw;
+  t.tRTP = rtp;
+  t.tRRD = rrd;
+  t.tFAW = faw;
+  t.tCCD = ccd;
+  t.tREFI = refi;
+  t.tRFC = rfc;
+  return t;
+}
+
+}  // namespace
+
+SpeedGrade SpeedGrade::ddr2_400() {
+  // 200 MHz bus, 5 ns cycles: 3-3-3, tRAS 45 ns, tFAW 40 ns, tRFC 130 ns.
+  return {"DDR2-400",
+          make_timing(3, 3, 3, 9, 2, 3, 2, 2, 2, 2, 8, 2, 1560, 26),
+          /*cpu_ratio=*/16, /*overhead_ticks=*/3};
+}
+
+SpeedGrade SpeedGrade::ddr2_533() {
+  // 266.7 MHz bus, 3.75 ns cycles: 4-4-4.
+  return {"DDR2-533",
+          make_timing(4, 4, 4, 12, 3, 4, 2, 2, 2, 2, 10, 2, 2080, 34),
+          /*cpu_ratio=*/12, /*overhead_ticks=*/4};
+}
+
+SpeedGrade SpeedGrade::ddr2_800() {
+  // Table 1's device: the Timing defaults.
+  return {"DDR2-800", Timing{}, /*cpu_ratio=*/8, /*overhead_ticks=*/6};
+}
+
+SpeedGrade SpeedGrade::ddr3_1600() {
+  // 800 MHz bus, 1.25 ns cycles: 11-11-11, tRAS 35 ns, tFAW 30 ns.
+  return {"DDR3-1600",
+          make_timing(11, 11, 11, 28, 8, 12, 6, 4, 6, 5, 24, 4, 6240, 128),
+          /*cpu_ratio=*/4, /*overhead_ticks=*/12};
+}
+
+const std::vector<SpeedGrade>& SpeedGrade::all() {
+  static const std::vector<SpeedGrade> grades = {ddr2_400(), ddr2_533(), ddr2_800(),
+                                                 ddr3_1600()};
+  return grades;
+}
+
+const SpeedGrade& SpeedGrade::by_name(const std::string& name) {
+  for (const SpeedGrade& g : all()) {
+    if (name == g.name) return g;
+  }
+  throw std::invalid_argument("unknown speed grade: " + name);
+}
+
+std::string Timing::validate() const {
+  if (tCL == 0 || tRCD == 0 || tRP == 0) return "tCL/tRCD/tRP must be nonzero";
+  if (tWL >= tCL + 1) return "DDR2 requires tWL <= tCL";
+  if (tRAS < tRCD) return "tRAS must cover at least tRCD";
+  if (burst_cycles == 0) return "burst_cycles must be nonzero";
+  if (tFAW < tRRD) return "tFAW must be at least tRRD";
+  if (refresh_enabled && tREFI <= tRFC) return "tREFI must exceed tRFC";
+  return {};
+}
+
+std::string Organization::validate() const {
+  using util::is_pow2;
+  if (channels == 0 || dimms_per_channel == 0 || banks_per_dimm == 0)
+    return "organization dimensions must be nonzero";
+  if (!is_pow2(channels) || !is_pow2(dimms_per_channel) || !is_pow2(banks_per_dimm))
+    return "organization dimensions must be powers of two";
+  if (!is_pow2(row_bytes) || row_bytes < kLineBytes)
+    return "row_bytes must be a power of two >= line size";
+  if (!is_pow2(capacity_bytes)) return "capacity must be a power of two";
+  if (rows_per_bank() == 0) return "capacity too small for organization";
+  return {};
+}
+
+}  // namespace memsched::dram

@@ -1,0 +1,113 @@
+// DDR2 timing and organization parameters.
+//
+// Defaults reproduce Table 1 of the paper: DDR2-800 (400 MHz command clock,
+// 800 MT/s data rate), 5-5-5 (tCL-tRCD-tRP, 12.5 ns each), two logic
+// channels of 16-byte width (two ganged 8-byte physical channels), two DIMMs
+// per physical channel and four banks per DIMM. A ganged physical-channel
+// pair operates in lockstep, so the model treats each logic channel as one
+// 16-byte-wide channel with dimms*banks independent banks.
+//
+// All timing values are in memory-bus cycles (2.5 ns at 400 MHz).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace memsched::dram {
+
+struct Timing {
+  // Core 5-5-5 parameters (Table 1: 12.5 ns each at 400 MHz).
+  std::uint32_t tCL = 5;   ///< column access strobe latency (read)
+  std::uint32_t tRCD = 5;  ///< row-to-column (activate to CAS)
+  std::uint32_t tRP = 5;   ///< precharge period
+
+  // Derived/secondary DDR2-800 parameters (JEDEC-typical values; the paper
+  // only specifies 5-5-5, these fill in the rest of the state machine).
+  std::uint32_t tRAS = 18;  ///< activate to precharge (45 ns)
+  std::uint32_t tWL = 4;    ///< write latency = tCL - 1 on DDR2
+  std::uint32_t tWR = 6;    ///< write recovery before precharge (15 ns)
+  std::uint32_t tWTR = 3;   ///< write-to-read turnaround (7.5 ns)
+  std::uint32_t tRTW = 2;   ///< read-to-write data-bus turnaround
+  std::uint32_t tRTP = 3;   ///< read-to-precharge (7.5 ns)
+  std::uint32_t tRRD = 3;   ///< activate-to-activate, different banks (7.5 ns)
+  std::uint32_t tFAW = 15;  ///< four-activate window (37.5 ns)
+  std::uint32_t tCCD = 2;   ///< CAS-to-CAS minimum spacing
+  std::uint32_t tRTRS = 1;  ///< rank-to-rank data-bus switch gap
+
+  // Burst: a 64 B line over a 16 B-wide logic channel at 800 MT/s is four
+  // beats = two command-clock cycles of data-bus occupancy.
+  std::uint32_t burst_cycles = 2;
+
+  // Refresh (off by default — the paper does not model it; see DESIGN.md).
+  bool refresh_enabled = false;
+  std::uint32_t tREFI = 3120;  ///< refresh interval (7.8 us)
+  std::uint32_t tRFC = 51;     ///< refresh cycle time (127.5 ns)
+
+  /// activate-to-activate on the same bank.
+  [[nodiscard]] std::uint32_t tRC() const { return tRAS + tRP; }
+
+  /// Minimum possible read latency in bus cycles: ACT + CAS + burst
+  /// (row-closed bank, empty system). Useful as a lower bound in tests.
+  [[nodiscard]] std::uint32_t min_read_cycles() const { return tRCD + tCL + burst_cycles; }
+
+  /// Validates internal consistency; returns an error message or empty.
+  [[nodiscard]] std::string validate() const;
+};
+
+/// A named device speed grade: timing in bus cycles plus the clock the
+/// cycles are counted in (expressed as CPU cycles per bus tick for the
+/// paper's 3.2 GHz cores). Table 1's part is DDR2-800; the others support
+/// sensitivity studies across the DDR2 family and an early-DDR3 point.
+struct SpeedGrade {
+  const char* name;
+  Timing timing;
+  std::uint32_t cpu_ratio;      ///< 3.2 GHz CPU cycles per bus tick
+  std::uint32_t overhead_ticks; ///< the controller's 15 ns in bus ticks
+
+  /// DDR2-400 3-3-3 (200 MHz bus).
+  static SpeedGrade ddr2_400();
+  /// DDR2-533 4-4-4 (266.7 MHz bus).
+  static SpeedGrade ddr2_533();
+  /// DDR2-800 5-5-5 (400 MHz bus) — the paper's Table-1 device.
+  static SpeedGrade ddr2_800();
+  /// DDR3-1600 11-11-11 (800 MHz bus).
+  static SpeedGrade ddr3_1600();
+
+  /// All grades above, slowest first.
+  static const std::vector<SpeedGrade>& all();
+
+  /// Lookup by name ("DDR2-800", ...); throws std::invalid_argument.
+  static const SpeedGrade& by_name(const std::string& name);
+};
+
+struct Organization {
+  std::uint32_t channels = 2;        ///< logic channels (16 B wide each)
+  std::uint32_t dimms_per_channel = 2;
+  std::uint32_t banks_per_dimm = 4;
+  std::uint64_t row_bytes = 8192;    ///< row-buffer coverage per (ganged) bank
+  std::uint64_t capacity_bytes = std::uint64_t{4} << 30;  ///< total, for row count
+
+  [[nodiscard]] std::uint32_t banks_per_channel() const {
+    return dimms_per_channel * banks_per_dimm;
+  }
+  [[nodiscard]] std::uint32_t total_banks() const {
+    return channels * banks_per_channel();
+  }
+  [[nodiscard]] std::uint64_t lines_per_row() const { return row_bytes / kLineBytes; }
+  [[nodiscard]] std::uint64_t rows_per_bank() const {
+    return capacity_bytes / (static_cast<std::uint64_t>(total_banks()) * row_bytes);
+  }
+
+  /// Peak data bandwidth in GB/s across all channels:
+  /// channels * 16 B * 800 MT/s = 12.8 GB/s per logic channel (Table 1).
+  [[nodiscard]] double peak_bandwidth_gbs(double bus_mhz = 400.0) const {
+    return static_cast<double>(channels) * 16.0 * (2.0 * bus_mhz * 1e6) / 1e9;
+  }
+
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace memsched::dram

@@ -1,0 +1,472 @@
+#include "mc/controller.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace memsched::mc {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}
+
+MemoryController::MemoryController(dram::DramSystem& dram, sched::Scheduler& scheduler,
+                                   const ControllerConfig& cfg, std::uint32_t core_count,
+                                   std::uint64_t seed)
+    : dram_(dram),
+      scheduler_(scheduler),
+      cfg_(cfg),
+      core_count_(core_count),
+      rng_(seed),
+      pending_reads_(core_count, 0),
+      pending_writes_(core_count, 0) {
+  MEMSCHED_ASSERT(core_count > 0, "controller needs at least one core");
+  MEMSCHED_ASSERT(cfg.drain_low < cfg.drain_high, "drain hysteresis inverted");
+  MEMSCHED_ASSERT(cfg.drain_high <= cfg.buffer_entries, "drain_high exceeds buffer");
+  slots_.resize(static_cast<std::size_t>(dram.organization().channels) *
+                dram.organization().banks_per_channel());
+  open_predictor_.assign(slots_.size(), 2);  // weakly-open initial state
+  stats_.core_read_latency_cpu.resize(core_count);
+  stats_.core_reads.resize(core_count, 0);
+  stats_.core_writes.resize(core_count, 0);
+  read_q_.reserve(cfg.buffer_entries);
+  write_q_.reserve(cfg.buffer_entries);
+  scratch_cands_.reserve(cfg.buffer_entries);
+  if (dram.timing().refresh_enabled) {
+    next_refresh_.assign(dram.channel_count(), dram.timing().tREFI);
+  }
+}
+
+bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
+                                    bool is_prefetch) {
+  MEMSCHED_ASSERT(core < core_count_, "read from unknown core");
+  if (cfg_.forward_writes) {
+    for (const Request& w : write_q_) {
+      if (w.line_addr == line_addr) {
+        // Read-after-write forwarding: served from the write buffer without
+        // a DRAM transaction, after the controller pipeline overhead.
+        Request req;
+        req.id = next_id_++;
+        req.core = core;
+        req.line_addr = line_addr;
+        req.is_write = false;
+        req.dram = dram_.address_map().decode(line_addr);
+        req.enqueue_tick = now;
+        req.visible_tick = now + cfg_.overhead_ticks;
+        req.order = next_order_++;
+        const Tick done = req.visible_tick;
+        auto it = std::upper_bound(
+            completions_.begin(), completions_.end(), done,
+            [](Tick t, const Completion& c) { return t < c.done; });
+        completions_.insert(it, Completion{done, req});
+        ++stats_.read_forwards;
+        return true;
+      }
+    }
+  }
+  if (!can_accept()) return false;
+  Request req;
+  req.id = next_id_++;
+  req.core = core;
+  req.line_addr = line_addr;
+  req.is_write = false;
+  req.is_prefetch = is_prefetch;
+  req.dram = dram_.address_map().decode(line_addr);
+  req.enqueue_tick = now;
+  req.visible_tick = now + cfg_.overhead_ticks;
+  req.order = next_order_++;
+  read_q_.push_back(req);
+  ++pending_reads_[core];
+  ++occupied_;
+  return true;
+}
+
+bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
+  MEMSCHED_ASSERT(core < core_count_, "write from unknown core");
+  if (cfg_.combine_writes) {
+    for (Request& w : write_q_) {
+      if (w.line_addr == line_addr) {
+        ++stats_.write_merges;
+        return true;  // coalesced into the existing entry
+      }
+    }
+  }
+  if (!can_accept()) return false;
+  Request req;
+  req.id = next_id_++;
+  req.core = core;
+  req.line_addr = line_addr;
+  req.is_write = true;
+  req.dram = dram_.address_map().decode(line_addr);
+  req.enqueue_tick = now;
+  req.visible_tick = now + cfg_.overhead_ticks;
+  req.order = next_order_++;
+  write_q_.push_back(req);
+  ++pending_writes_[core];
+  ++occupied_;
+  update_drain_mode();
+  return true;
+}
+
+void MemoryController::update_drain_mode() {
+  const auto writes = static_cast<std::uint32_t>(write_q_.size());
+  if (!drain_mode_ && writes >= cfg_.drain_high) {
+    drain_mode_ = true;
+    ++stats_.drain_entries;
+  } else if (drain_mode_ && writes <= cfg_.drain_low) {
+    drain_mode_ = false;
+  }
+}
+
+RowState MemoryController::row_state_of(const Request& req) const {
+  const dram::Bank& bank = dram_.channel(req.dram.channel).bank(req.dram.bank);
+  if (!bank.row_open()) return RowState::kClosed;
+  return bank.open_row() == req.dram.row ? RowState::kHit : RowState::kConflict;
+}
+
+bool MemoryController::another_queued_hit(const Request& req) const {
+  // Close-page with lookahead (§4.1): keep the row open only when some other
+  // queued request will hit it; otherwise auto-precharge.
+  for (const Request& r : read_q_) {
+    if (r.id != req.id && r.dram.channel == req.dram.channel &&
+        r.dram.bank == req.dram.bank && r.dram.row == req.dram.row)
+      return true;
+  }
+  for (const Request& r : write_q_) {
+    if (r.id != req.id && r.dram.channel == req.dram.channel &&
+        r.dram.bank == req.dram.bank && r.dram.row == req.dram.row)
+      return true;
+  }
+  return false;
+}
+
+void MemoryController::record_read_done(const Request& req, Tick done) {
+  const auto latency_cpu =
+      static_cast<double>((done - req.enqueue_tick) * cfg_.cpu_ratio);
+  stats_.read_latency_cpu.add(latency_cpu);
+  stats_.read_latency_hist.add(latency_cpu);
+  stats_.core_read_latency_cpu[req.core].add(latency_cpu);
+}
+
+void MemoryController::advance_in_flight(std::uint32_t ch, Tick now) {
+  dram::Channel& channel = dram_.channel(ch);
+  const std::uint32_t banks = channel.bank_count();
+  // Rotate the starting bank so command-bus slots are not monopolised by
+  // low-numbered banks when several transactions are in flight.
+  const std::uint32_t start = static_cast<std::uint32_t>(now) % banks;
+  for (std::uint32_t i = 0; i < banks; ++i) {
+    const std::uint32_t b = (start + i) % banks;
+    InFlight& slot = slots_[slot_index(ch, b)];
+    if (!slot.valid) continue;
+    Request& req = slot.req;
+    switch (slot.phase) {
+      case Phase::kNeedPrecharge:
+        if (channel.can_precharge(b, now)) {
+          channel.issue_precharge(b, now);
+          slot.phase = Phase::kNeedActivate;
+          return;  // command bus consumed this tick
+        }
+        break;
+      case Phase::kNeedActivate:
+        if (channel.can_activate(b, now)) {
+          channel.issue_activate(b, req.dram.row, now);
+          slot.phase = Phase::kNeedCas;
+          return;
+        }
+        break;
+      case Phase::kNeedCas: {
+        const bool is_write = req.is_write;
+        if (is_write ? channel.can_write(b, now) : channel.can_read(b, now)) {
+          MEMSCHED_ASSERT(channel.bank(b).open_row() == req.dram.row,
+                          "CAS to wrong row");
+          const bool predictor_open =
+              cfg_.page_policy == PagePolicy::kAdaptive &&
+              open_predictor_[slot_index(ch, b)] >= 2;
+          const bool keep_open = cfg_.page_policy == PagePolicy::kOpenPage ||
+                                 predictor_open || another_queued_hit(req);
+          if (is_write) {
+            channel.issue_write(b, now, !keep_open);
+            MEMSCHED_ASSERT(pending_writes_[req.core] > 0, "write counter underflow");
+            --pending_writes_[req.core];
+            ++stats_.writes_served;
+            ++stats_.core_writes[req.core];
+          } else {
+            const Tick done = channel.issue_read(b, now, !keep_open);
+            MEMSCHED_ASSERT(pending_reads_[req.core] > 0, "read counter underflow");
+            --pending_reads_[req.core];
+            ++stats_.reads_served;
+            stats_.prefetch_reads += req.is_prefetch;
+            ++stats_.core_reads[req.core];
+            record_read_done(req, done);
+            auto it = std::upper_bound(
+                completions_.begin(), completions_.end(), done,
+                [](Tick t, const Completion& c) { return t < c.done; });
+            completions_.insert(it, Completion{done, req});
+          }
+          slot.valid = false;
+          MEMSCHED_ASSERT(inflight_count_ > 0 && occupied_ > 0, "slot accounting");
+          --inflight_count_;
+          --occupied_;
+          return;
+        }
+        break;
+      }
+    }
+  }
+}
+
+MemoryController::QueueView MemoryController::collect_eligible(
+    const std::vector<Request>& queue, bool is_write_queue, std::uint32_t ch,
+    Tick now, std::vector<Cand>& out, std::vector<std::uint64_t>& visible_orders) const {
+  QueueView view;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const Request& r = queue[i];
+    if (r.dram.channel != ch) continue;
+    if (r.visible_tick > now) continue;
+    view.any_visible = true;
+    visible_orders.push_back(r.order);
+    if (slots_[slot_index(ch, r.dram.bank)].valid) continue;
+    out.push_back(Cand{i, is_write_queue, row_state_of(r) == RowState::kHit});
+  }
+  return view;
+}
+
+void MemoryController::filter_window(std::uint32_t window,
+                                     std::vector<std::uint64_t>& visible_orders,
+                                     std::vector<Cand>& cands) const {
+  if (window == 0 || visible_orders.size() <= window) return;  // unbounded / fits
+  // Threshold = the window-th smallest arrival order among visible requests.
+  std::nth_element(visible_orders.begin(),
+                   visible_orders.begin() + (window - 1), visible_orders.end());
+  const std::uint64_t threshold = visible_orders[window - 1];
+  const bool hits_allowed = scheduler_.use_hit_first();
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const Cand& c = cands[i];
+    const Request& r = c.from_write_queue ? write_q_[c.queue_index]
+                                          : read_q_[c.queue_index];
+    if ((hits_allowed && c.row_hit) || r.order <= threshold) cands[keep++] = c;
+  }
+  cands.resize(keep);
+}
+
+std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
+  MEMSCHED_ASSERT(!cands_in.empty(), "pick on empty candidate set");
+  const auto req_of = [&](const Cand& c) -> const Request& {
+    return c.from_write_queue ? write_q_[c.queue_index] : read_q_[c.queue_index];
+  };
+  // Demand requests strictly outrank prefetches.
+  static thread_local std::vector<Cand> demand_only;
+  const std::vector<Cand>* cands_ptr = &cands_in;
+  bool any_demand = false, any_prefetch = false;
+  for (const Cand& c : cands_in) {
+    (req_of(c).is_prefetch ? any_prefetch : any_demand) = true;
+  }
+  if (any_demand && any_prefetch) {
+    demand_only.clear();
+    for (const Cand& c : cands_in) {
+      if (!req_of(c).is_prefetch) demand_only.push_back(c);
+    }
+    cands_ptr = &demand_only;
+  }
+  const std::vector<Cand>& cands = *cands_ptr;
+  const bool hit_first = scheduler_.use_hit_first();
+  const bool hit_above = hit_first && scheduler_.hit_first_above_core();
+
+  // Stage 1 (optional): restrict to row hits when any exist.
+  bool any_hit = false;
+  if (hit_above) {
+    for (const Cand& c : cands) any_hit |= c.row_hit;
+  }
+
+  // Stage 2: best core priority among (possibly restricted) candidates.
+  double best_prio = -std::numeric_limits<double>::infinity();
+  for (const Cand& c : cands) {
+    if (hit_above && any_hit && !c.row_hit) continue;
+    best_prio = std::max(best_prio, scheduler_.core_priority(req_of(c).core));
+  }
+
+  // Stage 3: resolve core ties. Random mode picks one core uniformly among
+  // the tied ones (§3.2); age mode lets arrival order decide below.
+  CoreId chosen_core = kInvalidCore;
+  if (scheduler_.random_core_tie_break()) {
+    // Gather distinct cores achieving best_prio (core_count_ is small).
+    std::uint64_t mask = 0;  // core_count_ <= 64 in all supported configs
+    std::uint32_t tied = 0;
+    for (const Cand& c : cands) {
+      if (hit_above && any_hit && !c.row_hit) continue;
+      const CoreId core = req_of(c).core;
+      if (scheduler_.core_priority(core) == best_prio && !(mask & (1ULL << core))) {
+        mask |= 1ULL << core;
+        ++tied;
+      }
+    }
+    if (tied > 1) {
+      std::uint64_t skip = rng_.below(tied);
+      for (CoreId core = 0; core < core_count_; ++core) {
+        if (mask & (1ULL << core)) {
+          if (skip == 0) {
+            chosen_core = core;
+            break;
+          }
+          --skip;
+        }
+      }
+    }
+  }
+
+  // Stage 4: among remaining candidates, (row hit, arrival order).
+  std::size_t best = kNpos;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const Cand& c = cands[i];
+    if (hit_above && any_hit && !c.row_hit) continue;
+    const Request& r = req_of(c);
+    if (scheduler_.core_priority(r.core) != best_prio) continue;
+    if (chosen_core != kInvalidCore && r.core != chosen_core) continue;
+    if (best == kNpos) {
+      best = i;
+      continue;
+    }
+    const Cand& bc = cands[best];
+    const Request& br = req_of(bc);
+    if (hit_first && c.row_hit != bc.row_hit) {
+      if (c.row_hit) best = i;
+      continue;
+    }
+    if (r.order < br.order) best = i;
+  }
+  MEMSCHED_ASSERT(best != kNpos, "no candidate selected");
+  return best;
+}
+
+void MemoryController::start_transaction(Request req, RowState state, Tick now) {
+  if (trace_sink_) trace_sink_(req, state, now);
+  std::uint8_t& predictor =
+      open_predictor_[slot_index(req.dram.channel, req.dram.bank)];
+  switch (state) {
+    case RowState::kHit:
+      ++stats_.row_hits;
+      if (predictor < 3) ++predictor;  // reward: leaving the row open paid off
+      break;
+    case RowState::kClosed:
+      ++stats_.row_closed;
+      break;
+    case RowState::kConflict:
+      ++stats_.row_conflicts;
+      if (predictor > 0) --predictor;  // penalty: the open row was wrong
+      break;
+  }
+  InFlight& slot = slots_[slot_index(req.dram.channel, req.dram.bank)];
+  MEMSCHED_ASSERT(!slot.valid, "double-booked bank slot");
+  slot.valid = true;
+  slot.phase = state == RowState::kHit      ? Phase::kNeedCas
+               : state == RowState::kClosed ? Phase::kNeedActivate
+                                            : Phase::kNeedPrecharge;
+  slot.req = req;
+  ++inflight_count_;
+  scheduler_.on_served(req);
+  ++stats_.sched_rounds;
+}
+
+void MemoryController::schedule_new(std::uint32_t ch, Tick now) {
+  scratch_cands_.clear();
+  scratch_orders_.clear();
+  const std::uint32_t window = scheduler_.sched_window();
+  if (!scheduler_.use_read_first()) {
+    // Naive FCFS: reads and writes compete purely by arrival order.
+    collect_eligible(read_q_, false, ch, now, scratch_cands_, scratch_orders_);
+    collect_eligible(write_q_, true, ch, now, scratch_cands_, scratch_orders_);
+    filter_window(window, scratch_orders_, scratch_cands_);
+  } else {
+    std::vector<Request>& primary = drain_mode_ ? write_q_ : read_q_;
+    std::vector<Request>& secondary = drain_mode_ ? read_q_ : write_q_;
+    const QueueView vp =
+        collect_eligible(primary, drain_mode_, ch, now, scratch_cands_, scratch_orders_);
+    filter_window(window, scratch_orders_, scratch_cands_);
+    if (scratch_cands_.empty()) {
+      // Under a bounded window, a fully blocked primary class stalls the
+      // channel rather than letting the secondary class jump ahead.
+      if (window != 0 && vp.any_visible) return;
+      scratch_orders_.clear();
+      collect_eligible(secondary, !drain_mode_, ch, now, scratch_cands_, scratch_orders_);
+      filter_window(window, scratch_orders_, scratch_cands_);
+    }
+  }
+  if (scratch_cands_.empty()) return;
+
+  const std::size_t winner = pick(scratch_cands_);
+  const Cand cand = scratch_cands_[winner];
+  std::vector<Request>& queue = cand.from_write_queue ? write_q_ : read_q_;
+  Request req = queue[cand.queue_index];
+  const RowState state = row_state_of(req);
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(cand.queue_index));
+  if (cand.from_write_queue) update_drain_mode();
+  start_transaction(req, state, now);
+}
+
+void MemoryController::deliver_completions(Tick now) {
+  while (!completions_.empty() && completions_.front().done <= now) {
+    const Completion c = completions_.front();
+    completions_.pop_front();
+    if (read_cb_) read_cb_(c.req, c.done);
+  }
+}
+
+void MemoryController::tick(Tick now) {
+  deliver_completions(now);
+
+  sched::QueueSnapshot snap;
+  snap.now = now;
+  snap.core_count = core_count_;
+  snap.pending_reads = pending_reads_.data();
+  snap.pending_writes = pending_writes_.data();
+  snap.drain_mode = drain_mode_;
+  scheduler_.prepare(snap);
+
+  for (std::uint32_t ch = 0; ch < dram_.channel_count(); ++ch) {
+    bool refresh_blocking = false;
+    if (!next_refresh_.empty() && now >= next_refresh_[ch]) {
+      dram::Channel& channel = dram_.channel(ch);
+      // Wait for in-flight transactions on this channel to drain, then
+      // refresh all banks at once.
+      bool inflight_on_channel = false;
+      for (std::uint32_t b = 0; b < channel.bank_count(); ++b) {
+        inflight_on_channel |= slots_[slot_index(ch, b)].valid;
+      }
+      if (!inflight_on_channel && channel.can_refresh(now)) {
+        channel.issue_refresh(now);
+        next_refresh_[ch] += dram_.timing().tREFI;
+      } else {
+        refresh_blocking = true;
+        if (!inflight_on_channel) {
+          // Close any row left open for a queued same-row request — that
+          // request cannot be scheduled while refresh is pending, so the
+          // open row would otherwise block the refresh forever.
+          for (std::uint32_t b = 0; b < channel.bank_count(); ++b) {
+            if (channel.bank(b).row_open() && channel.can_precharge(b, now)) {
+              channel.issue_precharge(b, now);
+              break;  // command bus consumed
+            }
+          }
+        }
+      }
+    }
+    advance_in_flight(ch, now);
+    if (!refresh_blocking) schedule_new(ch, now);
+  }
+}
+
+void MemoryController::reset_stats() {
+  stats_ = ControllerStats{};
+  stats_.core_read_latency_cpu.resize(core_count_);
+  stats_.core_reads.assign(core_count_, 0);
+  stats_.core_writes.assign(core_count_, 0);
+}
+
+bool MemoryController::idle() const {
+  return read_q_.empty() && write_q_.empty() && inflight_count_ == 0 &&
+         completions_.empty();
+}
+
+}  // namespace memsched::mc

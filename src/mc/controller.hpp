@@ -1,0 +1,210 @@
+// Memory controller engine.
+//
+// Reproduces the controller of the paper's §3.2/§4.1:
+//   * one shared M-entry request buffer (M = 64) holding a read queue and a
+//     write queue, with per-core outstanding-request counters (Figure 1);
+//   * read-bypass-write with write-drain hysteresis — when queued writes
+//     reach half the buffer, writes are served first until they fall below
+//     one quarter;
+//   * a pluggable sched::Scheduler ranks eligible requests each time a
+//     channel can start a new transaction;
+//   * close-page command engine with hit-first command issue: a column
+//     access uses auto-precharge unless another queued request targets the
+//     same row of the same bank, in which case the row is left open for it;
+//   * fixed controller pipeline overhead (15 ns) before a request becomes
+//     schedulable;
+//   * read-after-write forwarding from the write queue (served internally,
+//     no DRAM traffic) and write combining of duplicate lines.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "dram/dram_system.hpp"
+#include "mc/request.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace memsched::mc {
+
+/// Row-buffer management policy.
+enum class PagePolicy {
+  kClosePage,  ///< paper default: auto-precharge unless a queued request
+               ///< will hit the open row (close page with lookahead, §4.1)
+  kOpenPage,   ///< rows stay open until a conflicting request precharges them
+  kAdaptive,   ///< per-bank 2-bit predictor: recent row hits keep the row
+               ///< open, recent conflicts close it (history-based policy)
+};
+
+struct ControllerConfig {
+  std::uint32_t buffer_entries = 64;  ///< Table 1: 64-entry buffer
+  std::uint32_t overhead_ticks = 6;   ///< Table 1: 15 ns at the 400 MHz bus clock
+  std::uint32_t drain_high = 32;      ///< enter drain mode (half of buffer)
+  std::uint32_t drain_low = 16;       ///< leave drain mode (quarter of buffer)
+  std::uint32_t cpu_ratio = 8;        ///< CPU cycles per bus tick (3.2 GHz / 400 MHz)
+  bool forward_writes = true;         ///< read-after-write forwarding
+  bool combine_writes = true;         ///< merge duplicate write lines
+  PagePolicy page_policy = PagePolicy::kClosePage;
+};
+
+struct ControllerStats {
+  std::uint64_t reads_served = 0;   ///< reads that used DRAM
+  std::uint64_t writes_served = 0;
+  std::uint64_t prefetch_reads = 0; ///< prefetch reads that used DRAM
+  std::uint64_t read_forwards = 0;  ///< reads satisfied from the write queue
+  std::uint64_t write_merges = 0;
+  std::uint64_t row_hits = 0;       ///< transaction found its row open
+  std::uint64_t row_closed = 0;
+  std::uint64_t row_conflicts = 0;
+  std::uint64_t drain_entries = 0;
+  std::uint64_t sched_rounds = 0;   ///< scheduling decisions taken
+  util::RunningStat read_latency_cpu;  ///< enqueue -> last data beat, CPU cycles
+  /// Read-latency distribution (32-CPU-cycle buckets up to 8192 cycles).
+  util::Histogram read_latency_hist{32.0, 256};
+  std::vector<util::RunningStat> core_read_latency_cpu;  ///< per core
+  std::vector<std::uint64_t> core_reads;                 ///< DRAM reads per core
+  std::vector<std::uint64_t> core_writes;
+
+  [[nodiscard]] double row_hit_rate() const {
+    const auto total = row_hits + row_closed + row_conflicts;
+    return total ? static_cast<double>(row_hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class MemoryController {
+ public:
+  /// Invoked when a read's last data beat arrives (or a forward resolves).
+  using ReadCallback = std::function<void(const Request&, Tick done_tick)>;
+
+  /// Observer invoked whenever a transaction is scheduled onto a bank:
+  /// the request, its row-buffer outcome, and the decision tick. Used for
+  /// DRAM-level trace capture and scheduling diagnostics.
+  using TraceSink = std::function<void(const Request&, RowState, Tick)>;
+
+  MemoryController(dram::DramSystem& dram, sched::Scheduler& scheduler,
+                   const ControllerConfig& cfg, std::uint32_t core_count,
+                   std::uint64_t seed);
+
+  /// True if the buffer can take one more request.
+  [[nodiscard]] bool can_accept() const { return occupied_ < cfg_.buffer_entries; }
+
+  /// Enqueue a line read/write. Returns false (and changes nothing) when the
+  /// buffer is full — the caller (L2 MSHR) must retry later. Prefetch reads
+  /// travel the same path but rank strictly after demand reads.
+  bool enqueue_read(CoreId core, Addr line_addr, Tick now, bool is_prefetch = false);
+  bool enqueue_write(CoreId core, Addr line_addr, Tick now);
+
+  void set_read_callback(ReadCallback cb) { read_cb_ = std::move(cb); }
+  void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
+
+  /// Advance one bus cycle: progress in-flight transactions, start new ones
+  /// via the scheduler, deliver completions.
+  void tick(Tick now);
+
+  /// Drain state and queue occupancy (for tests and back-pressure probes).
+  [[nodiscard]] bool drain_mode() const { return drain_mode_; }
+  [[nodiscard]] std::uint32_t queued_reads() const { return static_cast<std::uint32_t>(read_q_.size()); }
+  [[nodiscard]] std::uint32_t queued_writes() const { return static_cast<std::uint32_t>(write_q_.size()); }
+  [[nodiscard]] std::uint32_t occupied() const { return occupied_; }
+  [[nodiscard]] std::uint32_t pending_reads(CoreId core) const { return pending_reads_[core]; }
+  [[nodiscard]] std::uint32_t pending_writes(CoreId core) const { return pending_writes_[core]; }
+  [[nodiscard]] bool idle() const;  ///< no queued or in-flight work
+
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+
+  /// Zero all statistics (queue/DRAM state untouched) — measurement begins
+  /// after warmup.
+  void reset_stats();
+  [[nodiscard]] dram::DramSystem& dram() { return dram_; }
+  [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+
+ private:
+  enum class Phase : std::uint8_t { kNeedPrecharge, kNeedActivate, kNeedCas };
+
+  struct InFlight {
+    bool valid = false;
+    Phase phase = Phase::kNeedCas;
+    Request req;
+  };
+
+  struct Completion {
+    Tick done = 0;
+    Request req;
+  };
+
+  [[nodiscard]] std::size_t slot_index(std::uint32_t channel, std::uint32_t bank) const {
+    return static_cast<std::size_t>(channel) * dram_.organization().banks_per_channel() + bank;
+  }
+
+  [[nodiscard]] RowState row_state_of(const Request& req) const;
+  [[nodiscard]] bool another_queued_hit(const Request& req) const;
+  void update_drain_mode();
+  void advance_in_flight(std::uint32_t ch, Tick now);
+  void schedule_new(std::uint32_t ch, Tick now);
+  void deliver_completions(Tick now);
+  void start_transaction(Request req, RowState state, Tick now);
+  void record_read_done(const Request& req, Tick done);
+
+  /// A scheduling candidate: a queued request eligible to start now.
+  struct Cand {
+    std::size_t queue_index;
+    bool from_write_queue;
+    bool row_hit;
+  };
+
+  /// Visibility summary of one queue on one channel, used by the bounded
+  /// scheduling-window discipline of the FCFS-family schemes.
+  struct QueueView {
+    bool any_visible = false;  ///< some request is past the overhead
+  };
+
+  /// Collect candidates eligible on channel `ch` from one queue; returns
+  /// the queue's visibility summary and appends every visible request's
+  /// arrival order to `visible_orders` (covering non-eligible ones too).
+  QueueView collect_eligible(const std::vector<Request>& queue, bool is_write_queue,
+                             std::uint32_t ch, Tick now, std::vector<Cand>& out,
+                             std::vector<std::uint64_t>& visible_orders) const;
+
+  /// Bounded-window discipline: drop candidates that are neither row hits
+  /// nor among the `window` oldest visible requests (per visible_orders).
+  void filter_window(std::uint32_t window, std::vector<std::uint64_t>& visible_orders,
+                     std::vector<Cand>& cands) const;
+
+  /// Pick the winning candidate per the scheduler's lexicographic key;
+  /// returns an index into `cands` (which must be non-empty).
+  std::size_t pick(const std::vector<Cand>& cands);
+
+  dram::DramSystem& dram_;
+  sched::Scheduler& scheduler_;
+  ControllerConfig cfg_;
+  std::uint32_t core_count_;
+  util::Xoshiro256 rng_;
+
+  std::vector<Request> read_q_;
+  std::vector<Request> write_q_;
+  std::vector<InFlight> slots_;  ///< one per (channel, bank)
+  std::deque<Completion> completions_;
+  std::vector<std::uint32_t> pending_reads_;
+  std::vector<std::uint32_t> pending_writes_;
+  std::vector<std::uint8_t> open_predictor_;  ///< per-bank 2-bit counters (adaptive)
+  std::vector<Tick> next_refresh_;  ///< per channel, if refresh enabled
+
+  std::uint32_t occupied_ = 0;  ///< queued + in-flight entries
+  std::uint32_t inflight_count_ = 0;
+  bool drain_mode_ = false;
+  RequestId next_id_ = 0;
+  std::uint64_t next_order_ = 0;
+  ReadCallback read_cb_;
+  TraceSink trace_sink_;
+  ControllerStats stats_;
+
+  // Scratch buffers reused every tick to avoid per-cycle allocation.
+  std::vector<Cand> scratch_cands_;
+  std::vector<std::uint64_t> scratch_orders_;
+};
+
+}  // namespace memsched::mc

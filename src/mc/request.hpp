@@ -1,0 +1,42 @@
+// Memory request type exchanged between the cache hierarchy, the memory
+// controller and the scheduling policies.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/address_map.hpp"
+#include "util/types.hpp"
+
+namespace memsched::mc {
+
+struct Request {
+  RequestId id = 0;
+  CoreId core = kInvalidCore;
+  Addr line_addr = 0;          ///< line-aligned physical address
+  bool is_write = false;
+  bool is_prefetch = false;    ///< prefetch read: served after demand reads
+  dram::DramAddress dram;      ///< decoded coordinates
+
+  Tick enqueue_tick = 0;       ///< when the controller accepted it
+  Tick visible_tick = 0;       ///< enqueue + controller overhead; schedulable from here
+  std::uint64_t order = 0;     ///< global arrival sequence number (for FCFS age)
+};
+
+/// Row-buffer relationship of a request to its bank's current state, as seen
+/// at scheduling time.
+enum class RowState {
+  kHit,      ///< bank open on the request's row — CAS only
+  kClosed,   ///< bank precharged — ACT + CAS
+  kConflict  ///< bank open on a different row — PRE + ACT + CAS
+};
+
+constexpr const char* row_state_name(RowState s) {
+  switch (s) {
+    case RowState::kHit: return "hit";
+    case RowState::kClosed: return "closed";
+    case RowState::kConflict: return "conflict";
+  }
+  return "?";
+}
+
+}  // namespace memsched::mc

@@ -1,0 +1,40 @@
+#include "sched/policies.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace memsched::sched {
+
+FixOrderScheduler::FixOrderScheduler(std::vector<CoreId> order)
+    : order_(std::move(order)) {
+  MEMSCHED_ASSERT(!order_.empty(), "FIX order must not be empty");
+  rank_.assign(order_.size(), 0.0);
+  std::vector<bool> seen(order_.size(), false);
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const CoreId c = order_[i];
+    MEMSCHED_ASSERT(c < order_.size() && !seen[c], "FIX order must be a permutation");
+    seen[c] = true;
+    rank_[c] = static_cast<double>(order_.size() - i);  // earlier = higher
+  }
+}
+
+std::string FixOrderScheduler::name() const {
+  std::string n = "FIX-";
+  for (const CoreId c : order_) n += static_cast<char>('0' + (c % 10));
+  return n;
+}
+
+SchedulerPtr FixOrderScheduler::descending(std::uint32_t core_count) {
+  std::vector<CoreId> order(core_count);
+  for (std::uint32_t i = 0; i < core_count; ++i) order[i] = core_count - 1 - i;
+  return std::make_unique<FixOrderScheduler>(std::move(order));
+}
+
+SchedulerPtr FixOrderScheduler::ascending(std::uint32_t core_count) {
+  std::vector<CoreId> order(core_count);
+  for (std::uint32_t i = 0; i < core_count; ++i) order[i] = i;
+  return std::make_unique<FixOrderScheduler>(std::move(order));
+}
+
+}  // namespace memsched::sched

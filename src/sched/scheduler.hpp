@@ -1,0 +1,115 @@
+// Scheduler policy interface.
+//
+// The memory controller (mc::MemoryController) owns the machinery — queues,
+// per-core counters, write-drain hysteresis, eligibility (is the target bank
+// free? has the controller-overhead pipeline delay elapsed?) and the DRAM
+// command engine. A Scheduler only *ranks*: given the per-core queue
+// snapshot it assigns each core a priority, and the controller serves, among
+// eligible requests, the one that wins the lexicographic key
+//
+//     ( read-vs-write per drain mode          — controller, §4.1
+//     , [row hit                               — iff hit_first_above_core()]
+//     , core priority                          — this interface
+//     , row hit                                — iff !hit_first_above_core()
+//     , arrival order                          — oldest first
+//     , random tie-break                       — §3.2 "a tie ... broken by a
+//                                                random selection" )
+//
+// Every scheme in the paper is one small subclass; see src/sched/policies.hpp
+// (baselines) and src/core (the paper's contribution).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mc/request.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace memsched::sched {
+
+/// Controller state a policy may consult when ranking cores. Counts cover
+/// *queued* requests only (in-flight transactions have left the queues,
+/// matching the paper's "pending request" counters in Figure 1).
+struct QueueSnapshot {
+  Tick now = 0;
+  std::uint32_t core_count = 0;
+  const std::uint32_t* pending_reads = nullptr;   ///< per core, size core_count
+  const std::uint32_t* pending_writes = nullptr;  ///< per core, size core_count
+  bool drain_mode = false;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Stable identifier used in reports (e.g. "ME-LREQ").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once per scheduling round before core_priority() queries.
+  virtual void prepare(const QueueSnapshot& snap) { (void)snap; }
+
+  /// Rank of `core`'s requests this round; higher wins. Must be a pure
+  /// function of prepare()'s snapshot (the controller may call it multiple
+  /// times per round).
+  [[nodiscard]] virtual double core_priority(CoreId core) const = 0;
+
+  /// If true (default), a row-buffer hit beats core priority — the §4.1
+  /// command-engine behaviour shared by every scheme ("memory commands are
+  /// issued according to the hit-first policy"), which preserves the row
+  /// locality that close-page systems depend on; thread priority then
+  /// differentiates among the expensive row misses. If false, core priority
+  /// dominates outright (the literal Figure-1 reading: pick the thread,
+  /// then its first request) — selectable for the ablation study.
+  [[nodiscard]] virtual bool hit_first_above_core() const { return true; }
+
+  /// Disable the row-hit key entirely (naive FCFS).
+  [[nodiscard]] virtual bool use_hit_first() const { return true; }
+
+  /// If false the controller mixes reads and writes in one arrival order
+  /// instead of read-bypass-write (naive FCFS; everything else keeps §4.1
+  /// read-first behaviour).
+  [[nodiscard]] virtual bool use_read_first() const { return true; }
+
+  /// Scheduling-window depth for row misses: the scheme may only choose
+  /// among the `window` oldest visible requests of a channel (row hits are
+  /// always fair game — the engine's hit-first rule). 0 means unbounded.
+  ///
+  /// This models how far a conventional arrival-ordered scheduler looks
+  /// past a blocked head-of-queue request. The paper's naive FCFS (§2,
+  /// "serves memory requests according to their arriving order") is
+  /// window = 1 (full head-of-line blocking); its HF-RF baseline uses a
+  /// small window; the thread-aware schemes are unbounded by construction —
+  /// the Figure-1 hardware indexes requests *per thread*, so a blocked
+  /// thread never hides another thread's ready request. The gap between
+  /// windowed and unbounded scheduling is precisely the bank-level
+  /// parallelism the paper's schemes recover (cf. Rixner et al. [14]).
+  [[nodiscard]] virtual std::uint32_t sched_window() const { return 0; }
+
+  /// How equal core priorities are resolved. Thread-aware schemes follow
+  /// §3.2 ("a tie of equal priority may be broken by a random selection");
+  /// pure request-order schemes (FCFS, HF-RF) fall through to arrival age.
+  [[nodiscard]] virtual bool random_core_tie_break() const { return false; }
+
+  /// Notification that `req` was chosen (round-robin advances its token).
+  virtual void on_served(const mc::Request& req) { (void)req; }
+
+  /// Periodic runtime-profiling feed from the simulation kernel: committed
+  /// instructions and DRAM bytes transferred by `core` since the previous
+  /// epoch. Ignored by all paper schemes (they use off-line profiles); the
+  /// online-ME extension (paper §7 future work) estimates ME from it.
+  virtual void on_epoch(CoreId core, double committed_insts, double dram_bytes) {
+    (void)core;
+    (void)committed_insts;
+    (void)dram_bytes;
+  }
+
+  /// Reset any internal state between runs.
+  virtual void reset() {}
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+}  // namespace memsched::sched

@@ -1,0 +1,121 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+
+#include "core/scheduler_factory.hpp"
+#include "sched/policies.hpp"
+#include "util/assert.hpp"
+
+namespace memsched::sim {
+
+Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {}
+
+SystemConfig Experiment::config_for(std::uint32_t cores) const {
+  SystemConfig sc = cfg_.base;
+  sc.cores = cores;
+  return sc;
+}
+
+const core::MeProfile& Experiment::profile(const std::string& app_name) {
+  std::lock_guard lock(mu_);
+  if (const auto it = profiles_.find(app_name); it != profiles_.end())
+    return it->second;
+
+  const trace::AppProfile& app = trace::spec2000_by_name(app_name);
+  sched::HitFirstReadFirstScheduler sched;
+  MultiCoreSystem sys(config_for(1), {app}, sched, cfg_.profile_seed);
+  const RunResult r = sys.run(cfg_.profile_insts, cfg_.warmup_insts, cfg_.max_ticks);
+  MEMSCHED_ASSERT(!r.hit_tick_limit, "profiling run hit the tick limit");
+  auto [it, _] = profiles_.emplace(
+      app_name,
+      core::MeProfile::from_measurement(app_name, r.cores[0].ipc, r.bandwidth_gbs));
+  return it->second;
+}
+
+double Experiment::single_ipc(const std::string& app_name, std::uint64_t seed) {
+  std::lock_guard lock(mu_);
+  const auto key = std::make_pair(app_name, seed);
+  if (const auto it = single_ipc_.find(key); it != single_ipc_.end())
+    return it->second;
+
+  const trace::AppProfile& app = trace::spec2000_by_name(app_name);
+  sched::HitFirstReadFirstScheduler sched;
+  MultiCoreSystem sys(config_for(1), {app}, sched, seed);
+  const RunResult r = sys.run(cfg_.eval_insts, cfg_.warmup_insts, cfg_.max_ticks);
+  MEMSCHED_ASSERT(!r.hit_tick_limit, "single-core reference hit the tick limit");
+  single_ipc_[key] = r.cores[0].ipc;
+  return single_ipc_[key];
+}
+
+core::MeTable Experiment::me_table_for(const Workload& w) {
+  std::vector<double> me;
+  me.reserve(w.cores());
+  for (const trace::AppProfile& app : w.apps())
+    me.push_back(profile(app.name).memory_efficiency);
+  return core::MeTable(std::move(me));
+}
+
+WorkloadRun Experiment::run(const Workload& w, const std::string& scheme_name) {
+  const auto apps = w.apps();
+  const std::uint32_t n = w.cores();
+  const std::uint32_t repeats = std::max(1u, cfg_.eval_repeats);
+
+  core::SchedulerArgs args;
+  args.core_count = n;
+  args.me = me_table_for(w);
+  args.cpu_hz = cfg_.base.cpu_hz();
+  args.table_bits = cfg_.table_bits;
+  args.epoch_cpu_cycles =
+      static_cast<double>(cfg_.base.epoch_ticks) * cfg_.base.cpu_ratio;
+  args.ipc_single.reserve(n);
+  for (const trace::AppProfile& app : apps)
+    args.ipc_single.push_back(single_ipc(app.name, cfg_.eval_seed));
+
+  WorkloadRun out;
+  out.workload = w.name;
+  out.ipc_multi.assign(n, 0.0);
+  out.ipc_single.assign(n, 0.0);
+  out.core_read_latency_cpu.assign(n, 0.0);
+
+  for (std::uint32_t rep = 0; rep < repeats; ++rep) {
+    const std::uint64_t seed = cfg_.eval_seed + rep * 0x9e3779b9ULL;
+    // A fresh scheduler per slice: stateful schemes (RR token, online ME)
+    // must not carry state across independent slices.
+    sched::SchedulerPtr scheduler = core::make_scheduler(scheme_name, args);
+    out.scheme = scheduler->name();
+
+    MultiCoreSystem sys(config_for(n), apps, *scheduler, seed);
+    RunResult r = sys.run(cfg_.eval_insts, cfg_.warmup_insts, cfg_.max_ticks);
+    MEMSCHED_ASSERT(!r.hit_tick_limit, "evaluation run hit the tick limit");
+
+    std::vector<double> ipc_multi(n), ipc_single(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      ipc_multi[c] = r.cores[c].ipc;
+      ipc_single[c] = single_ipc(apps[c].name, seed);
+      out.ipc_multi[c] += ipc_multi[c];
+      out.ipc_single[c] += ipc_single[c];
+      out.core_read_latency_cpu[c] += r.cores[c].avg_read_latency_cpu;
+    }
+    out.smt_speedup += smt_speedup(ipc_multi, ipc_single);
+    out.unfairness += unfairness(ipc_multi, ipc_single);
+    out.avg_read_latency_cpu += r.avg_read_latency_cpu;
+    out.row_hit_rate += r.row_hit_rate;
+    out.bus_utilization += r.data_bus_utilization;
+    if (rep + 1 == repeats) out.raw = std::move(r);
+  }
+
+  const double inv = 1.0 / repeats;
+  out.smt_speedup *= inv;
+  out.unfairness *= inv;
+  out.avg_read_latency_cpu *= inv;
+  out.row_hit_rate *= inv;
+  out.bus_utilization *= inv;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    out.ipc_multi[c] *= inv;
+    out.ipc_single[c] *= inv;
+    out.core_read_latency_cpu[c] *= inv;
+  }
+  return out;
+}
+
+}  // namespace memsched::sim

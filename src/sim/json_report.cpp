@@ -1,0 +1,104 @@
+#include "sim/json_report.hpp"
+
+namespace memsched::sim {
+
+namespace {
+
+util::Json vec_to_json(const std::vector<double>& xs) {
+  util::Json a = util::Json::array();
+  for (const double x : xs) a.push_back(x);
+  return a;
+}
+
+}  // namespace
+
+util::Json to_json(const RunResult& r) {
+  util::Json j = util::Json::object();
+  j["ticks"] = r.ticks;
+  j["hit_tick_limit"] = r.hit_tick_limit;
+  j["avg_read_latency_cpu"] = r.avg_read_latency_cpu;
+  j["row_hit_rate"] = r.row_hit_rate;
+  j["data_bus_utilization"] = r.data_bus_utilization;
+  j["bandwidth_gbs"] = r.bandwidth_gbs;
+  j["dram_power_watts"] = r.dram_power_watts;
+
+  util::Json energy = util::Json::object();
+  energy["activate_j"] = r.dram_energy.activate;
+  energy["read_j"] = r.dram_energy.read;
+  energy["write_j"] = r.dram_energy.write;
+  energy["refresh_j"] = r.dram_energy.refresh;
+  energy["background_j"] = r.dram_energy.background;
+  energy["total_j"] = r.dram_energy.total();
+  j["dram_energy"] = std::move(energy);
+
+  util::Json mc = util::Json::object();
+  mc["reads_served"] = r.controller_stats.reads_served;
+  mc["writes_served"] = r.controller_stats.writes_served;
+  mc["read_forwards"] = r.controller_stats.read_forwards;
+  mc["write_merges"] = r.controller_stats.write_merges;
+  mc["row_hits"] = r.controller_stats.row_hits;
+  mc["row_closed"] = r.controller_stats.row_closed;
+  mc["row_conflicts"] = r.controller_stats.row_conflicts;
+  mc["drain_entries"] = r.controller_stats.drain_entries;
+  j["controller"] = std::move(mc);
+
+  util::Json cores = util::Json::array();
+  for (const CoreResult& c : r.cores) {
+    util::Json cj = util::Json::object();
+    cj["committed"] = c.committed;
+    cj["ipc"] = c.ipc;
+    cj["avg_read_latency_cpu"] = c.avg_read_latency_cpu;
+    cj["dram_reads"] = c.dram_reads;
+    cj["dram_writes"] = c.dram_writes;
+    cj["stall_rob"] = c.core_stats.stall_rob;
+    cj["stall_dep"] = c.core_stats.stall_dep;
+    cj["stall_mshr"] = c.core_stats.stall_mshr;
+    cores.push_back(std::move(cj));
+  }
+  j["cores"] = std::move(cores);
+  return j;
+}
+
+util::Json to_json(const WorkloadRun& run) {
+  util::Json j = util::Json::object();
+  j["workload"] = run.workload;
+  j["scheme"] = run.scheme;
+  j["smt_speedup"] = run.smt_speedup;
+  j["unfairness"] = run.unfairness;
+  j["avg_read_latency_cpu"] = run.avg_read_latency_cpu;
+  j["row_hit_rate"] = run.row_hit_rate;
+  j["bus_utilization"] = run.bus_utilization;
+  j["ipc_multi"] = vec_to_json(run.ipc_multi);
+  j["ipc_single"] = vec_to_json(run.ipc_single);
+  j["core_read_latency_cpu"] = vec_to_json(run.core_read_latency_cpu);
+  j["last_slice"] = to_json(run.raw);
+  return j;
+}
+
+util::Json to_json(const SystemConfig& config) {
+  util::Json j = util::Json::object();
+  j["cores"] = config.cores;
+  j["cpu_ghz"] = config.cpu_ghz;
+  j["cpu_ratio"] = config.cpu_ratio;
+  j["channels"] = config.org.channels;
+  j["banks_per_channel"] = config.org.banks_per_channel();
+  j["interleave"] = dram::AddressMap::scheme_name(config.interleave);
+  j["bank_xor"] = config.bank_xor;
+  j["buffer_entries"] = config.controller.buffer_entries;
+  j["drain_high"] = config.controller.drain_high;
+  j["drain_low"] = config.controller.drain_low;
+  switch (config.controller.page_policy) {
+    case mc::PagePolicy::kClosePage: j["page_policy"] = "close"; break;
+    case mc::PagePolicy::kOpenPage: j["page_policy"] = "open"; break;
+    case mc::PagePolicy::kAdaptive: j["page_policy"] = "adaptive"; break;
+  }
+  j["tCL"] = config.timing.tCL;
+  j["tRCD"] = config.timing.tRCD;
+  j["tRP"] = config.timing.tRP;
+  j["refresh_enabled"] = config.timing.refresh_enabled;
+  j["l2_bytes"] = config.hierarchy.l2.size_bytes;
+  j["warm_caches"] = config.warm_caches;
+  return j;
+}
+
+}  // namespace memsched::sim

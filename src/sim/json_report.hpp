@@ -1,0 +1,22 @@
+// JSON serialization of experiment results — machine-readable records of
+// everything a run measured, for downstream analysis/plotting.
+#pragma once
+
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "util/json.hpp"
+
+namespace memsched::sim {
+
+/// Full detail of one simulation run (per-core results, controller stats,
+/// DRAM energy).
+util::Json to_json(const RunResult& result);
+
+/// One workload x scheme evaluation (metrics + per-core vectors + the last
+/// slice's raw run).
+util::Json to_json(const WorkloadRun& run);
+
+/// The effective system configuration (the bench-header facts, structured).
+util::Json to_json(const SystemConfig& config);
+
+}  // namespace memsched::sim

@@ -1,0 +1,39 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace memsched::sim {
+
+double smt_speedup(const std::vector<double>& ipc_multi,
+                   const std::vector<double>& ipc_single) {
+  MEMSCHED_ASSERT(ipc_multi.size() == ipc_single.size(), "metric size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < ipc_multi.size(); ++i) {
+    MEMSCHED_ASSERT(ipc_single[i] > 0.0, "zero single-core IPC");
+    s += ipc_multi[i] / ipc_single[i];
+  }
+  return s;
+}
+
+std::vector<double> slowdowns(const std::vector<double>& ipc_multi,
+                              const std::vector<double>& ipc_single) {
+  MEMSCHED_ASSERT(ipc_multi.size() == ipc_single.size(), "metric size mismatch");
+  std::vector<double> out(ipc_multi.size());
+  for (std::size_t i = 0; i < ipc_multi.size(); ++i) {
+    MEMSCHED_ASSERT(ipc_multi[i] > 0.0, "zero multi-core IPC");
+    out[i] = ipc_single[i] / ipc_multi[i];
+  }
+  return out;
+}
+
+double unfairness(const std::vector<double>& ipc_multi,
+                  const std::vector<double>& ipc_single) {
+  const auto sd = slowdowns(ipc_multi, ipc_single);
+  const auto [mn, mx] = std::minmax_element(sd.begin(), sd.end());
+  MEMSCHED_ASSERT(*mn > 0.0, "non-positive slowdown");
+  return *mx / *mn;
+}
+
+}  // namespace memsched::sim

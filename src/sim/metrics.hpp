@@ -1,0 +1,24 @@
+// Evaluation metrics (paper §4.1 and §5.3).
+#pragma once
+
+#include <vector>
+
+namespace memsched::sim {
+
+/// SMT speedup [Snavely et al.]: sum over cores of
+/// IPC_multi[i] / IPC_single[i], where IPC_single is the same application on
+/// the single-core system with the same evaluation slice. Guards against
+/// policies that simply starve everyone but the highest-ILP program.
+double smt_speedup(const std::vector<double>& ipc_multi,
+                   const std::vector<double>& ipc_single);
+
+/// Per-core slowdown: IPC_single[i] / IPC_multi[i] (>= 1 under contention).
+std::vector<double> slowdowns(const std::vector<double>& ipc_multi,
+                              const std::vector<double>& ipc_single);
+
+/// Unfairness [Gabor et al., Mutlu & Moscibroda]: max slowdown / min
+/// slowdown among the concurrent applications. 1.0 is perfectly fair.
+double unfairness(const std::vector<double>& ipc_multi,
+                  const std::vector<double>& ipc_single);
+
+}  // namespace memsched::sim

@@ -1,0 +1,50 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memsched::sim {
+
+unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const unsigned count = static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  pool.reserve(count);
+  for (unsigned t = 0; t < count; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace memsched::sim

@@ -1,0 +1,24 @@
+// Thread-parallel job runner for the benchmark harnesses.
+//
+// Each simulation run is strictly single-threaded (cycle-level simulators
+// carry far too much shared state per cycle to parallelise internally), but
+// independent (workload, scheme) runs parallelise perfectly. This is a
+// minimal work-stealing-free pool: an atomic index hands out job numbers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace memsched::sim {
+
+/// Number of worker threads to use by default (hardware concurrency,
+/// at least 1).
+unsigned default_thread_count();
+
+/// Invokes fn(0) .. fn(n-1) across `threads` workers. fn must be safe to
+/// call concurrently for distinct indices. Exceptions from fn propagate
+/// (first one wins) after all workers have stopped.
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace memsched::sim

@@ -1,0 +1,197 @@
+#include "sim/system.hpp"
+
+#include <stdexcept>
+
+#include "trace/generator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace memsched::sim {
+
+MultiCoreSystem::MultiCoreSystem(const SystemConfig& config,
+                                 const std::vector<trace::AppProfile>& apps,
+                                 sched::Scheduler& scheduler, std::uint64_t seed)
+    : config_(config) {
+  MEMSCHED_ASSERT(apps.size() == config.cores, "one application per core required");
+  if (const auto err = config.validate(); !err.empty())
+    throw std::invalid_argument("invalid SystemConfig: " + err);
+
+  util::Xoshiro256 seeder(seed);
+  std::vector<double> dispatch;
+  dispatch.reserve(apps.size());
+  for (std::uint32_t c = 0; c < config.cores; ++c) {
+    const trace::AppProfile& app = apps[c];
+    const std::uint64_t region_need =
+        app.footprint_bytes + app.hot_bytes + app.code_bytes;
+    MEMSCHED_ASSERT(region_need <= config.region_bytes_per_core,
+                    "application footprint exceeds per-core region");
+    const Addr base = static_cast<Addr>(c) * config.region_bytes_per_core;
+    streams_.push_back(
+        std::make_unique<trace::SyntheticStream>(app, base, seeder.fork(c).next()));
+    dispatch.push_back(app.ilp_ipc);
+  }
+  wire(scheduler, dispatch, seed);
+
+  if (config.warm_caches) {
+    std::vector<cache::WarmSpec> specs;
+    specs.reserve(apps.size());
+    for (std::uint32_t c = 0; c < config.cores; ++c) {
+      const trace::AppProfile& app = apps[c];
+      const Addr base = static_cast<Addr>(c) * config.region_bytes_per_core;
+      cache::WarmSpec ws;
+      ws.footprint_base = base;
+      ws.footprint_bytes = app.footprint_bytes;
+      ws.dirty_share = app.dirty_fresh_share;
+      ws.hot_base = base + app.footprint_bytes;
+      ws.hot_bytes = app.hot_bytes;
+      ws.hot_dirty_share = app.store_share;
+      ws.code_base = ws.hot_base + app.hot_bytes;
+      ws.code_bytes = app.code_bytes;
+      specs.push_back(ws);
+    }
+    hierarchy_->warm(specs, seed);
+  }
+}
+
+MultiCoreSystem::MultiCoreSystem(const SystemConfig& config,
+                                 std::vector<std::unique_ptr<trace::InstStream>> streams,
+                                 const std::vector<double>& dispatch_ipc,
+                                 sched::Scheduler& scheduler, std::uint64_t seed)
+    : config_(config), streams_(std::move(streams)) {
+  MEMSCHED_ASSERT(streams_.size() == config.cores, "one stream per core required");
+  MEMSCHED_ASSERT(dispatch_ipc.size() == config.cores, "one dispatch rate per core");
+  if (const auto err = config.validate(); !err.empty())
+    throw std::invalid_argument("invalid SystemConfig: " + err);
+  wire(scheduler, dispatch_ipc, seed);
+}
+
+void MultiCoreSystem::wire(sched::Scheduler& scheduler,
+                           const std::vector<double>& dispatch_ipc, std::uint64_t seed) {
+  scheduler_ = &scheduler;
+  dram_ = std::make_unique<dram::DramSystem>(config_.timing, config_.org,
+                                             config_.interleave, config_.bank_xor);
+  controller_ = std::make_unique<mc::MemoryController>(
+      *dram_, scheduler, config_.controller, config_.cores, seed ^ 0xc011ec70ULL);
+  hierarchy_ = std::make_unique<cache::CacheHierarchy>(config_.hierarchy, config_.cores,
+                                                       *controller_);
+  for (std::uint32_t c = 0; c < config_.cores; ++c) {
+    cores_.push_back(std::make_unique<cpu::CoreModel>(c, config_.core, dispatch_ipc[c],
+                                                      *streams_[c], *hierarchy_));
+  }
+  hierarchy_->set_fill_callback([this](std::uint64_t token, CpuCycle done_cpu) {
+    const CoreId core = cpu::CoreModel::token_core(token);
+    MEMSCHED_ASSERT(core < cores_.size(), "fill token for unknown core");
+    cores_[core]->on_fill(token, done_cpu);
+  });
+}
+
+RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_insts,
+                               Tick max_ticks) {
+  MEMSCHED_ASSERT(target_insts > 0, "target instruction count must be positive");
+  const std::uint32_t n = config_.cores;
+
+  std::vector<std::uint64_t> goal(n, 0);     ///< committed count that ends the phase
+  std::vector<CpuCycle> base_cycle(n, 0);    ///< measurement start per core
+  std::vector<CpuCycle> finish_cycle(n, 0);
+  std::vector<bool> done(n, false);
+  std::uint32_t done_count = 0;
+
+  // Per-core counters at the previous epoch boundary, for on_epoch.
+  std::vector<std::uint64_t> epoch_insts(n, 0);
+  std::vector<std::uint64_t> epoch_bytes(n, 0);
+  Tick next_epoch = config_.epoch_ticks;
+
+  bool measuring = warmup_insts == 0;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    goal[c] = cores_[c]->committed() + (measuring ? target_insts : warmup_insts);
+  }
+
+  auto begin_measurement = [&] {
+    measuring = true;
+    controller_->reset_stats();
+    hierarchy_->reset_stats();
+    for (std::uint32_t c = 0; c < n; ++c) {
+      cores_[c]->reset_stats();
+      base_cycle[c] = cores_[c]->cycle();
+      goal[c] = cores_[c]->committed() + target_insts;
+      done[c] = false;
+    }
+    done_count = 0;
+  };
+
+  Tick t = 0;
+  Tick t_measure_start = 0;
+  for (; t < max_ticks; ++t) {
+    hierarchy_->tick(t);
+    controller_->tick(t);
+    const CpuCycle window_end = (t + 1) * config_.cpu_ratio;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      cores_[c]->step_to(window_end);
+      if (!done[c] && cores_[c]->committed() >= goal[c]) {
+        done[c] = true;
+        finish_cycle[c] = cores_[c]->cycle();
+        ++done_count;
+      }
+    }
+    if (t >= next_epoch) {
+      next_epoch += config_.epoch_ticks;
+      const auto& cs = controller_->stats();
+      for (std::uint32_t c = 0; c < n; ++c) {
+        const std::uint64_t insts = cores_[c]->committed();
+        const std::uint64_t bytes = (cs.core_reads[c] + cs.core_writes[c]) * kLineBytes;
+        scheduler_->on_epoch(c, static_cast<double>(insts - epoch_insts[c]),
+                             static_cast<double>(bytes - epoch_bytes[c]));
+        epoch_insts[c] = insts;
+        epoch_bytes[c] = bytes;
+      }
+    }
+    if (done_count == n) {
+      if (measuring) {
+        ++t;
+        break;
+      }
+      begin_measurement();
+      t_measure_start = t + 1;
+      // Epoch traffic counters restart with the stats reset.
+      for (std::uint32_t c = 0; c < n; ++c) {
+        epoch_insts[c] = cores_[c]->committed();
+        epoch_bytes[c] = 0;
+      }
+    }
+  }
+
+  RunResult result;
+  result.ticks = t;
+  result.hit_tick_limit = done_count < n || !measuring;
+  result.controller_stats = controller_->stats();
+  result.avg_read_latency_cpu = result.controller_stats.read_latency_cpu.mean();
+  result.row_hit_rate = result.controller_stats.row_hit_rate();
+  result.data_bus_utilization = dram_->data_bus_utilization(t);
+
+  std::uint64_t total_bytes = 0;
+  result.cores.resize(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    CoreResult& cr = result.cores[c];
+    cr.committed = cores_[c]->committed();
+    const CpuCycle end_cycle = done[c] && measuring ? finish_cycle[c] : cores_[c]->cycle();
+    const CpuCycle cycles = end_cycle > base_cycle[c] ? end_cycle - base_cycle[c] : 1;
+    cr.finish_cycle = end_cycle;
+    cr.ipc = static_cast<double>(target_insts) / static_cast<double>(cycles);
+    cr.avg_read_latency_cpu = result.controller_stats.core_read_latency_cpu[c].mean();
+    cr.dram_reads = result.controller_stats.core_reads[c];
+    cr.dram_writes = result.controller_stats.core_writes[c];
+    cr.core_stats = cores_[c]->stats();
+    total_bytes += (cr.dram_reads + cr.dram_writes) * kLineBytes;
+  }
+  const Tick measure_ticks = t > t_measure_start ? t - t_measure_start : 1;
+  const double seconds = static_cast<double>(measure_ticks) / config_.bus_hz();
+  result.bandwidth_gbs = static_cast<double>(total_bytes) / seconds / 1e9;
+
+  const dram::PowerModel power(config_.power, config_.timing, config_.bus_hz());
+  result.dram_energy = power.energy_of(*dram_, t);
+  result.dram_power_watts =
+      result.dram_energy.average_power(static_cast<double>(t) / config_.bus_hz());
+  return result;
+}
+
+}  // namespace memsched::sim

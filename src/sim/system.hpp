@@ -1,0 +1,99 @@
+// MultiCoreSystem: assembles cores + caches + controller + DRAM and runs the
+// paper's measurement protocol.
+//
+// Protocol (§4.1): the run stops when the *last* core commits the target
+// instruction count; cores that finish earlier keep executing (keep
+// generating memory traffic) but their statistics are frozen at the target.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "cpu/core_model.hpp"
+#include "dram/dram_system.hpp"
+#include "mc/controller.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/system_config.hpp"
+#include "trace/app_profile.hpp"
+#include "trace/inst_stream.hpp"
+
+namespace memsched::sim {
+
+struct CoreResult {
+  std::uint64_t committed = 0;     ///< at run end (>= target)
+  CpuCycle finish_cycle = 0;       ///< CPU cycle the target was reached
+  double ipc = 0.0;                ///< target / finish_cycle
+  double avg_read_latency_cpu = 0.0;  ///< controller-level, CPU cycles
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  cpu::CoreRunStats core_stats{};
+};
+
+struct RunResult {
+  std::vector<CoreResult> cores;
+  Tick ticks = 0;                    ///< bus cycles simulated
+  double avg_read_latency_cpu = 0.0; ///< all cores
+  double row_hit_rate = 0.0;
+  double data_bus_utilization = 0.0;
+  double bandwidth_gbs = 0.0;        ///< DRAM traffic over the whole run
+  bool hit_tick_limit = false;
+  mc::ControllerStats controller_stats{};  ///< full snapshot
+
+  /// DRAM energy over the entire simulation (warmup included — device
+  /// counters are cumulative) and the corresponding average power.
+  dram::EnergyBreakdown dram_energy{};
+  double dram_power_watts = 0.0;
+
+  [[nodiscard]] double total_ipc() const {
+    double s = 0.0;
+    for (const auto& c : cores) s += c.ipc;
+    return s;
+  }
+};
+
+class MultiCoreSystem {
+ public:
+  /// Builds a system running the given synthetic applications (one per
+  /// core, apps.size() == config.cores).
+  MultiCoreSystem(const SystemConfig& config, const std::vector<trace::AppProfile>& apps,
+                  sched::Scheduler& scheduler, std::uint64_t seed);
+
+  /// Builds a system over caller-supplied instruction streams (trace replay,
+  /// custom generators). `dispatch_ipc[i]` is core i's inherent issue rate.
+  MultiCoreSystem(const SystemConfig& config,
+                  std::vector<std::unique_ptr<trace::InstStream>> streams,
+                  const std::vector<double>& dispatch_ipc, sched::Scheduler& scheduler,
+                  std::uint64_t seed);
+
+  /// Runs the paper's measurement protocol:
+  ///   1. warmup — every core commits `warmup_insts` (queues/MSHRs/LRU and
+  ///      the pre-warmed caches settle); all statistics are then reset;
+  ///   2. measurement — until every core commits `target_insts` more; a
+  ///      core's IPC is measured over exactly its target instructions, and
+  ///      early finishers keep running (§4.1).
+  /// `max_ticks` bounds the total run (RunResult::hit_tick_limit reports it).
+  RunResult run(std::uint64_t target_insts, std::uint64_t warmup_insts = 20'000,
+                Tick max_ticks = ~Tick{0} >> 1);
+
+  [[nodiscard]] const mc::MemoryController& controller() const { return *controller_; }
+  [[nodiscard]] const cache::CacheHierarchy& hierarchy() const { return *hierarchy_; }
+  [[nodiscard]] const dram::DramSystem& dram() const { return *dram_; }
+  [[nodiscard]] const cpu::CoreModel& core(CoreId i) const { return *cores_[i]; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  void wire(sched::Scheduler& scheduler, const std::vector<double>& dispatch_ipc,
+            std::uint64_t seed);
+
+  SystemConfig config_;
+  std::vector<std::unique_ptr<trace::InstStream>> streams_;
+  std::unique_ptr<dram::DramSystem> dram_;
+  std::unique_ptr<mc::MemoryController> controller_;
+  std::unique_ptr<cache::CacheHierarchy> hierarchy_;
+  std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
+  sched::Scheduler* scheduler_ = nullptr;
+};
+
+}  // namespace memsched::sim

@@ -1,0 +1,26 @@
+#include "sim/system_config.hpp"
+
+namespace memsched::sim {
+
+void SystemConfig::apply_speed_grade(const dram::SpeedGrade& grade) {
+  timing = grade.timing;
+  cpu_ratio = grade.cpu_ratio;
+  hierarchy.cpu_ratio = grade.cpu_ratio;
+  controller.cpu_ratio = grade.cpu_ratio;
+  controller.overhead_ticks = grade.overhead_ticks;
+}
+
+std::string SystemConfig::validate() const {
+  if (cores == 0 || cores > 64) return "core count must be in [1, 64]";
+  if (cpu_ratio == 0) return "cpu_ratio must be nonzero";
+  if (auto err = timing.validate(); !err.empty()) return err;
+  if (auto err = org.validate(); !err.empty()) return err;
+  if (static_cast<std::uint64_t>(cores) * region_bytes_per_core > org.capacity_bytes)
+    return "per-core regions exceed DRAM capacity";
+  if (hierarchy.cpu_ratio != cpu_ratio || controller.cpu_ratio != cpu_ratio)
+    return "cpu_ratio mismatch between hierarchy/controller and system";
+  if (epoch_ticks == 0) return "epoch_ticks must be nonzero";
+  return {};
+}
+
+}  // namespace memsched::sim

@@ -1,0 +1,55 @@
+// Whole-system configuration. Defaults reproduce the paper's Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/hierarchy.hpp"
+#include "cpu/core_model.hpp"
+#include "dram/address_map.hpp"
+#include "dram/power.hpp"
+#include "dram/timing.hpp"
+#include "mc/controller.hpp"
+#include "util/types.hpp"
+
+namespace memsched::sim {
+
+struct SystemConfig {
+  std::uint32_t cores = 4;       ///< Table 1: 1/2/4/8 cores
+  double cpu_ghz = 3.2;
+  std::uint32_t cpu_ratio = 8;   ///< 3.2 GHz CPU / 400 MHz bus
+
+  cpu::CoreConfig core{};
+  cache::HierarchyConfig hierarchy{};
+  mc::ControllerConfig controller{};
+  dram::Timing timing{};
+  dram::Organization org{};
+  dram::Interleave interleave = dram::Interleave::kHybrid;
+  bool bank_xor = false;  ///< permutation-based bank indexing (see AddressMap)
+  dram::PowerConfig power{};
+
+  /// Private physical region per core; footprint + hot + code must fit.
+  std::uint64_t region_bytes_per_core = 512ull << 20;
+
+  /// Pre-warm caches to steady-state occupancy at construction (see
+  /// cache::WarmSpec). Without it, short runs measure cold-cache warmup
+  /// instead of steady state.
+  bool warm_caches = true;
+
+  /// Epoch (in bus ticks) between on_epoch() profiling feeds to the
+  /// scheduler — used by the online-ME extension (~10 us by default).
+  Tick epoch_ticks = 4096;
+
+  [[nodiscard]] double cpu_hz() const { return cpu_ghz * 1e9; }
+  [[nodiscard]] double bus_hz() const { return cpu_hz() / cpu_ratio; }
+
+  /// Switch the memory device to another speed grade: installs its timing
+  /// and re-derives every clock-domain-dependent parameter (cpu_ratio in
+  /// the hierarchy/controller, the controller's 15 ns overhead).
+  void apply_speed_grade(const dram::SpeedGrade& grade);
+
+  /// Consistency check; returns an error message or empty string.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace memsched::sim

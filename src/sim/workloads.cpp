@@ -1,0 +1,95 @@
+#include "sim/workloads.hpp"
+
+#include <stdexcept>
+
+namespace memsched::sim {
+
+std::vector<trace::AppProfile> Workload::apps() const {
+  std::vector<trace::AppProfile> out;
+  out.reserve(codes.size());
+  for (const char c : codes) out.push_back(trace::spec2000_by_code(c));
+  return out;
+}
+
+namespace {
+
+std::vector<Workload> build_table3() {
+  // Two of the paper's 8-core code strings are corrupted in the available
+  // text ("8MEM-6 bygicipa" contains ILP codes in a MEM group, "8MIX-6
+  // stywayfk" duplicates 'y'); they are repaired with the minimal edits that
+  // restore the group invariants (documented in EXPERIMENTS.md):
+  //   8MEM-6: bygicipa -> bvgicipq   (y->v, a->q; all-MEM)
+  //   8MIX-6: stywayfk -> stywavfk   (second y->v)
+  return {
+      // 2-core
+      {"2MEM-1", "bc", true},       {"2MEM-2", "de", true},
+      {"2MEM-3", "fj", true},       {"2MEM-4", "kl", true},
+      {"2MEM-5", "np", true},       {"2MEM-6", "qv", true},
+      {"2MIX-1", "ab", false},      {"2MIX-2", "cr", false},
+      {"2MIX-3", "hd", false},      {"2MIX-4", "ez", false},
+      {"2MIX-5", "mf", false},      {"2MIX-6", "oj", false},
+      // 4-core
+      {"4MEM-1", "bcde", true},     {"4MEM-2", "fgij", true},
+      {"4MEM-3", "npqv", true},     {"4MEM-4", "bdkl", true},
+      {"4MEM-5", "qvce", true},     {"4MEM-6", "cjkq", true},
+      {"4MIX-1", "arbc", false},    {"4MIX-2", "hzde", false},
+      {"4MIX-3", "mofj", false},    {"4MIX-4", "stkl", false},
+      {"4MIX-5", "uxnp", false},    {"4MIX-6", "ywqv", false},
+      // 8-core
+      {"8MEM-1", "bcdefjkl", true}, {"8MEM-2", "npqvbdfv", true},
+      {"8MEM-3", "gicecjkq", true}, {"8MEM-4", "bcdenpqv", true},
+      {"8MEM-5", "qvcefjkl", true}, {"8MEM-6", "bvgicipq", true},
+      {"8MIX-1", "arhzbcde", false}, {"8MIX-2", "mostfjkl", false},
+      {"8MIX-3", "uxywnpqv", false}, {"8MIX-4", "armobcfj", false},
+      {"8MIX-5", "uxhznpde", false}, {"8MIX-6", "stywavfk", false},
+  };
+}
+
+}  // namespace
+
+const std::vector<Workload>& table3_workloads() {
+  static const std::vector<Workload> all = build_table3();
+  return all;
+}
+
+std::vector<Workload> table3_workloads(std::uint32_t cores, const std::string& type) {
+  std::vector<Workload> out;
+  for (const Workload& w : table3_workloads()) {
+    if (w.cores() != cores) continue;
+    if (type == "MEM" && !w.memory_intensive) continue;
+    if (type == "MIX" && w.memory_intensive) continue;
+    out.push_back(w);
+  }
+  return out;
+}
+
+Workload make_workload(std::string name, std::string codes) {
+  if (codes.empty()) throw std::invalid_argument("workload needs at least one code");
+  Workload w;
+  w.name = std::move(name);
+  w.codes = std::move(codes);
+  bool all_mem = true;
+  for (const char c : w.codes) {
+    all_mem &= trace::spec2000_by_code(c).memory_intensive;  // throws if unknown
+  }
+  w.memory_intensive = all_mem;
+  return w;
+}
+
+Workload resolve_workload(const std::string& spec) {
+  constexpr const char* kPrefix = "codes:";
+  if (spec.rfind(kPrefix, 0) == 0) {
+    const std::string codes = spec.substr(6);
+    return make_workload("custom-" + codes, codes);
+  }
+  return workload_by_name(spec);
+}
+
+const Workload& workload_by_name(const std::string& name) {
+  for (const Workload& w : table3_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+}  // namespace memsched::sim

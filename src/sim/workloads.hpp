@@ -1,0 +1,43 @@
+// The paper's Table 3 workload mixes.
+//
+// Each workload is a string of Table-2 application codes, one per core:
+// e.g. 4MIX-2 = "hzde" = mesa, apsi, mgrid, applu.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/app_profile.hpp"
+
+namespace memsched::sim {
+
+struct Workload {
+  std::string name;   ///< e.g. "4MEM-1"
+  std::string codes;  ///< Table-2 codes, one per core
+  bool memory_intensive = false;  ///< MEM vs MIX group
+
+  [[nodiscard]] std::uint32_t cores() const {
+    return static_cast<std::uint32_t>(codes.size());
+  }
+  /// Resolve codes to application profiles (one per core).
+  [[nodiscard]] std::vector<trace::AppProfile> apps() const;
+};
+
+/// All 36 mixes of Table 3, in table order.
+const std::vector<Workload>& table3_workloads();
+
+/// Mixes with the given core count; `type` is "MEM", "MIX" or "ALL".
+std::vector<Workload> table3_workloads(std::uint32_t cores, const std::string& type);
+
+/// Lookup by name (e.g. "4MEM-1"); throws std::invalid_argument if unknown.
+const Workload& workload_by_name(const std::string& name);
+
+/// Build a custom workload from Table-2 application codes (one per core),
+/// e.g. make_workload("my-mix", "bcde"). Throws on unknown codes.
+Workload make_workload(std::string name, std::string codes);
+
+/// Resolve either a Table-3 name ("4MEM-1") or a "codes:bcde" custom spec.
+Workload resolve_workload(const std::string& spec);
+
+}  // namespace memsched::sim

@@ -1,0 +1,46 @@
+// Instruction-stream abstraction consumed by the core performance model.
+//
+// A stream yields one InstRecord per dynamic instruction. Streams are
+// infinite: the run-length protocol ("run until the last core commits N
+// instructions; early finishers reload and keep running", §4.1) is handled
+// by the simulation kernel, which simply keeps pulling.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace memsched::trace {
+
+enum class InstClass : std::uint8_t {
+  kCompute = 0,  ///< non-memory instruction
+  kLoad = 1,
+  kStore = 2,
+};
+
+struct InstRecord {
+  InstClass cls = InstClass::kCompute;
+  Addr addr = 0;            ///< effective address for loads/stores
+  bool dep_on_prev = false; ///< load depends on the previous load (pointer chase)
+};
+
+class InstStream {
+ public:
+  virtual ~InstStream() = default;
+
+  /// Next dynamic instruction.
+  virtual InstRecord next() = 0;
+
+  /// Restart the stream with a new slice seed (SimPoint-slice stand-in:
+  /// different seeds model different program slices).
+  virtual void reset(std::uint64_t seed) = 0;
+
+  /// Size of the instruction footprint in bytes (for I-fetch modeling);
+  /// 0 disables I-fetch modeling for this stream.
+  [[nodiscard]] virtual std::uint64_t code_bytes() const { return 0; }
+
+  /// Base address of the code region.
+  [[nodiscard]] virtual Addr code_base() const { return 0; }
+};
+
+}  // namespace memsched::trace

@@ -1,0 +1,108 @@
+#include "trace/app_profile.hpp"
+
+#include <stdexcept>
+
+namespace memsched::trace {
+
+// ---------------------------------------------------------------------------
+// Catalog tuning.
+//
+// The paper's Table 2 lists each application's memory-efficiency value; the
+// schedulers only consume ME *relatively* (priority comparisons are
+// scale-invariant), so the catalog preserves Table 2's ratios exactly while
+// scaling absolute traffic to realistic SPEC2000-on-4MB-L2 levels:
+//
+//   MPKI_total(app) = kMeScale * 4.8828125 / table_me
+//   fresh_lines     = MPKI_total / (1 + dirty_fresh_share)
+//
+// which yields measured ME == table_me / kMeScale for every app — the same
+// ordering and the same ratios as the paper, with swim ~15 MPKI and
+// mcf/applu/lucas ~25-29 MPKI (matching published SPEC2000 measurements)
+// so that 4- and 8-core MEM mixes genuinely contend for DRAM bandwidth.
+// kMeScale is documented in DESIGN.md.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kMeScale = kTable2MeScale;  // see app_profile.hpp
+
+AppProfile make(const char* name, char code, bool mem, double table_me, double ilp_ipc,
+                double refs_per_kinst, double dirty_share, double burst, double dep,
+                std::uint32_t streams, std::uint32_t refs_per_line,
+                std::uint64_t hot_kb, std::uint64_t foot_mb, std::uint64_t code_kb) {
+  AppProfile p;
+  p.name = name;
+  p.code = code;
+  p.memory_intensive = mem;
+  p.table_me = table_me;
+  p.ilp_ipc = ilp_ipc;
+  p.mem_ref_per_kinst = refs_per_kinst;
+  p.store_share = 0.30;
+  p.dirty_fresh_share = dirty_share;
+  p.fresh_lines_per_kinst =
+      kMeScale * 4.8828125 / (table_me * (1.0 + dirty_share));
+  p.burst_lines = burst;
+  p.dep_chain_frac = dep;
+  p.stream_count = streams;
+  p.refs_per_line = refs_per_line;
+  p.hot_bytes = hot_kb * 1024;
+  p.footprint_bytes = foot_mb << 20;
+  p.code_bytes = code_kb * 1024;
+  return p;
+}
+
+std::vector<AppProfile> build_catalog() {
+  std::vector<AppProfile> apps;
+  apps.reserve(26);
+  // ---------- name  code  cls    ME   ipc  refs dirty burst dep  str rpl hot foot code
+  apps.push_back(make("gzip", 'a', false, 192, 2.2, 340, 0.30, 4, 0.05, 2, 4, 32, 32, 16));
+  apps.push_back(make("wupwise", 'b', true, 15, 2.0, 330, 0.35, 12, 0.00, 3, 4, 32, 64, 16));
+  apps.push_back(make("swim", 'c', true, 2, 1.6, 360, 0.40, 32, 0.00, 4, 4, 32, 128, 8));
+  apps.push_back(make("mgrid", 'd', true, 4, 1.8, 370, 0.35, 16, 0.00, 4, 4, 32, 128, 8));
+  apps.push_back(make("applu", 'e', true, 1, 1.7, 380, 0.40, 16, 0.00, 3, 4, 32, 128, 16));
+  apps.push_back(make("vpr", 'f', true, 27, 1.2, 330, 0.25, 2, 0.50, 2, 2, 48, 64, 32));
+  apps.push_back(make("gcc", 'g', true, 22, 1.4, 350, 0.30, 4, 0.30, 4, 2, 64, 64, 128));
+  apps.push_back(make("mesa", 'h', false, 78, 2.4, 320, 0.30, 4, 0.05, 2, 2, 32, 32, 32));
+  apps.push_back(make("galgel", 'i', true, 8, 2.0, 360, 0.30, 8, 0.00, 4, 4, 32, 64, 16));
+  apps.push_back(make("art", 'j', true, 20, 1.3, 340, 0.20, 16, 0.10, 2, 4, 16, 64, 8));
+  apps.push_back(make("mcf", 'k', true, 1, 0.9, 360, 0.15, 1, 0.80, 4, 1, 32, 256, 16));
+  apps.push_back(make("equake", 'l', true, 2, 1.5, 370, 0.30, 8, 0.10, 4, 4, 32, 128, 16));
+  apps.push_back(make("crafty", 'm', false, 222, 2.3, 330, 0.25, 2, 0.10, 2, 2, 64, 32, 64));
+  apps.push_back(make("facerec", 'n', true, 40, 2.0, 340, 0.30, 8, 0.00, 2, 4, 32, 64, 16));
+  apps.push_back(make("ammp", 'o', false, 280, 1.8, 350, 0.30, 2, 0.20, 2, 2, 48, 32, 32));
+  apps.push_back(make("lucas", 'p', true, 1, 1.6, 340, 0.35, 32, 0.00, 2, 4, 16, 128, 8));
+  apps.push_back(make("fma3d", 'q', true, 4, 1.7, 360, 0.35, 8, 0.05, 4, 4, 48, 128, 64));
+  apps.push_back(make("parser", 'r', false, 38, 1.3, 340, 0.25, 2, 0.40, 2, 2, 48, 64, 32));
+  apps.push_back(make("sixtrack", 's', false, 80, 2.5, 330, 0.25, 4, 0.00, 2, 4, 32, 32, 32));
+  apps.push_back(make("eon", 't', false, 16276, 2.2, 340, 0.20, 2, 0.05, 1, 2, 24, 32, 32));
+  apps.push_back(make("perlbmk", 'u', false, 2923, 2.0, 350, 0.25, 2, 0.10, 1, 2, 32, 32, 64));
+  apps.push_back(make("gap", 'v', true, 7, 1.5, 350, 0.30, 4, 0.20, 2, 2, 48, 64, 32));
+  apps.push_back(make("vortex", 'w', false, 51, 1.9, 360, 0.30, 4, 0.15, 2, 2, 64, 64, 64));
+  apps.push_back(make("bzip2", 'x', false, 216, 2.0, 350, 0.35, 4, 0.05, 2, 4, 64, 32, 16));
+  apps.push_back(make("twolf", 'y', false, 951, 1.6, 340, 0.25, 2, 0.40, 2, 2, 48, 32, 32));
+  apps.push_back(make("apsi", 'z', false, 36, 1.8, 350, 0.30, 8, 0.00, 4, 4, 32, 64, 32));
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppProfile>& spec2000_profiles() {
+  static const std::vector<AppProfile> catalog = build_catalog();
+  return catalog;
+}
+
+const AppProfile& spec2000_by_name(const std::string& name) {
+  for (const AppProfile& p : spec2000_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown SPEC2000 application: " + name);
+}
+
+const AppProfile& spec2000_by_code(char code) {
+  for (const AppProfile& p : spec2000_profiles()) {
+    if (p.code == code) return p;
+  }
+  throw std::invalid_argument(std::string("unknown SPEC2000 code: ") + code);
+}
+
+}  // namespace memsched::trace

@@ -1,0 +1,156 @@
+#include "trace/trace_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace memsched::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'T', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return f;
+}
+
+void put_u64(std::FILE* f, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  if (std::fwrite(buf, 1, 8, f) != 8) throw std::runtime_error("trace write failed");
+}
+
+std::uint64_t get_u64(std::FILE* f) {
+  unsigned char buf[8];
+  if (std::fread(buf, 1, 8, f) != 8) throw std::runtime_error("truncated trace file");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void write_binary_trace(const std::string& path, const std::vector<InstRecord>& records) {
+  FilePtr f = open_or_throw(path, "wb");
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
+    throw std::runtime_error("trace write failed");
+  put_u64(f.get(), records.size());
+  for (const InstRecord& r : records) {
+    const auto cls = static_cast<unsigned char>(r.cls);
+    const unsigned char flags =
+        static_cast<unsigned char>(cls | (r.dep_on_prev ? 0x80 : 0));
+    if (std::fputc(flags, f.get()) == EOF) throw std::runtime_error("trace write failed");
+    if (r.cls != InstClass::kCompute) put_u64(f.get(), r.addr);
+  }
+}
+
+std::vector<InstRecord> read_binary_trace(const std::string& path) {
+  FilePtr f = open_or_throw(path, "rb");
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("not a memsched binary trace: " + path);
+  const std::uint64_t count = get_u64(f.get());
+  std::vector<InstRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const int flags = std::fgetc(f.get());
+    if (flags == EOF) throw std::runtime_error("truncated trace file");
+    InstRecord r;
+    const int cls = flags & 0x3;
+    if (cls > 2) throw std::runtime_error("corrupt trace record class");
+    r.cls = static_cast<InstClass>(cls);
+    r.dep_on_prev = (flags & 0x80) != 0;
+    if (r.cls != InstClass::kCompute) r.addr = get_u64(f.get());
+    records.push_back(r);
+  }
+  return records;
+}
+
+void write_text_trace(const std::string& path, const std::vector<InstRecord>& records) {
+  FilePtr f = open_or_throw(path, "w");
+  for (const InstRecord& r : records) {
+    switch (r.cls) {
+      case InstClass::kCompute:
+        std::fprintf(f.get(), "C\n");
+        break;
+      case InstClass::kLoad:
+        std::fprintf(f.get(), "%c %llx\n", r.dep_on_prev ? 'D' : 'L',
+                     static_cast<unsigned long long>(r.addr));
+        break;
+      case InstClass::kStore:
+        std::fprintf(f.get(), "S %llx\n", static_cast<unsigned long long>(r.addr));
+        break;
+    }
+  }
+}
+
+std::vector<InstRecord> read_text_trace(const std::string& path) {
+  FilePtr f = open_or_throw(path, "r");
+  std::vector<InstRecord> records;
+  char line[256];
+  std::size_t lineno = 0;
+  while (std::fgets(line, sizeof line, f.get())) {
+    ++lineno;
+    char op = 0;
+    unsigned long long addr = 0;
+    const int n = std::sscanf(line, " %c %llx", &op, &addr);
+    if (n < 1 || op == '#') continue;  // blank or comment
+    InstRecord r;
+    switch (op) {
+      case 'C':
+        break;
+      case 'L':
+      case 'D':
+        if (n != 2) throw std::runtime_error("trace line " + std::to_string(lineno) +
+                                             ": load needs an address");
+        r.cls = InstClass::kLoad;
+        r.addr = addr;
+        r.dep_on_prev = (op == 'D');
+        break;
+      case 'S':
+        if (n != 2) throw std::runtime_error("trace line " + std::to_string(lineno) +
+                                             ": store needs an address");
+        r.cls = InstClass::kStore;
+        r.addr = addr;
+        break;
+      default:
+        throw std::runtime_error("trace line " + std::to_string(lineno) +
+                                 ": unknown op '" + op + "'");
+    }
+    records.push_back(r);
+  }
+  return records;
+}
+
+ReplayStream::ReplayStream(std::vector<InstRecord> records)
+    : records_(std::move(records)) {
+  MEMSCHED_ASSERT(!records_.empty(), "replay stream needs at least one record");
+}
+
+InstRecord ReplayStream::next() {
+  const InstRecord r = records_[pos_];
+  if (++pos_ == records_.size()) {
+    pos_ = 0;
+    ++wraps_;
+  }
+  return r;
+}
+
+void ReplayStream::reset(std::uint64_t /*seed*/) {
+  pos_ = 0;
+  wraps_ = 0;
+}
+
+}  // namespace memsched::trace

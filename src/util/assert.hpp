@@ -1,0 +1,19 @@
+// Lightweight always-on assertion macro.
+//
+// Simulator invariants (queue conservation, timing monotonicity, ...) are
+// cheap relative to the work per cycle, so they stay enabled in release
+// builds; a violated invariant means the simulation results are garbage and
+// must abort rather than silently produce numbers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MEMSCHED_ASSERT(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "memsched: assertion failed at %s:%d: %s — %s\n", \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,34 @@
+// Bit-field extraction helpers for physical-address decomposition.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace memsched::util {
+
+/// True if x is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Floor log2; requires x != 0.
+constexpr unsigned ilog2(std::uint64_t x) {
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// Extract `width` bits of `x` starting at bit `pos` (LSB = 0).
+constexpr std::uint64_t bits(std::uint64_t x, unsigned pos, unsigned width) {
+  if (width == 0) return 0;
+  if (width >= 64) return x >> pos;
+  return (x >> pos) & ((std::uint64_t{1} << width) - 1);
+}
+
+/// Deposit `value` into bits [pos, pos+width) of a zeroed word.
+constexpr std::uint64_t deposit(std::uint64_t value, unsigned pos, unsigned width) {
+  if (width == 0) return 0;
+  const std::uint64_t mask = (width >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return (value & mask) << pos;
+}
+
+}  // namespace memsched::util

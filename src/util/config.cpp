@@ -1,0 +1,88 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace memsched::util {
+
+std::optional<std::string> Config::parse_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (auto err = parse_token(argv[i])) return err;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Config::parse_token(std::string_view token) {
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return "expected key=value, got '" + std::string(token) + "'";
+  }
+  set(std::string(token.substr(0, eq)), std::string(token.substr(eq + 1)));
+  return std::nullopt;
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Config::get_string(const std::string& key, std::string def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(def) : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 0);
+  if (end == it->second.c_str() || *end != '\0') {
+    LOG_WARN("config: '%s=%s' is not an integer; using default %lld", key.c_str(),
+             it->second.c_str(), static_cast<long long>(def));
+    return def;
+  }
+  return v;
+}
+
+std::uint64_t Config::get_uint(const std::string& key, std::uint64_t def) const {
+  const auto v = get_int(key, static_cast<std::int64_t>(def));
+  if (v < 0) {
+    LOG_WARN("config: '%s' must be non-negative; using default", key.c_str());
+    return def;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    LOG_WARN("config: '%s=%s' is not a number; using default %g", key.c_str(),
+             it->second.c_str(), def);
+    return def;
+  }
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& s = it->second;
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  LOG_WARN("config: '%s=%s' is not a boolean; using default %d", key.c_str(), s.c_str(), def);
+  return def;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace memsched::util

@@ -1,0 +1,48 @@
+// Key=value configuration store.
+//
+// The bench harnesses and examples accept overrides like
+//   fig2_smt_speedup insts=500000 cores=4 seed=7
+// This parser holds string values with typed, checked accessors. It is not a
+// general CLI library — positional flags are out of scope on purpose.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memsched::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens; tokens without '=' raise an error string.
+  /// Returns empty optional on success, else a human-readable error.
+  std::optional<std::string> parse_args(int argc, const char* const* argv);
+
+  /// Parse a single "key=value" token.
+  std::optional<std::string> parse_token(std::string_view token);
+
+  void set(std::string key, std::string value);
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; malformed values fall back to the default
+  /// and log a warning (benches should not die on a typo'd override).
+  [[nodiscard]] std::string get_string(const std::string& key, std::string def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key, std::uint64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  /// All keys in insertion-independent (sorted) order — for echoing the
+  /// effective configuration at the top of bench output.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace memsched::util

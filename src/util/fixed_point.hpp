@@ -1,0 +1,40 @@
+// Unsigned fixed-point helpers for the hardware priority-table model.
+//
+// The paper's Figure-1 implementation stores "10-bit priority information"
+// per table entry: ME[i]/p values pre-computed by software, scaled and
+// quantised so the memory controller compares plain integers instead of
+// performing divisions. These helpers model that scaling step.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace memsched::util {
+
+/// Quantise `value` onto `bits`-wide unsigned integers such that
+/// `max_value` maps to the largest representable code. Values above
+/// `max_value` saturate; values <= 0 map to 0.
+///
+/// This mirrors what the OS does when filling the workload priority tables:
+/// it knows the largest priority any entry will hold and scales the whole
+/// table by one common factor so relative order is preserved.
+inline std::uint32_t quantize(double value, double max_value, unsigned bits) {
+  MEMSCHED_ASSERT(bits >= 1 && bits <= 31, "quantize: bits out of range");
+  MEMSCHED_ASSERT(max_value > 0.0, "quantize: max_value must be positive");
+  const auto max_code = static_cast<std::uint32_t>((1u << bits) - 1);
+  if (value <= 0.0) return 0;
+  if (value >= max_value) return max_code;
+  const double scaled = value / max_value * static_cast<double>(max_code);
+  // Round to nearest; +0.5 is safe because scaled < max_code here.
+  return static_cast<std::uint32_t>(scaled + 0.5);
+}
+
+/// Inverse of quantize (midpoint of the code's value range) — only used by
+/// tests to bound quantisation error.
+inline double dequantize(std::uint32_t code, double max_value, unsigned bits) {
+  const auto max_code = static_cast<std::uint32_t>((1u << bits) - 1);
+  return static_cast<double>(code) / static_cast<double>(max_code) * max_value;
+}
+
+}  // namespace memsched::util

@@ -1,0 +1,135 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace memsched::util {
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  MEMSCHED_ASSERT(kind_ == Kind::kObject, "operator[] on non-object JSON value");
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, Json{});
+  return members_.back().second;
+}
+
+void Json::push_back(Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  MEMSCHED_ASSERT(kind_ == Kind::kArray, "push_back on non-array JSON value");
+  elements_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::kObject: return members_.size();
+    case Kind::kArray: return elements_.size();
+    default: return 0;
+  }
+}
+
+void Json::escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      if (!std::isfinite(num_)) {
+        out += "null";  // JSON has no Inf/NaN
+        break;
+      }
+      char buf[64];
+      // Integral values print without a fraction.
+      if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", num_);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.10g", num_);
+      }
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      escape_to(out, str_);
+      break;
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        escape_to(out, k);
+        out += indent < 0 ? ":" : ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : elements_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!elements_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::write_file(const std::string& path, int indent) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot open JSON output: " + path);
+  const std::string s = dump(indent);
+  const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("JSON write failed: " + path);
+}
+
+}  // namespace memsched::util

@@ -1,0 +1,74 @@
+// Minimal JSON document builder.
+//
+// Purpose-built for machine-readable experiment records: supports objects,
+// arrays, strings (escaped), finite numbers and booleans — nothing else.
+// Not a parser; memsched emits JSON, it never consumes it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace memsched::util {
+
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  /// Any non-bool arithmetic type maps onto a JSON number.
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Json(T v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}             // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+
+  /// Object factory.
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  /// Array factory.
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  /// Object member access (creates the member; converts null to object).
+  Json& operator[](const std::string& key);
+
+  /// Array append (converts null to array).
+  void push_back(Json value);
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize; `indent` < 0 gives compact output, otherwise pretty-printed
+  /// with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Write dump() to a file; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+  static void escape_to(std::string& out, const std::string& s);
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // Insertion-ordered object members.
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+}  // namespace memsched::util

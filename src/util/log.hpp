@@ -1,0 +1,36 @@
+// Minimal leveled logger.
+//
+// The hot simulation loop must stay allocation- and branch-cheap, so log
+// statements below the active level cost one integer compare. Output goes to
+// stderr; the simulator's *results* are always returned as data, never
+// scraped from logs.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace memsched::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Global log level (default kWarn). Not thread-safe to mutate mid-run;
+/// set it once in main().
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// printf-style logging; evaluated only if `level` is enabled.
+void log_at(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace memsched::util
+
+#define MEMSCHED_LOG(level, ...)                                  \
+  do {                                                            \
+    if (static_cast<int>(level) <=                                \
+        static_cast<int>(::memsched::util::log_level()))          \
+      ::memsched::util::log_at(level, __VA_ARGS__);               \
+  } while (false)
+
+#define LOG_ERROR(...) MEMSCHED_LOG(::memsched::util::LogLevel::kError, __VA_ARGS__)
+#define LOG_WARN(...) MEMSCHED_LOG(::memsched::util::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_INFO(...) MEMSCHED_LOG(::memsched::util::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_DEBUG(...) MEMSCHED_LOG(::memsched::util::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,65 @@
+#include "util/rng.hpp"
+
+#include <bit>
+
+namespace memsched::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Bitmask rejection sampling: unbiased, expected < 2 draws per call.
+  const unsigned bits = 64u - static_cast<unsigned>(std::countl_zero(bound - 1));
+  const std::uint64_t mask =
+      (bits >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  for (;;) {
+    const std::uint64_t v = next() & mask;
+    if (v < bound) return v;
+  }
+}
+
+double Xoshiro256::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Xoshiro256 Xoshiro256::fork(std::uint64_t stream) {
+  SplitMix64 sm(next() ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  return Xoshiro256(sm.next());
+}
+
+std::uint32_t geometric_run(Xoshiro256& rng, double continue_p, std::uint32_t cap) {
+  std::uint32_t n = 0;
+  while (n < cap && rng.chance(continue_p)) ++n;
+  return n;
+}
+
+}  // namespace memsched::util

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the simulator (synthetic address streams,
+// scheduler tie-breaking, workload slice selection) draws from a seeded
+// xoshiro256** instance so a (seed, config) pair reproduces bit-identically.
+// std::mt19937_64 is avoided: its 2.5 KB state hurts cache behaviour when a
+// generator lives inside every core model.
+#pragma once
+
+#include <cstdint>
+
+namespace memsched::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into full generator state
+/// and to derive independent child seeds (seed sequencing).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  /// Seeds the four state words via SplitMix64 as the authors recommend.
+  explicit Xoshiro256(std::uint64_t seed = 0x243f6a8885a308d3ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Derive an independent child generator; `stream` distinguishes children
+  /// of the same parent deterministically.
+  Xoshiro256 fork(std::uint64_t stream);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Geometric-like run length: number of successes before failure, capped.
+/// Used for spatial-locality run lengths in the synthetic stream generators.
+std::uint32_t geometric_run(Xoshiro256& rng, double continue_p, std::uint32_t cap);
+
+}  // namespace memsched::util

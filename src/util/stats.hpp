@@ -1,0 +1,74 @@
+// Streaming statistics utilities used by every stats-collecting module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memsched::util {
+
+/// Single-pass running statistics (Welford). Constant memory; numerically
+/// stable for the billions of latency samples a long simulation produces.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width-bucket histogram with overflow bucket; used for latency
+/// distributions (e.g. read latency CDFs behind Figure 4).
+class Histogram {
+ public:
+  /// Buckets: [0,w), [w,2w), ..., [(n-1)w, nw), plus one overflow bucket.
+  Histogram(double bucket_width, std::size_t bucket_count);
+
+  void add(double x);
+  void reset();
+
+  /// Merge another histogram of identical geometry (width and bucket count).
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] double bucket_width() const { return width_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// Value below which fraction q of samples fall (linear interpolation
+  /// within a bucket). q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Arithmetic mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& xs);
+
+/// Geometric mean (0 if any element <= 0 or empty).
+double geomean_of(const std::vector<double>& xs);
+
+/// Format a double with fixed precision — tiny convenience for report tables.
+std::string fmt(double x, int precision = 3);
+
+}  // namespace memsched::util

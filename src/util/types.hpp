@@ -1,0 +1,42 @@
+// Fundamental scalar types shared across all memsched modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace memsched {
+
+/// Physical byte address.
+using Addr = std::uint64_t;
+
+/// Simulation time in memory-bus cycles (the global clock domain; DDR2-800
+/// command clock, 400 MHz). One Tick == `SystemConfig::cpu_clock_ratio` CPU
+/// cycles (8 by default: 3.2 GHz / 400 MHz).
+using Tick = std::uint64_t;
+
+/// Time in CPU cycles (3.2 GHz domain). Used for latency statistics so they
+/// are comparable with the paper's numbers.
+using CpuCycle = std::uint64_t;
+
+/// Identity of a processor core (0-based). The paper calls this "core i".
+using CoreId = std::uint32_t;
+
+/// Monotonically increasing identifier of a memory request.
+using RequestId = std::uint64_t;
+
+/// Sentinel for "no tick scheduled".
+inline constexpr Tick kNeverTick = std::numeric_limits<Tick>::max();
+
+/// Sentinel for invalid core.
+inline constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+
+/// Cache-line size used throughout (Table 1: 64-byte lines at every level).
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/// log2(kLineBytes).
+inline constexpr std::uint32_t kLineShift = 6;
+
+/// Round an address down to its cache-line base.
+constexpr Addr line_base(Addr a) { return a & ~static_cast<Addr>(kLineBytes - 1); }
+
+}  // namespace memsched

@@ -1,0 +1,262 @@
+// Unit tests for src/core — the paper's contribution: memory efficiency
+// (Eq. 1), ME / ME-LREQ schedulers (Eq. 2), the Figure-1 hardware priority
+// table, and the online-ME extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/me_schedulers.hpp"
+#include "core/memory_efficiency.hpp"
+#include "core/priority_table.hpp"
+
+namespace memsched::core {
+namespace {
+
+sched::QueueSnapshot snapshot(std::vector<std::uint32_t> reads_in) {
+  // Static storage: the snapshot carries raw pointers, so the backing
+  // vectors must outlive the caller's use of the returned value.
+  static std::vector<std::uint32_t> reads, writes;
+  reads = std::move(reads_in);
+  writes.assign(reads.size(), 0);
+  sched::QueueSnapshot s;
+  s.core_count = static_cast<std::uint32_t>(reads.size());
+  s.pending_reads = reads.data();
+  s.pending_writes = writes.data();
+  return s;
+}
+
+// --------------------------------------------------- memory efficiency ----
+
+TEST(MeProfile, Equation1) {
+  const MeProfile p = MeProfile::from_measurement("swim", 0.8, 4.0);
+  EXPECT_DOUBLE_EQ(p.memory_efficiency, 0.2);
+  EXPECT_EQ(p.app_name, "swim");
+}
+
+TEST(MeProfile, ZeroBandwidthClampsInsteadOfInf) {
+  const MeProfile p = MeProfile::from_measurement("eon", 2.0, 0.0);
+  EXPECT_TRUE(std::isfinite(p.memory_efficiency));
+  EXPECT_GT(p.memory_efficiency, 1e5);
+}
+
+TEST(MeTable, MaxAndLookup) {
+  const MeTable t({0.5, 3.0, 1.5});
+  EXPECT_EQ(t.core_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.me(1), 3.0);
+  EXPECT_DOUBLE_EQ(t.max_me(), 3.0);
+}
+
+// ------------------------------------------------------ priority table ----
+
+TEST(PriorityTable, StorageMatchesPaperCostEstimate) {
+  const MeTable me({1.0, 2.0, 3.0, 4.0});
+  const PriorityTable t(me);
+  // Paper §3.2: N x 64 x 10 = 640N bits.
+  EXPECT_EQ(t.storage_bits(), 4u * 640u);
+  EXPECT_EQ(t.max_pending(), 64u);
+  EXPECT_EQ(t.bits(), 10u);
+}
+
+TEST(PriorityTable, MonotoneDecreasingInPending) {
+  const MeTable me({5.0, 1.0});
+  const PriorityTable t(me);
+  for (CoreId c = 0; c < 2; ++c) {
+    for (std::uint32_t p = 1; p < 64; ++p) {
+      EXPECT_GE(t.lookup(c, p), t.lookup(c, p + 1)) << "core " << c << " p " << p;
+    }
+  }
+}
+
+TEST(PriorityTable, HighestEntryIsTopOfScale) {
+  const MeTable me({8.0, 2.0});
+  const PriorityTable t(me);
+  // Core 0 at pending=1 holds the global maximum ME/1 -> full-scale code.
+  EXPECT_EQ(t.lookup(0, 1), 1023u);
+  EXPECT_LT(t.lookup(1, 1), 1023u);
+}
+
+TEST(PriorityTable, PendingClampsToRange) {
+  const MeTable me({1.0});
+  const PriorityTable t(me);
+  EXPECT_EQ(t.lookup(0, 0), t.lookup(0, 1));
+  EXPECT_EQ(t.lookup(0, 1000), t.lookup(0, 64));
+}
+
+TEST(PriorityTable, ReloadChangesOneCore) {
+  const MeTable me({1.0, 1.0});
+  PriorityTable t(me);
+  const auto before = t.lookup(1, 4);
+  t.reload(0, 0.25);
+  EXPECT_EQ(t.lookup(1, 4), before);       // untouched core
+  EXPECT_LT(t.lookup(0, 4), before);       // reloaded with smaller ME
+}
+
+/// The table must order (core, pending) pairs like exact division whenever
+/// the exact values are meaningfully apart. Parameterised over entry width.
+class TableFidelity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TableFidelity, PreservesWellSeparatedComparisons) {
+  const unsigned bits = GetParam();
+  const MeTable me({16.0, 4.0, 1.0, 0.25});
+  const PriorityTable t(me, 64, bits);
+  const double resolution = 16.0 / ((1u << bits) - 1);  // one code step
+  int checked = 0;
+  for (CoreId a = 0; a < 4; ++a) {
+    for (CoreId b = 0; b < 4; ++b) {
+      for (std::uint32_t pa = 1; pa <= 64; pa += 3) {
+        for (std::uint32_t pb = 1; pb <= 64; pb += 3) {
+          const double ea = me.me(a) / pa;
+          const double eb = me.me(b) / pb;
+          if (std::abs(ea - eb) < 2.0 * resolution) continue;  // too close to call
+          ++checked;
+          if (ea > eb) {
+            EXPECT_GE(t.lookup(a, pa), t.lookup(b, pb));
+          } else {
+            EXPECT_LE(t.lookup(a, pa), t.lookup(b, pb));
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TableFidelity, ::testing::Values(6u, 8u, 10u, 12u));
+
+// ------------------------------------------------------------ schemes -----
+
+TEST(MeScheduler, FixedPriorityByMe) {
+  MeScheduler s(MeTable({0.5, 3.0, 1.5}));
+  EXPECT_EQ(s.name(), "ME");
+  EXPECT_GT(s.core_priority(1), s.core_priority(2));
+  EXPECT_GT(s.core_priority(2), s.core_priority(0));
+  EXPECT_TRUE(s.random_core_tie_break());
+}
+
+TEST(MeLreq, Equation2) {
+  MeLreqScheduler s(MeTable({4.0, 1.0}));
+  s.prepare(snapshot({8, 1}));
+  // 4/8 = 0.5 vs 1/1 = 1.0: the light low-ME core wins here.
+  EXPECT_LT(s.core_priority(0), s.core_priority(1));
+  s.prepare(snapshot({2, 1}));
+  // 4/2 = 2.0 vs 1.0: now the high-ME core wins.
+  EXPECT_GT(s.core_priority(0), s.core_priority(1));
+}
+
+TEST(MeLreq, NoPendingRanksLowest) {
+  MeLreqScheduler s(MeTable({4.0, 0.001}));
+  s.prepare(snapshot({0, 60}));
+  EXPECT_LT(s.core_priority(0), s.core_priority(1));
+}
+
+TEST(MeLreqTable, AgreesWithExactOnSeparatedCases) {
+  const MeTable me({6.0, 1.0});
+  MeLreqScheduler exact{me};
+  MeLreqTableScheduler table{me};
+  EXPECT_EQ(table.name(), "ME-LREQ-HW");
+  for (std::uint32_t p0 : {1u, 2u, 8u, 32u, 64u}) {
+    for (std::uint32_t p1 : {1u, 2u, 8u, 32u, 64u}) {
+      // One snapshot object shared by both schedulers: snapshot() reuses
+      // static backing storage, so a second call would invalidate the first.
+      const sched::QueueSnapshot snap = snapshot({p0, p1});
+      exact.prepare(snap);
+      table.prepare(snap);
+      const double de = exact.core_priority(0) - exact.core_priority(1);
+      const double dt = table.core_priority(0) - table.core_priority(1);
+      if (std::abs(de) > 0.1) {
+        EXPECT_GT(de * dt, 0.0) << "p0=" << p0 << " p1=" << p1;
+      }
+    }
+  }
+}
+
+TEST(GeneralizedMeLreq, DegeneratesToKnownSchemes) {
+  const MeTable me({4.0, 1.0});
+  // (1,1) matches Equation 2 orderings.
+  GeneralizedMeLreqScheduler eq2(me, 1.0, 1.0);
+  MeLreqScheduler exact{me};
+  for (std::uint32_t p0 : {1u, 3u, 9u}) {
+    for (std::uint32_t p1 : {1u, 3u, 9u}) {
+      const sched::QueueSnapshot snap = snapshot({p0, p1});
+      eq2.prepare(snap);
+      exact.prepare(snap);
+      const double d1 = eq2.core_priority(0) - eq2.core_priority(1);
+      const double d2 = exact.core_priority(0) - exact.core_priority(1);
+      EXPECT_GT(d1 * d2, -1e-12) << p0 << "," << p1;
+    }
+  }
+  // (0,1): ME ignored — pure least-request.
+  GeneralizedMeLreqScheduler lreq_like(me, 0.0, 1.0);
+  lreq_like.prepare(snapshot({5, 2}));
+  EXPECT_LT(lreq_like.core_priority(0), lreq_like.core_priority(1));
+  // (1,0): pending ignored — fixed ME priority.
+  GeneralizedMeLreqScheduler me_like(me, 1.0, 0.0);
+  me_like.prepare(snapshot({60, 1}));
+  EXPECT_GT(me_like.core_priority(0), me_like.core_priority(1));
+}
+
+TEST(GeneralizedMeLreq, BetaWeightsShortTermSignal) {
+  const MeTable me({4.0, 1.0});
+  // With beta = 2, a modest queue imbalance overrides the 4x ME advantage.
+  GeneralizedMeLreqScheduler heavy_beta(me, 1.0, 2.0);
+  heavy_beta.prepare(snapshot({3, 1}));
+  EXPECT_LT(heavy_beta.core_priority(0), heavy_beta.core_priority(1));
+  // With beta = 0.5 the same imbalance does not.
+  GeneralizedMeLreqScheduler light_beta(me, 1.0, 0.5);
+  light_beta.prepare(snapshot({3, 1}));
+  EXPECT_GT(light_beta.core_priority(0), light_beta.core_priority(1));
+}
+
+TEST(GeneralizedMeLreq, NameEncodesExponents) {
+  GeneralizedMeLreqScheduler s(MeTable({1.0}), 0.5, 2.0);
+  EXPECT_EQ(s.name(), "ME-LREQ-POW(a=0.5,b=2.0)");
+}
+
+TEST(OnlineMeLreq, NeutralBeforeFirstSample) {
+  OnlineMeLreqScheduler s(2);
+  s.prepare(snapshot({3, 5}));
+  EXPECT_DOUBLE_EQ(s.core_priority(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.core_priority(1), 0.0);
+}
+
+TEST(OnlineMeLreq, EstimateUnitsMatchEquation1) {
+  // ME = insts * 1e9 / (bytes * f_cpu): 3.2e9 insts over 3.2 GB of traffic
+  // at 3.2 GHz is exactly IPC 1 at 3.2 GB/s -> ME = 1/3.2.
+  OnlineMeLreqScheduler s(1, 0.5, 3.2e9);
+  s.on_epoch(0, 3.2e9, 3.2e9);
+  EXPECT_NEAR(s.estimated_me(0), 1.0 / 3.2, 1e-12);
+}
+
+TEST(OnlineMeLreq, EwmaConvergesToStationaryRate) {
+  OnlineMeLreqScheduler s(1, 0.25, 3.2e9);
+  for (int i = 0; i < 100; ++i) s.on_epoch(0, 1000.0, 6400.0);
+  const double expected = 1000.0 * 1e9 / (6400.0 * 3.2e9);
+  EXPECT_NEAR(s.estimated_me(0), expected, 1e-9);
+}
+
+TEST(OnlineMeLreq, TracksPhaseChange) {
+  OnlineMeLreqScheduler s(1, 0.5, 3.2e9);
+  s.on_epoch(0, 1000.0, 64.0);
+  const double high = s.estimated_me(0);
+  for (int i = 0; i < 50; ++i) s.on_epoch(0, 1000.0, 64000.0);
+  EXPECT_LT(s.estimated_me(0), high / 100.0);
+}
+
+TEST(OnlineMeLreq, ResetForgetsEstimates) {
+  OnlineMeLreqScheduler s(2);
+  s.on_epoch(0, 100.0, 100.0);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.estimated_me(0), 0.0);
+  s.prepare(snapshot({1, 1}));
+  EXPECT_DOUBLE_EQ(s.core_priority(0), s.core_priority(1));
+}
+
+TEST(OnlineMeLreq, ZeroTrafficEpochIsHighEfficiency) {
+  OnlineMeLreqScheduler s(1, 1.0, 3.2e9);
+  s.on_epoch(0, 1e6, 0.0);
+  EXPECT_GT(s.estimated_me(0), 100.0);
+  EXPECT_TRUE(std::isfinite(s.estimated_me(0)));
+}
+
+}  // namespace
+}  // namespace memsched::core

@@ -1,0 +1,262 @@
+// Unit tests for src/cpu: the out-of-order core performance model.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "cpu/core_model.hpp"
+#include "dram/dram_system.hpp"
+#include "mc/controller.hpp"
+#include "sched/policies.hpp"
+#include "trace/inst_stream.hpp"
+
+namespace memsched::cpu {
+namespace {
+
+/// Scripted instruction stream for deterministic tests.
+class ScriptStream final : public trace::InstStream {
+ public:
+  explicit ScriptStream(std::vector<trace::InstRecord> recs, bool loop = true)
+      : recs_(std::move(recs)), loop_(loop) {}
+
+  trace::InstRecord next() override {
+    if (pos_ >= recs_.size()) {
+      if (!loop_) return trace::InstRecord{};  // endless compute
+      pos_ = 0;
+    }
+    return recs_[pos_++];
+  }
+  void reset(std::uint64_t) override { pos_ = 0; }
+
+ private:
+  std::vector<trace::InstRecord> recs_;
+  bool loop_;
+  std::size_t pos_ = 0;
+};
+
+trace::InstRecord compute() { return {}; }
+trace::InstRecord load(Addr a, bool dep = false) {
+  return {trace::InstClass::kLoad, a, dep};
+}
+trace::InstRecord store(Addr a) { return {trace::InstClass::kStore, a, false}; }
+
+struct Rig {
+  dram::DramSystem dram{dram::Timing{}, dram::Organization{}, dram::Interleave::kHybrid};
+  sched::HitFirstReadFirstScheduler sched;
+  mc::MemoryController mcu;
+  cache::CacheHierarchy hier;
+  std::unique_ptr<trace::InstStream> stream;
+  std::unique_ptr<CoreModel> core;
+
+  explicit Rig(std::vector<trace::InstRecord> recs, double ipc = 4.0,
+               CoreConfig cfg = {})
+      : mcu(dram, sched, mc::ControllerConfig{}, 1, 1), hier({}, 1, mcu) {
+    cfg.model_ifetch = false;  // scripted streams carry no code region
+    stream = std::make_unique<ScriptStream>(std::move(recs));
+    core = std::make_unique<CoreModel>(0, cfg, ipc, *stream, hier);
+    hier.set_fill_callback([this](std::uint64_t token, CpuCycle done) {
+      core->on_fill(token, done);
+    });
+  }
+
+  void run_ticks(Tick n) {
+    for (Tick t = 0; t < n; ++t) {
+      hier.tick(t);
+      mcu.tick(t);
+      core->step_to((t + 1) * 8);
+    }
+  }
+};
+
+TEST(CoreModel, ComputeOnlyCommitsAtDispatchRate) {
+  Rig rig({compute()}, /*ipc=*/2.0);
+  rig.run_ticks(1000);  // 8000 CPU cycles
+  EXPECT_NEAR(static_cast<double>(rig.core->committed()), 2.0 * 8000, 16.0);
+}
+
+TEST(CoreModel, DispatchCappedByIssueWidth) {
+  CoreConfig cfg;
+  cfg.issue_width = 4;
+  Rig rig({compute()}, /*ipc=*/10.0, cfg);
+  rig.run_ticks(500);
+  EXPECT_LE(rig.core->committed(), 4u * 500 * 8 + 4);
+  EXPECT_NEAR(static_cast<double>(rig.core->committed()), 4.0 * 4000, 32.0);
+}
+
+TEST(CoreModel, L1HitsDoNotStall) {
+  // Loads to one line: first miss warms it; after that pure L1 hits.
+  Rig rig({load(0x100), compute(), compute(), compute()}, 4.0);
+  rig.run_ticks(2000);
+  const auto& st = rig.core->stats();
+  EXPECT_GT(st.l1d_hits, 1000u);
+  // Near-full dispatch despite the loads.
+  EXPECT_GT(rig.core->committed(), 2000u * 8 * 4 * 9 / 10);
+}
+
+TEST(CoreModel, IndependentMissesOverlap) {
+  // 8 independent miss loads per iteration over a huge stride: MLP limited
+  // only by ROB/MSHR, so throughput is far better than serial misses.
+  std::vector<trace::InstRecord> recs;
+  for (int i = 0; i < 8; ++i) recs.push_back(load(static_cast<Addr>(i) * (1 << 20)));
+  for (int i = 0; i < 24; ++i) recs.push_back(compute());
+  Rig rig(recs, 4.0);
+  rig.run_ticks(4000);
+  const std::uint64_t overlapped = rig.core->committed();
+
+  // Same loads but each dependent on the previous: serialised.
+  std::vector<trace::InstRecord> dep_recs;
+  for (int i = 0; i < 8; ++i)
+    dep_recs.push_back(load(static_cast<Addr>(i) * (1 << 20), /*dep=*/true));
+  for (int i = 0; i < 24; ++i) dep_recs.push_back(compute());
+  Rig rig2(dep_recs, 4.0);
+  rig2.run_ticks(4000);
+  const std::uint64_t serial = rig2.core->committed();
+
+  EXPECT_GT(overlapped, serial * 2);
+  EXPECT_GT(rig2.core->stats().stall_dep, 0u);
+}
+
+TEST(CoreModel, RobLimitsRunahead) {
+  // A long chain of dependent misses to DISTINCT lines: the window fills
+  // behind each miss and issue must stall on ROB/dependence.
+  std::vector<trace::InstRecord> recs;
+  for (int i = 0; i < 2000; ++i) {
+    recs.push_back(load(static_cast<Addr>(i + 1) * (1 << 20), /*dep=*/true));
+    for (int j = 0; j < 3; ++j) recs.push_back(compute());
+  }
+  CoreConfig cfg;
+  cfg.rob_entries = 16;
+  Rig rig(recs, 4.0, cfg);
+  rig.run_ticks(2000);
+  EXPECT_GT(rig.core->stats().stall_rob + rig.core->stats().stall_dep, 100u);
+  EXPECT_GT(rig.core->committed(), 0u);
+}
+
+TEST(CoreModel, MshrLimitBoundsOutstanding) {
+  std::vector<trace::InstRecord> recs;
+  for (int i = 0; i < 64; ++i) recs.push_back(load(static_cast<Addr>(i + 1) * (1 << 20)));
+  CoreConfig cfg;
+  cfg.l1d_mshr = 4;
+  Rig rig(recs, 4.0, cfg);
+  for (Tick t = 0; t < 200; ++t) {
+    rig.hier.tick(t);
+    rig.mcu.tick(t);
+    rig.core->step_to((t + 1) * 8);
+    EXPECT_LE(rig.core->outstanding_misses(), 4u);
+  }
+  EXPECT_GT(rig.core->stats().stall_mshr, 0u);
+}
+
+TEST(CoreModel, StoresDoNotBlockCommit) {
+  std::vector<trace::InstRecord> recs;
+  recs.push_back(store(0x7000000));
+  for (int i = 0; i < 3; ++i) recs.push_back(compute());
+  Rig rig(recs, 4.0);
+  rig.run_ticks(500);
+  // Store misses go to DRAM but commit continues at near-full rate modulo
+  // L2-MSHR back-pressure.
+  EXPECT_GT(rig.core->committed(), 500u * 8 * 2);
+  EXPECT_GT(rig.core->stats().stores, 100u);
+}
+
+TEST(CoreModel, StoreQueueBoundsOutstandingStoreMisses) {
+  // A pure stream of store misses to distinct lines: the store queue fills
+  // to sq_entries and dispatch stalls until fills return.
+  std::vector<trace::InstRecord> recs;
+  for (int i = 0; i < 256; ++i) recs.push_back(store(static_cast<Addr>(i + 1) * (1 << 20)));
+  CoreConfig cfg;
+  cfg.sq_entries = 4;
+  Rig rig(recs, 4.0, cfg);
+  for (Tick t = 0; t < 400; ++t) {
+    rig.hier.tick(t);
+    rig.mcu.tick(t);
+    rig.core->step_to((t + 1) * 8);
+    ASSERT_LE(rig.core->outstanding_stores(), 4u);
+  }
+  EXPECT_GT(rig.core->stats().stall_sq, 10u);
+}
+
+TEST(CoreModel, StoreQueueDrainsOnFills) {
+  // Distinct cache sets so the looped stream hits after the first pass.
+  std::vector<trace::InstRecord> recs;
+  for (int i = 0; i < 8; ++i) {
+    recs.push_back(store(static_cast<Addr>(i + 1) * (1 << 20) +
+                         static_cast<Addr>(i) * 64));
+  }
+  for (int i = 0; i < 1000; ++i) recs.push_back(compute());
+  Rig rig(recs, 4.0);
+  rig.run_ticks(2000);
+  EXPECT_EQ(rig.core->outstanding_stores(), 0u);  // all fills returned
+  EXPECT_GT(rig.core->stats().stores, 8u);
+}
+
+TEST(CoreModel, StoreHitsDoNotOccupyStoreQueue) {
+  // Warm one line, then hammer it with stores: all L1 hits, zero SQ usage.
+  std::vector<trace::InstRecord> recs{store(0x40)};
+  Rig rig(recs, 4.0);
+  rig.run_ticks(500);
+  EXPECT_EQ(rig.core->outstanding_stores(), 0u);
+  EXPECT_EQ(rig.core->stats().stall_sq, 0u);
+}
+
+TEST(CoreModel, CommitNeverExceedsIssueAndIsMonotonic) {
+  std::vector<trace::InstRecord> recs;
+  recs.push_back(load(0x100));
+  recs.push_back(load(0x9000000));
+  recs.push_back(compute());
+  Rig rig(recs, 3.0);
+  std::uint64_t prev = 0;
+  for (Tick t = 0; t < 1000; ++t) {
+    rig.hier.tick(t);
+    rig.mcu.tick(t);
+    rig.core->step_to((t + 1) * 8);
+    EXPECT_GE(rig.core->committed(), prev);
+    prev = rig.core->committed();
+  }
+}
+
+TEST(CoreModel, TokensRoundTrip) {
+  const std::uint64_t tok = CoreModel::make_token(5, 123456, false);
+  EXPECT_EQ(CoreModel::token_core(tok), 5u);
+  EXPECT_EQ(tok >> 63, 0u);
+  const std::uint64_t itok = CoreModel::make_token(7, 1, true);
+  EXPECT_EQ(CoreModel::token_core(itok), 7u);
+  EXPECT_EQ(itok >> 63, 1u);
+}
+
+TEST(CoreModel, StatsClassifyAccessLevels) {
+  Rig rig({load(0x100), load(0x100), compute()}, 4.0);
+  rig.run_ticks(1000);
+  const auto& st = rig.core->stats();
+  EXPECT_GT(st.loads, 0u);
+  EXPECT_EQ(st.dram_loads, 1u);  // only the first touch of the single line
+  EXPECT_GT(st.l1d_hits, st.dram_loads);
+}
+
+TEST(CoreModel, ResetStatsZeroesCounters) {
+  Rig rig({load(0x100)}, 4.0);
+  rig.run_ticks(100);
+  ASSERT_GT(rig.core->stats().loads, 0u);
+  rig.core->reset_stats();
+  EXPECT_EQ(rig.core->stats().loads, 0u);
+  EXPECT_EQ(rig.core->stats().stall_rob, 0u);
+}
+
+TEST(CoreModel, DeterministicAcrossRuns) {
+  auto make = [] {
+    std::vector<trace::InstRecord> recs;
+    for (int i = 0; i < 4; ++i) recs.push_back(load(static_cast<Addr>(i) * (2 << 20)));
+    for (int i = 0; i < 12; ++i) recs.push_back(compute());
+    return recs;
+  };
+  Rig a(make(), 3.0), b(make(), 3.0);
+  a.run_ticks(1500);
+  b.run_ticks(1500);
+  EXPECT_EQ(a.core->committed(), b.core->committed());
+  EXPECT_EQ(a.core->cycle(), b.core->cycle());
+  EXPECT_EQ(a.mcu.stats().reads_served, b.mcu.stats().reads_served);
+}
+
+}  // namespace
+}  // namespace memsched::cpu

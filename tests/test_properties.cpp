@@ -1,0 +1,174 @@
+// Property-based tests: invariants that must hold for every scheduling
+// policy over randomized request patterns, and structural properties of the
+// address map and statistics utilities. Parameterised over (policy, seed).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/scheduler_factory.hpp"
+#include "dram/dram_system.hpp"
+#include "mc/controller.hpp"
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace memsched {
+namespace {
+
+using Param = std::tuple<std::string, std::uint64_t>;
+
+/// Random open-loop traffic driven straight into a controller under the
+/// given policy. Checks global invariants that no policy may violate:
+///   * conservation — every accepted read completes exactly once;
+///   * no starvation — all requests finish within a generous horizon;
+///   * latency lower bound — nothing completes faster than the device
+///     minimum (controller overhead + CAS + burst);
+///   * completion-time monotonicity;
+///   * buffer occupancy never exceeds capacity.
+class PolicyInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PolicyInvariants, RandomTrafficInvariantsHold) {
+  const auto& [scheme, seed] = GetParam();
+  dram::DramSystem dram(dram::Timing{}, dram::Organization{},
+                        dram::Interleave::kHybrid);
+  const std::uint32_t cores = 4;
+  core::SchedulerArgs args;
+  args.core_count = cores;
+  args.me = core::MeTable({9.0, 2.5, 0.8, 0.1});
+  args.ipc_single = {2.0, 1.5, 1.0, 0.5};
+  auto sched = core::make_scheduler(scheme, args);
+  mc::MemoryController mcu(dram, *sched, mc::ControllerConfig{}, cores, seed);
+
+  std::set<RequestId> completed_ids;
+  Tick last_done = 0;
+  std::uint64_t completed = 0;
+  mcu.set_read_callback([&](const mc::Request& r, Tick done) {
+    EXPECT_TRUE(completed_ids.insert(r.id).second) << "duplicate completion";
+    EXPECT_GE(done, last_done);  // delivery order is monotonic
+    last_done = done;
+    // Even a forwarded read costs the controller pipeline overhead.
+    EXPECT_GE(done - r.enqueue_tick, mcu.config().overhead_ticks);
+    ++completed;
+  });
+
+  util::Xoshiro256 rng(seed * 7919 + 13);
+  std::uint64_t accepted_reads = 0;
+  Tick now = 0;
+  const Tick inject_until = 6'000;
+  for (; now < inject_until; ++now) {
+    // Bursty injection: some ticks push several requests.
+    const std::uint64_t burst = rng.below(4);
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      const auto core = static_cast<CoreId>(rng.below(cores));
+      const Addr line = (rng.below(1u << 20)) * 64;
+      if (rng.chance(0.3)) {
+        mcu.enqueue_write(core, line, now);
+      } else if (mcu.enqueue_read(core, line, now)) {
+        ++accepted_reads;
+      }
+    }
+    EXPECT_LE(mcu.occupied(), mcu.config().buffer_entries);
+    mcu.tick(now);
+  }
+  // Drain: no starvation means it empties within a generous horizon.
+  const Tick horizon = now + 200'000;
+  while (!mcu.idle() && now < horizon) mcu.tick(now++);
+  EXPECT_TRUE(mcu.idle()) << scheme << " left requests unserved (starvation)";
+  EXPECT_EQ(completed, accepted_reads);
+  EXPECT_EQ(mcu.stats().reads_served + mcu.stats().read_forwards, accepted_reads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesSeeds, PolicyInvariants,
+    ::testing::Combine(::testing::Values("FCFS", "FCFS-RF", "HF-RF", "RR", "LREQ",
+                                         "FQ", "STFM", "PAR-BS", "FIX-DESC", "FIX-ASC", "ME", "ME-LREQ",
+                                         "ME-LREQ-HW", "ME-LREQ-ONLINE",
+                                         "ME-LREQ/TOH", "ME/TOH"),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& pi) {
+      std::string n = std::get<0>(pi.param);
+      for (char& c : n)
+        if (c == '-' || c == '/') c = '_';
+      return n + "_s" + std::to_string(std::get<1>(pi.param));
+    });
+
+// ------------------------------------------------------------ map props ---
+
+class MapBijectivity : public ::testing::TestWithParam<dram::Interleave> {};
+
+TEST_P(MapBijectivity, DistinctLinesDecodeToDistinctCoordinates) {
+  dram::Organization org;
+  org.capacity_bytes = 1ull << 26;  // small enough to enumerate a slice
+  dram::AddressMap map(org, GetParam());
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t, std::uint64_t>> seen;
+  const std::uint64_t lines = 1 << 14;
+  for (std::uint64_t l = 0; l < lines; ++l) {
+    const auto da = map.decode(l * 64);
+    EXPECT_TRUE(seen.insert({da.channel, da.bank, da.row, da.col_line}).second)
+        << "line " << l << " collided";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MapBijectivity,
+                         ::testing::Values(dram::Interleave::kLineInterleave,
+                                           dram::Interleave::kPageInterleave,
+                                           dram::Interleave::kHybrid),
+                         [](const auto& pi) {
+                           switch (pi.param) {
+                             case dram::Interleave::kLineInterleave: return "Line";
+                             case dram::Interleave::kPageInterleave: return "Page";
+                             default: return "Hybrid";
+                           }
+                         });
+
+// --------------------------------------------------------- stats props ----
+
+class StatMergeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatMergeProperty, MergeEqualsPooledForRandomSplits) {
+  util::Xoshiro256 rng(GetParam());
+  util::RunningStat parts[3], all;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform() * 1e4 - 5e3;
+    parts[rng.below(3)].add(x);
+    all.add(x);
+  }
+  util::RunningStat merged;
+  for (auto& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-7);
+  EXPECT_NEAR(merged.variance() / all.variance(), 1.0, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatMergeProperty, ::testing::Values(11u, 22u, 33u, 44u));
+
+// ------------------------------------------------------- metric props -----
+
+class MetricProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricProperties, UnfairnessScaleInvariantAndBounded) {
+  util::Xoshiro256 rng(GetParam());
+  std::vector<double> multi, single;
+  for (int i = 0; i < 6; ++i) {
+    single.push_back(0.2 + rng.uniform() * 2.0);
+    multi.push_back(single.back() * (0.2 + rng.uniform() * 0.8));
+  }
+  const double u = sim::unfairness(multi, single);
+  EXPECT_GE(u, 1.0);
+  // Scaling every IPC by a constant changes nothing.
+  std::vector<double> multi2 = multi, single2 = single;
+  for (auto& x : multi2) x *= 3.7;
+  for (auto& x : single2) x *= 3.7;
+  EXPECT_NEAR(sim::unfairness(multi2, single2), u, 1e-12);
+  // SMT speedup is bounded by the core count.
+  EXPECT_LE(sim::smt_speedup(multi, single), static_cast<double>(multi.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperties, ::testing::Values(5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace memsched

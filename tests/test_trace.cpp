@@ -1,0 +1,271 @@
+// Unit tests for src/trace: the SPEC2000 catalog, the synthetic generator,
+// and trace-file I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "trace/app_profile.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace_file.hpp"
+
+namespace memsched::trace {
+namespace {
+
+// ------------------------------------------------------------- catalog ----
+
+TEST(Catalog, Has26AppsWithUniqueCodes) {
+  const auto& apps = spec2000_profiles();
+  EXPECT_EQ(apps.size(), 26u);
+  std::set<char> codes;
+  std::set<std::string> names;
+  for (const auto& a : apps) {
+    codes.insert(a.code);
+    names.insert(a.name);
+  }
+  EXPECT_EQ(codes.size(), 26u);
+  EXPECT_EQ(names.size(), 26u);
+}
+
+TEST(Catalog, Table2ClassAssignments) {
+  // Paper Table 2: 14 MEM applications, 12 ILP.
+  int mem = 0;
+  for (const auto& a : spec2000_profiles()) mem += a.memory_intensive;
+  EXPECT_EQ(mem, 14);
+  EXPECT_TRUE(spec2000_by_name("swim").memory_intensive);
+  EXPECT_TRUE(spec2000_by_name("mcf").memory_intensive);
+  EXPECT_FALSE(spec2000_by_name("eon").memory_intensive);
+  EXPECT_FALSE(spec2000_by_name("gzip").memory_intensive);
+}
+
+TEST(Catalog, Table2CodesMatchPaper) {
+  EXPECT_EQ(spec2000_by_code('a').name, "gzip");
+  EXPECT_EQ(spec2000_by_code('c').name, "swim");
+  EXPECT_EQ(spec2000_by_code('k').name, "mcf");
+  EXPECT_EQ(spec2000_by_code('t').name, "eon");
+  EXPECT_EQ(spec2000_by_code('z').name, "apsi");
+}
+
+TEST(Catalog, PredictedMePreservesTable2Ratios) {
+  // predicted_me * kTable2MeScale must equal the paper's ME for every app.
+  for (const auto& a : spec2000_profiles()) {
+    EXPECT_NEAR(a.predicted_me() * kTable2MeScale / a.table_me, 1.0, 1e-9)
+        << a.name;
+  }
+}
+
+TEST(Catalog, MemAppsStreamHarderThanIlpApps) {
+  double min_mem = 1e300, max_ilp = 0.0;
+  for (const auto& a : spec2000_profiles()) {
+    if (a.memory_intensive)
+      min_mem = std::min(min_mem, a.fresh_lines_per_kinst);
+    else
+      max_ilp = std::max(max_ilp, a.fresh_lines_per_kinst);
+  }
+  // The lightest MEM app (facerec, ME=40) still streams more than any ILP
+  // app except the borderline ones; check group means instead of extremes.
+  double mem_sum = 0, ilp_sum = 0;
+  int nm = 0, ni = 0;
+  for (const auto& a : spec2000_profiles()) {
+    (a.memory_intensive ? mem_sum : ilp_sum) += a.fresh_lines_per_kinst;
+    ++(a.memory_intensive ? nm : ni);
+  }
+  EXPECT_GT(mem_sum / nm, 10.0 * (ilp_sum / ni));
+}
+
+TEST(Catalog, LookupThrowsOnUnknown) {
+  EXPECT_THROW(spec2000_by_name("doom"), std::invalid_argument);
+  EXPECT_THROW(spec2000_by_code('!'), std::invalid_argument);
+}
+
+TEST(Catalog, FootprintsFitPerCoreRegion) {
+  for (const auto& a : spec2000_profiles()) {
+    EXPECT_LE(a.footprint_bytes + a.hot_bytes + a.code_bytes, 512ull << 20) << a.name;
+  }
+}
+
+// ----------------------------------------------------------- generator ----
+
+class GeneratorRates : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorRates, FreshLineAndRefRatesMatchProfile) {
+  const AppProfile& app = spec2000_by_name(GetParam());
+  SyntheticStream s(app, 0, 2024);
+  const std::uint64_t n = 3'000'000;
+  std::uint64_t refs = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (s.next().cls != InstClass::kCompute) ++refs;
+  }
+  const double kinst = static_cast<double>(n) / 1000.0;
+  EXPECT_NEAR(static_cast<double>(refs) / kinst, app.mem_ref_per_kinst,
+              0.05 * app.mem_ref_per_kinst);
+  EXPECT_NEAR(static_cast<double>(s.fresh_lines_emitted()) / kinst,
+              app.fresh_lines_per_kinst, 0.15 * app.fresh_lines_per_kinst + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, GeneratorRates,
+                         ::testing::Values("swim", "applu", "mcf", "wupwise", "gzip",
+                                           "mgrid", "vpr", "facerec"));
+
+TEST(Generator, DeterministicPerSeed) {
+  const AppProfile& app = spec2000_by_name("equake");
+  SyntheticStream a(app, 0x1000, 5), b(app, 0x1000, 5);
+  for (int i = 0; i < 50'000; ++i) {
+    const InstRecord ra = a.next(), rb = b.next();
+    ASSERT_EQ(ra.cls, rb.cls);
+    ASSERT_EQ(ra.addr, rb.addr);
+    ASSERT_EQ(ra.dep_on_prev, rb.dep_on_prev);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiverge) {
+  const AppProfile& app = spec2000_by_name("equake");
+  SyntheticStream a(app, 0, 1), b(app, 0, 2);
+  int same_addr = 0, mem = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const InstRecord ra = a.next(), rb = b.next();
+    if (ra.cls != InstClass::kCompute && rb.cls != InstClass::kCompute) {
+      ++mem;
+      same_addr += (ra.addr == rb.addr);
+    }
+  }
+  EXPECT_LT(same_addr, mem / 10);
+}
+
+TEST(Generator, ResetReproducesFromStart) {
+  const AppProfile& app = spec2000_by_name("swim");
+  SyntheticStream s(app, 0, 9);
+  std::vector<Addr> first;
+  for (int i = 0; i < 10'000; ++i) first.push_back(s.next().addr);
+  s.reset(9);
+  for (int i = 0; i < 10'000; ++i) ASSERT_EQ(s.next().addr, first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Generator, AddressesStayInsideRegion) {
+  const AppProfile& app = spec2000_by_name("mcf");
+  const Addr base = 3ull << 30;
+  SyntheticStream s(app, base, 11);
+  const Addr end = base + app.footprint_bytes + app.hot_bytes + app.code_bytes;
+  for (int i = 0; i < 500'000; ++i) {
+    const InstRecord r = s.next();
+    if (r.cls == InstClass::kCompute) continue;
+    ASSERT_GE(r.addr, base);
+    ASSERT_LT(r.addr, end);
+  }
+  EXPECT_EQ(s.code_base(), base + app.footprint_bytes + app.hot_bytes);
+  EXPECT_EQ(s.code_bytes(), app.code_bytes);
+}
+
+TEST(Generator, DepFlagsOnlyOnPointerChasers) {
+  std::uint64_t deps_mcf = 0, deps_swim = 0;
+  SyntheticStream mcf(spec2000_by_name("mcf"), 0, 3);
+  SyntheticStream swim(spec2000_by_name("swim"), 0, 3);
+  for (int i = 0; i < 1'000'000; ++i) {
+    deps_mcf += mcf.next().dep_on_prev;
+    deps_swim += swim.next().dep_on_prev;
+  }
+  EXPECT_GT(deps_mcf, 1000u);
+  EXPECT_EQ(deps_swim, 0u);
+}
+
+TEST(Generator, DirtyShareProducesStores) {
+  const AppProfile& app = spec2000_by_name("swim");  // dirty_fresh_share 0.40
+  SyntheticStream s(app, 0, 17);
+  std::uint64_t stream_stores = 0;
+  for (int i = 0; i < 2'000'000; ++i) {
+    const InstRecord r = s.next();
+    // Stores inside the streamed footprint region (below the hot base).
+    if (r.cls == InstClass::kStore && r.addr < app.footprint_bytes) ++stream_stores;
+  }
+  const double per_fresh =
+      static_cast<double>(stream_stores) / static_cast<double>(s.fresh_lines_emitted());
+  EXPECT_NEAR(per_fresh, app.dirty_fresh_share, 0.08);
+}
+
+// ------------------------------------------------------------ trace IO ----
+
+std::vector<InstRecord> sample_records() {
+  return {
+      {InstClass::kCompute, 0, false},
+      {InstClass::kLoad, 0xdeadbeef40, false},
+      {InstClass::kLoad, 0x1234567890, true},
+      {InstClass::kStore, 0x40, false},
+      {InstClass::kCompute, 0, false},
+  };
+}
+
+class TraceRoundTrip : public ::testing::TestWithParam<bool> {};  // binary?
+
+TEST_P(TraceRoundTrip, WriteReadIdentity) {
+  const bool binary = GetParam();
+  const std::string path = ::testing::TempDir() + (binary ? "t.bin" : "t.txt");
+  const auto recs = sample_records();
+  if (binary)
+    write_binary_trace(path, recs);
+  else
+    write_text_trace(path, recs);
+  const auto back = binary ? read_binary_trace(path) : read_text_trace(path);
+  ASSERT_EQ(back.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(back[i].cls, recs[i].cls) << i;
+    if (recs[i].cls != InstClass::kCompute) {
+      EXPECT_EQ(back[i].addr, recs[i].addr) << i;
+    }
+    EXPECT_EQ(back[i].dep_on_prev, recs[i].dep_on_prev) << i;
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, TraceRoundTrip, ::testing::Bool(),
+                         [](const auto& pi) {
+                           return pi.param ? std::string("Binary") : std::string("Text");
+                         });
+
+TEST(TraceIo, RejectsMissingFile) {
+  EXPECT_THROW(read_binary_trace("/nonexistent/x.bin"), std::runtime_error);
+  EXPECT_THROW(read_text_trace("/nonexistent/x.txt"), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "bad.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("NOPE....", f);
+  std::fclose(f);
+  EXPECT_THROW(read_binary_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TextParserRejectsGarbageOps) {
+  const std::string path = ::testing::TempDir() + "bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("Q 1234\n", f);
+  std::fclose(f);
+  EXPECT_THROW(read_text_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TextParserSkipsCommentsAndBlanks) {
+  const std::string path = ::testing::TempDir() + "c.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# header\n\nL 40\n  # indented comment\nC\n", f);
+  std::fclose(f);
+  const auto recs = read_text_trace(path);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].cls, InstClass::kLoad);
+  EXPECT_EQ(recs[1].cls, InstClass::kCompute);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayStream, WrapsAroundAndResets) {
+  ReplayStream s(sample_records());
+  EXPECT_EQ(s.length(), 5u);
+  for (int i = 0; i < 12; ++i) s.next();
+  EXPECT_EQ(s.wraps(), 2u);
+  s.reset(0);
+  EXPECT_EQ(s.wraps(), 0u);
+  EXPECT_EQ(s.next().cls, InstClass::kCompute);
+}
+
+}  // namespace
+}  // namespace memsched::trace

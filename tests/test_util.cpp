@@ -1,0 +1,388 @@
+// Unit tests for src/util: RNG, statistics, fixed-point, bitops, config.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/config.hpp"
+#include "util/fixed_point.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace memsched::util {
+namespace {
+
+// ---------------------------------------------------------------- RNG -----
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 33) + 7}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependence) {
+  Xoshiro256 parent(17);
+  Xoshiro256 a = parent.fork(0);
+  Xoshiro256 b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, GeometricRunMeanApproximates) {
+  Xoshiro256 rng(23);
+  // continue_p = 1 - 1/B with B = 8 -> mean run ~ B - 1 successes.
+  double total = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) total += geometric_run(rng, 1.0 - 1.0 / 8.0, 1000);
+  EXPECT_NEAR(total / trials, 7.0, 0.35);
+}
+
+TEST(Rng, GeometricRunHonorsCap) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(geometric_run(rng, 0.99, 5), 5u);
+}
+
+// -------------------------------------------------------------- stats -----
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsCombined) {
+  RunningStat a, b, all;
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform() * 100.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(10.0, 5);  // [0,50) + overflow
+  h.add(0.0);
+  h.add(9.9);
+  h.add(10.0);
+  h.add(49.9);
+  h.add(50.0);
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, NegativeClampsToZeroBucket) {
+  Histogram h(1.0, 4);
+  h.add(-3.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(Histogram, MergeSumsCounts) {
+  Histogram a(1.0, 10), b(1.0, 10);
+  a.add(1.5);
+  a.add(100.0);  // overflow
+  b.add(1.5);
+  b.add(7.2);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket(1), 2u);
+  EXPECT_EQ(a.bucket(7), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram, QuantileMedian) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(StatsHelpers, MeanAndGeomean) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_NEAR(geomean_of({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean_of({1.0, 0.0}), 0.0);
+}
+
+// -------------------------------------------------------- fixed point -----
+
+TEST(FixedPoint, QuantizeEndpoints) {
+  EXPECT_EQ(quantize(0.0, 100.0, 10), 0u);
+  EXPECT_EQ(quantize(-5.0, 100.0, 10), 0u);
+  EXPECT_EQ(quantize(100.0, 100.0, 10), 1023u);
+  EXPECT_EQ(quantize(1e9, 100.0, 10), 1023u);
+}
+
+TEST(FixedPoint, QuantizePreservesOrder) {
+  const double max = 50.0;
+  std::uint32_t prev = 0;
+  for (double v = 0.0; v <= max; v += 0.5) {
+    const std::uint32_t q = quantize(v, max, 10);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(FixedPoint, RoundTripErrorBounded) {
+  const double max = 200.0;
+  for (double v : {0.1, 1.0, 17.3, 99.9, 150.0, 199.99}) {
+    const double back = dequantize(quantize(v, max, 10), max, 10);
+    EXPECT_NEAR(back, v, max / 1023.0);
+  }
+}
+
+// -------------------------------------------------------------- bitops ----
+
+TEST(Bitops, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+}
+
+TEST(Bitops, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(64), 6u);
+  EXPECT_EQ(ilog2((1ull << 40) + 5), 40u);
+}
+
+TEST(Bitops, BitsAndDeposit) {
+  const std::uint64_t x = 0xdeadbeefcafe1234ull;
+  EXPECT_EQ(bits(x, 0, 4), 0x4u);
+  EXPECT_EQ(bits(x, 8, 8), 0x12u);
+  EXPECT_EQ(bits(x, 0, 0), 0u);
+  EXPECT_EQ(deposit(0x5, 4, 4), 0x50u);
+  EXPECT_EQ(deposit(0xff, 0, 4), 0xfu);  // masked to width
+}
+
+TEST(Bitops, BitsDepositRoundTrip) {
+  for (unsigned pos : {0u, 3u, 17u}) {
+    for (unsigned width : {1u, 5u, 12u}) {
+      const std::uint64_t v = 0x2aull & ((1ull << width) - 1);
+      EXPECT_EQ(bits(deposit(v, pos, width), pos, width), v);
+    }
+  }
+}
+
+// -------------------------------------------------------------- config ----
+
+TEST(Config, ParseAndTypedGet) {
+  Config c;
+  EXPECT_FALSE(c.parse_token("insts=5000"));
+  EXPECT_FALSE(c.parse_token("ratio=2.5"));
+  EXPECT_FALSE(c.parse_token("name=hello"));
+  EXPECT_FALSE(c.parse_token("flag=true"));
+  EXPECT_EQ(c.get_int("insts", 0), 5000);
+  EXPECT_DOUBLE_EQ(c.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(c.get_string("name", ""), "hello");
+  EXPECT_TRUE(c.get_bool("flag", false));
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  Config c;
+  EXPECT_EQ(c.get_int("absent", 7), 7);
+  EXPECT_EQ(c.get_uint("absent", 9u), 9u);
+  EXPECT_FALSE(c.get_bool("absent", false));
+}
+
+TEST(Config, MalformedFallsBackToDefault) {
+  Config c;
+  c.set("n", "abc");
+  EXPECT_EQ(c.get_int("n", 3), 3);
+  c.set("d", "1.2.3");
+  EXPECT_DOUBLE_EQ(c.get_double("d", 4.5), 4.5);
+  c.set("b", "maybe");
+  EXPECT_TRUE(c.get_bool("b", true));
+}
+
+TEST(Config, RejectsTokensWithoutEquals) {
+  Config c;
+  EXPECT_TRUE(c.parse_token("no-equals").has_value());
+  EXPECT_TRUE(c.parse_token("=value").has_value());
+}
+
+TEST(Config, NegativeUintFallsBack) {
+  Config c;
+  c.set("n", "-4");
+  EXPECT_EQ(c.get_uint("n", 11u), 11u);
+}
+
+TEST(Config, KeysSorted) {
+  Config c;
+  c.set("b", "1");
+  c.set("a", "2");
+  const auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+// ---------------------------------------------------------------- json ----
+
+TEST(Json, ScalarsAndCompactDump) {
+  EXPECT_EQ(Json(true).dump(-1), "true");
+  EXPECT_EQ(Json(42).dump(-1), "42");
+  EXPECT_EQ(Json(2.5).dump(-1), "2.5");
+  EXPECT_EQ(Json("hi").dump(-1), "\"hi\"");
+  EXPECT_EQ(Json().dump(-1), "null");
+  EXPECT_EQ(Json(std::uint64_t{1234567890123}).dump(-1), "1234567890123");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["b"] = 1;
+  j["a"] = 2;
+  j["b"] = 3;  // overwrite, position kept
+  EXPECT_EQ(j.dump(-1), "{\"b\":3,\"a\":2}");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, ArrayAndNesting) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  Json inner = Json::object();
+  inner["x"] = false;
+  arr.push_back(std::move(inner));
+  EXPECT_EQ(arr.dump(-1), "[1,{\"x\":false}]");
+  EXPECT_EQ(arr.size(), 2u);
+}
+
+TEST(Json, StringEscaping) {
+  Json j = Json::object();
+  j["k\"ey"] = "line\nbreak\tand \\slash\"";
+  EXPECT_EQ(j.dump(-1),
+            "{\"k\\\"ey\":\"line\\nbreak\\tand \\\\slash\\\"\"}");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(-1), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(-1), "null");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json j = Json::object();
+  j["a"] = 1;
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, NullAutoPromotes) {
+  Json j;  // null
+  j["k"] = 1;  // becomes object
+  EXPECT_TRUE(j.is_object());
+  Json a;
+  a.push_back(2);
+  EXPECT_TRUE(a.is_array());
+}
+
+TEST(Json, WriteFileRoundTripsBytes) {
+  const std::string path = ::testing::TempDir() + "out.json";
+  Json j = Json::object();
+  j["v"] = 7;
+  j.write_file(path, -1);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const auto n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "{\"v\":7}\n");
+}
+
+TEST(Json, WriteFileThrowsOnBadPath) {
+  EXPECT_THROW(Json(1).write_file("/nonexistent/dir/x.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memsched::util
