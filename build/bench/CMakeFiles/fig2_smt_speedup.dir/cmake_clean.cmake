@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_smt_speedup.dir/fig2_smt_speedup.cpp.o"
+  "CMakeFiles/fig2_smt_speedup.dir/fig2_smt_speedup.cpp.o.d"
+  "CMakeFiles/fig2_smt_speedup.dir/report.cpp.o"
+  "CMakeFiles/fig2_smt_speedup.dir/report.cpp.o.d"
+  "fig2_smt_speedup"
+  "fig2_smt_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_smt_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fixed_priority.dir/fig3_fixed_priority.cpp.o"
+  "CMakeFiles/fig3_fixed_priority.dir/fig3_fixed_priority.cpp.o.d"
+  "CMakeFiles/fig3_fixed_priority.dir/report.cpp.o"
+  "CMakeFiles/fig3_fixed_priority.dir/report.cpp.o.d"
+  "fig3_fixed_priority"
+  "fig3_fixed_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fixed_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_read_latency.dir/fig4_read_latency.cpp.o"
+  "CMakeFiles/fig4_read_latency.dir/fig4_read_latency.cpp.o.d"
+  "CMakeFiles/fig4_read_latency.dir/report.cpp.o"
+  "CMakeFiles/fig4_read_latency.dir/report.cpp.o.d"
+  "fig4_read_latency"
+  "fig4_read_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_read_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

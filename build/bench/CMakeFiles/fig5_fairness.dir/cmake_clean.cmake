@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fairness.dir/fig5_fairness.cpp.o"
+  "CMakeFiles/fig5_fairness.dir/fig5_fairness.cpp.o.d"
+  "CMakeFiles/fig5_fairness.dir/report.cpp.o"
+  "CMakeFiles/fig5_fairness.dir/report.cpp.o.d"
+  "fig5_fairness"
+  "fig5_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

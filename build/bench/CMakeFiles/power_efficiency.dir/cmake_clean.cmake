@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_efficiency.dir/power_efficiency.cpp.o"
+  "CMakeFiles/power_efficiency.dir/power_efficiency.cpp.o.d"
+  "CMakeFiles/power_efficiency.dir/report.cpp.o"
+  "CMakeFiles/power_efficiency.dir/report.cpp.o.d"
+  "power_efficiency"
+  "power_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_sweep.dir/report.cpp.o"
+  "CMakeFiles/sensitivity_sweep.dir/report.cpp.o.d"
+  "CMakeFiles/sensitivity_sweep.dir/sensitivity_sweep.cpp.o"
+  "CMakeFiles/sensitivity_sweep.dir/sensitivity_sweep.cpp.o.d"
+  "sensitivity_sweep"
+  "sensitivity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

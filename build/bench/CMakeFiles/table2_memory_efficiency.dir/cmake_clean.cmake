@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_memory_efficiency.dir/report.cpp.o"
+  "CMakeFiles/table2_memory_efficiency.dir/report.cpp.o.d"
+  "CMakeFiles/table2_memory_efficiency.dir/table2_memory_efficiency.cpp.o"
+  "CMakeFiles/table2_memory_efficiency.dir/table2_memory_efficiency.cpp.o.d"
+  "table2_memory_efficiency"
+  "table2_memory_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memory_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

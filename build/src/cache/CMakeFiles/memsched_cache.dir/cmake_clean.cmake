@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_cache.dir/cache.cpp.o"
+  "CMakeFiles/memsched_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/memsched_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/memsched_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/memsched_cache.dir/mshr.cpp.o"
+  "CMakeFiles/memsched_cache.dir/mshr.cpp.o.d"
+  "CMakeFiles/memsched_cache.dir/prefetcher.cpp.o"
+  "CMakeFiles/memsched_cache.dir/prefetcher.cpp.o.d"
+  "libmemsched_cache.a"
+  "libmemsched_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/me_schedulers.cpp" "src/core/CMakeFiles/memsched_core.dir/me_schedulers.cpp.o" "gcc" "src/core/CMakeFiles/memsched_core.dir/me_schedulers.cpp.o.d"
+  "/root/repo/src/core/memory_efficiency.cpp" "src/core/CMakeFiles/memsched_core.dir/memory_efficiency.cpp.o" "gcc" "src/core/CMakeFiles/memsched_core.dir/memory_efficiency.cpp.o.d"
+  "/root/repo/src/core/priority_table.cpp" "src/core/CMakeFiles/memsched_core.dir/priority_table.cpp.o" "gcc" "src/core/CMakeFiles/memsched_core.dir/priority_table.cpp.o.d"
+  "/root/repo/src/core/scheduler_factory.cpp" "src/core/CMakeFiles/memsched_core.dir/scheduler_factory.cpp.o" "gcc" "src/core/CMakeFiles/memsched_core.dir/scheduler_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/memsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/memsched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/memsched_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/memsched_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_core.dir/me_schedulers.cpp.o"
+  "CMakeFiles/memsched_core.dir/me_schedulers.cpp.o.d"
+  "CMakeFiles/memsched_core.dir/memory_efficiency.cpp.o"
+  "CMakeFiles/memsched_core.dir/memory_efficiency.cpp.o.d"
+  "CMakeFiles/memsched_core.dir/priority_table.cpp.o"
+  "CMakeFiles/memsched_core.dir/priority_table.cpp.o.d"
+  "CMakeFiles/memsched_core.dir/scheduler_factory.cpp.o"
+  "CMakeFiles/memsched_core.dir/scheduler_factory.cpp.o.d"
+  "libmemsched_core.a"
+  "libmemsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

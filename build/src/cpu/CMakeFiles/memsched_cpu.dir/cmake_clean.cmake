@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_cpu.dir/core_model.cpp.o"
+  "CMakeFiles/memsched_cpu.dir/core_model.cpp.o.d"
+  "libmemsched_cpu.a"
+  "libmemsched_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

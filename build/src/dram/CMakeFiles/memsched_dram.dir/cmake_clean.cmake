@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_dram.dir/address_map.cpp.o"
+  "CMakeFiles/memsched_dram.dir/address_map.cpp.o.d"
+  "CMakeFiles/memsched_dram.dir/bank.cpp.o"
+  "CMakeFiles/memsched_dram.dir/bank.cpp.o.d"
+  "CMakeFiles/memsched_dram.dir/channel.cpp.o"
+  "CMakeFiles/memsched_dram.dir/channel.cpp.o.d"
+  "CMakeFiles/memsched_dram.dir/dram_system.cpp.o"
+  "CMakeFiles/memsched_dram.dir/dram_system.cpp.o.d"
+  "CMakeFiles/memsched_dram.dir/power.cpp.o"
+  "CMakeFiles/memsched_dram.dir/power.cpp.o.d"
+  "CMakeFiles/memsched_dram.dir/timing.cpp.o"
+  "CMakeFiles/memsched_dram.dir/timing.cpp.o.d"
+  "libmemsched_dram.a"
+  "libmemsched_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_mc.dir/controller.cpp.o"
+  "CMakeFiles/memsched_mc.dir/controller.cpp.o.d"
+  "libmemsched_mc.a"
+  "libmemsched_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

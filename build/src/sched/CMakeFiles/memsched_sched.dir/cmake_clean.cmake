@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_sched.dir/parbs.cpp.o"
+  "CMakeFiles/memsched_sched.dir/parbs.cpp.o.d"
+  "CMakeFiles/memsched_sched.dir/policies.cpp.o"
+  "CMakeFiles/memsched_sched.dir/policies.cpp.o.d"
+  "CMakeFiles/memsched_sched.dir/stfm.cpp.o"
+  "CMakeFiles/memsched_sched.dir/stfm.cpp.o.d"
+  "libmemsched_sched.a"
+  "libmemsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/memsched_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/memsched_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/json_report.cpp" "src/sim/CMakeFiles/memsched_sim.dir/json_report.cpp.o" "gcc" "src/sim/CMakeFiles/memsched_sim.dir/json_report.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/memsched_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/memsched_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/open_loop.cpp" "src/sim/CMakeFiles/memsched_sim.dir/open_loop.cpp.o" "gcc" "src/sim/CMakeFiles/memsched_sim.dir/open_loop.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/memsched_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/memsched_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/memsched_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/memsched_sim.dir/system.cpp.o.d"
+  "/root/repo/src/sim/system_config.cpp" "src/sim/CMakeFiles/memsched_sim.dir/system_config.cpp.o" "gcc" "src/sim/CMakeFiles/memsched_sim.dir/system_config.cpp.o.d"
+  "/root/repo/src/sim/workloads.cpp" "src/sim/CMakeFiles/memsched_sim.dir/workloads.cpp.o" "gcc" "src/sim/CMakeFiles/memsched_sim.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/memsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/memsched_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/memsched_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/memsched_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/memsched_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/memsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/memsched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/memsched_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

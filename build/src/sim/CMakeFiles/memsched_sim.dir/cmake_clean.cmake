@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_sim.dir/experiment.cpp.o"
+  "CMakeFiles/memsched_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/memsched_sim.dir/json_report.cpp.o"
+  "CMakeFiles/memsched_sim.dir/json_report.cpp.o.d"
+  "CMakeFiles/memsched_sim.dir/metrics.cpp.o"
+  "CMakeFiles/memsched_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/memsched_sim.dir/open_loop.cpp.o"
+  "CMakeFiles/memsched_sim.dir/open_loop.cpp.o.d"
+  "CMakeFiles/memsched_sim.dir/runner.cpp.o"
+  "CMakeFiles/memsched_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/memsched_sim.dir/system.cpp.o"
+  "CMakeFiles/memsched_sim.dir/system.cpp.o.d"
+  "CMakeFiles/memsched_sim.dir/system_config.cpp.o"
+  "CMakeFiles/memsched_sim.dir/system_config.cpp.o.d"
+  "CMakeFiles/memsched_sim.dir/workloads.cpp.o"
+  "CMakeFiles/memsched_sim.dir/workloads.cpp.o.d"
+  "libmemsched_sim.a"
+  "libmemsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

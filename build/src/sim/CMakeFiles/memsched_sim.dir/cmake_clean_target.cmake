@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemsched_sim.a"
+)

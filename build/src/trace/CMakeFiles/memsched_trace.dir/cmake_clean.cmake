@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_trace.dir/generator.cpp.o"
+  "CMakeFiles/memsched_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/memsched_trace.dir/spec2000.cpp.o"
+  "CMakeFiles/memsched_trace.dir/spec2000.cpp.o.d"
+  "CMakeFiles/memsched_trace.dir/trace_file.cpp.o"
+  "CMakeFiles/memsched_trace.dir/trace_file.cpp.o.d"
+  "libmemsched_trace.a"
+  "libmemsched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_util.dir/config.cpp.o"
+  "CMakeFiles/memsched_util.dir/config.cpp.o.d"
+  "CMakeFiles/memsched_util.dir/json.cpp.o"
+  "CMakeFiles/memsched_util.dir/json.cpp.o.d"
+  "CMakeFiles/memsched_util.dir/log.cpp.o"
+  "CMakeFiles/memsched_util.dir/log.cpp.o.d"
+  "CMakeFiles/memsched_util.dir/rng.cpp.o"
+  "CMakeFiles/memsched_util.dir/rng.cpp.o.d"
+  "CMakeFiles/memsched_util.dir/stats.cpp.o"
+  "CMakeFiles/memsched_util.dir/stats.cpp.o.d"
+  "libmemsched_util.a"
+  "libmemsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

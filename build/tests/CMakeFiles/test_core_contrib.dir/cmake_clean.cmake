@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_contrib.dir/test_core_contrib.cpp.o"
+  "CMakeFiles/test_core_contrib.dir/test_core_contrib.cpp.o.d"
+  "test_core_contrib"
+  "test_core_contrib.pdb"
+  "test_core_contrib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_contrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

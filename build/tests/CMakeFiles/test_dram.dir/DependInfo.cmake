@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/test_dram.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/test_dram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/memsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/memsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/memsched_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/memsched_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/memsched_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/memsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/memsched_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/memsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/memsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_report.dir/memsched_report.cpp.o"
+  "CMakeFiles/memsched_report.dir/memsched_report.cpp.o.d"
+  "memsched_report"
+  "memsched_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_sim_tool.dir/memsched_sim.cpp.o"
+  "CMakeFiles/memsched_sim_tool.dir/memsched_sim.cpp.o.d"
+  "memsched_sim"
+  "memsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

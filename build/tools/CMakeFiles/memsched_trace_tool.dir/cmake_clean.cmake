@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsched_trace_tool.dir/memsched_trace.cpp.o"
+  "CMakeFiles/memsched_trace_tool.dir/memsched_trace.cpp.o.d"
+  "memsched_trace"
+  "memsched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsched_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

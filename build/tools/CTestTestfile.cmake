@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_trace_apps "/root/repo/build/tools/memsched_trace" "apps")
+set_tests_properties(tool_trace_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_trace_roundtrip "sh" "-c" "/root/repo/build/tools/memsched_trace gen app=swim insts=20000 out=t.bin                           && /root/repo/build/tools/memsched_trace convert in=t.bin out=t.txt                           && /root/repo/build/tools/memsched_trace info in=t.txt")
+set_tests_properties(tool_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_list "/root/repo/build/tools/memsched_sim" "list")
+set_tests_properties(tool_sim_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_run "/root/repo/build/tools/memsched_sim" "run" "workload=2MEM-1" "scheme=ME-LREQ" "insts=20000" "profile_insts=60000" "repeats=1" "json=sim_run.json")
+set_tests_properties(tool_sim_run PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_profile "/root/repo/build/tools/memsched_sim" "profile" "app=gzip" "insts=20000" "profile_insts=60000")
+set_tests_properties(tool_sim_profile PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
