@@ -10,7 +10,7 @@ bool BenchSetup::parse(int argc, char** argv, BenchSetup& out) {
     std::fprintf(stderr,
                  "usage: %s [insts=N] [repeats=N] [warmup=N] [profile_insts=N]\n"
                  "          [seed=N] [profile_seed=N] [interleave=line|page|hybrid]\n"
-                 "          [refresh=0|1] [csv=path]\n",
+                 "          [refresh=0|1] [verify=0|1] [csv=path]\n",
                  argv[0]);
     return false;
   }
@@ -30,6 +30,8 @@ bool BenchSetup::parse(int argc, char** argv, BenchSetup& out) {
     return false;
   }
   e.base.timing.refresh_enabled = out.cli.get_bool("refresh", false);
+  // Default comes from the MEMSCHED_VERIFY environment flag; verify= overrides.
+  e.base.audit.enabled = out.cli.get_bool("verify", e.base.audit.enabled);
   out.csv_path = out.cli.get_string("csv", "");
   return true;
 }

@@ -19,7 +19,7 @@ namespace memsched::bench {
 
 /// Parses CLI overrides and builds the experiment configuration:
 ///   insts=N repeats=N warmup=N profile_insts=N seed=N profile_seed=N
-///   interleave=line|page|hybrid refresh=0|1
+///   interleave=line|page|hybrid refresh=0|1 verify=0|1
 struct BenchSetup {
   util::Config cli;
   sim::ExperimentConfig experiment;

@@ -4,11 +4,25 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
+# Reuse whatever generator an existing build tree was configured with.
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+else
+  cmake -B build -G Ninja
+fi
 cmake --build build
 ctest --test-dir build --output-on-failure
 
-echo "== bench smoke (small parameters) =="
+echo "== clang-tidy =="
+if command -v clang-tidy > /dev/null 2>&1; then
+  find src -name '*.cpp' -print | xargs clang-tidy -p build --quiet
+  echo "  clang-tidy ok"
+else
+  echo "  clang-tidy not installed; skipped"
+fi
+
+echo "== bench smoke (small parameters, protocol/invariant checkers on) =="
+export MEMSCHED_VERIFY=1
 for b in table2_memory_efficiency fig3_fixed_priority fig4_read_latency \
          fig5_fairness; do
   ./build/bench/$b insts=40000 repeats=1 profile_insts=100000 > /dev/null

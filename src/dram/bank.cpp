@@ -7,7 +7,12 @@
 namespace memsched::dram {
 
 void Bank::issue_activate(Tick now, std::uint64_t row) {
-  MEMSCHED_ASSERT(can_activate(now), "ACT issued while illegal");
+  MEMSCHED_ASSERTF(can_activate(now),
+                   "ACT issued while illegal: row %llu tick %llu (open=%d, "
+                   "earliest ACT %llu)",
+                   static_cast<unsigned long long>(row),
+                   static_cast<unsigned long long>(now), row_open_ ? 1 : 0,
+                   static_cast<unsigned long long>(earliest_act_));
   row_open_ = true;
   open_row_ = row;
   act_tick_ = now;
@@ -18,7 +23,10 @@ void Bank::issue_activate(Tick now, std::uint64_t row) {
 }
 
 void Bank::issue_precharge(Tick now) {
-  MEMSCHED_ASSERT(can_precharge(now), "PRE issued while illegal");
+  MEMSCHED_ASSERTF(can_precharge(now),
+                   "PRE issued while illegal: tick %llu (open=%d, earliest PRE %llu)",
+                   static_cast<unsigned long long>(now), row_open_ ? 1 : 0,
+                   static_cast<unsigned long long>(earliest_pre_));
   row_open_ = false;
   active_ticks_ += now - act_tick_;
   earliest_act_ = std::max(earliest_act_, now + timing_->tRP);
@@ -26,7 +34,10 @@ void Bank::issue_precharge(Tick now) {
 }
 
 void Bank::issue_read(Tick now, bool auto_precharge) {
-  MEMSCHED_ASSERT(can_cas(now), "READ issued while illegal");
+  MEMSCHED_ASSERTF(can_cas(now),
+                   "READ issued while illegal: tick %llu (open=%d, earliest CAS %llu)",
+                   static_cast<unsigned long long>(now), row_open_ ? 1 : 0,
+                   static_cast<unsigned long long>(earliest_cas_));
   // Read-to-precharge: PRE may not issue before now + tRTP.
   earliest_pre_ = std::max(earliest_pre_, now + timing_->tRTP);
   if (auto_precharge) {
@@ -41,7 +52,10 @@ void Bank::issue_read(Tick now, bool auto_precharge) {
 }
 
 void Bank::issue_write(Tick now, bool auto_precharge) {
-  MEMSCHED_ASSERT(can_cas(now), "WRITE issued while illegal");
+  MEMSCHED_ASSERTF(can_cas(now),
+                   "WRITE issued while illegal: tick %llu (open=%d, earliest CAS %llu)",
+                   static_cast<unsigned long long>(now), row_open_ ? 1 : 0,
+                   static_cast<unsigned long long>(earliest_cas_));
   // Write recovery: PRE only after the last data beat + tWR.
   const Tick write_done = now + timing_->tWL + timing_->burst_cycles + timing_->tWR;
   earliest_pre_ = std::max(earliest_pre_, write_done);

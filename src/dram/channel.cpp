@@ -17,7 +17,8 @@ Channel::Channel(const Timing& timing, std::uint32_t bank_count,
 }
 
 void Channel::consume_command_slot(Tick now) {
-  MEMSCHED_ASSERT(command_bus_free(now), "command bus conflict");
+  MEMSCHED_ASSERTF(command_bus_free(now), "command bus conflict: ch%u tick %llu",
+                   channel_id_, static_cast<unsigned long long>(now));
   cmd_issued_ = true;
   last_cmd_tick_ = now;
   ++commands_;
@@ -79,8 +80,12 @@ bool Channel::can_refresh(Tick now) const {
 }
 
 void Channel::issue_activate(std::uint32_t bank, std::uint64_t row, Tick now) {
-  MEMSCHED_ASSERT(can_activate(bank, now), "illegal ACT");
+  MEMSCHED_ASSERTF(can_activate(bank, now),
+                   "illegal ACT: ch%u bank %u row %llu tick %llu", channel_id_,
+                   bank, static_cast<unsigned long long>(row),
+                   static_cast<unsigned long long>(now));
   consume_command_slot(now);
+  notify(CommandType::kActivate, bank, row, now);
   banks_[bank].issue_activate(now, row);
   last_act_tick_ = now;
   any_act_ = true;
@@ -90,14 +95,18 @@ void Channel::issue_activate(std::uint32_t bank, std::uint64_t row, Tick now) {
 }
 
 void Channel::issue_precharge(std::uint32_t bank, Tick now) {
-  MEMSCHED_ASSERT(can_precharge(bank, now), "illegal PRE");
+  MEMSCHED_ASSERTF(can_precharge(bank, now), "illegal PRE: ch%u bank %u tick %llu",
+                   channel_id_, bank, static_cast<unsigned long long>(now));
   consume_command_slot(now);
+  notify(CommandType::kPrecharge, bank, 0, now);
   banks_[bank].issue_precharge(now);
 }
 
 Tick Channel::issue_read(std::uint32_t bank, Tick now, bool auto_precharge) {
-  MEMSCHED_ASSERT(can_read(bank, now), "illegal READ");
+  MEMSCHED_ASSERTF(can_read(bank, now), "illegal READ: ch%u bank %u tick %llu",
+                   channel_id_, bank, static_cast<unsigned long long>(now));
   consume_command_slot(now);
+  notify(auto_precharge ? CommandType::kReadAp : CommandType::kRead, bank, 0, now);
   banks_[bank].issue_read(now, auto_precharge);
   last_cas_tick_ = now;
   any_cas_ = true;
@@ -112,8 +121,10 @@ Tick Channel::issue_read(std::uint32_t bank, Tick now, bool auto_precharge) {
 }
 
 Tick Channel::issue_write(std::uint32_t bank, Tick now, bool auto_precharge) {
-  MEMSCHED_ASSERT(can_write(bank, now), "illegal WRITE");
+  MEMSCHED_ASSERTF(can_write(bank, now), "illegal WRITE: ch%u bank %u tick %llu",
+                   channel_id_, bank, static_cast<unsigned long long>(now));
   consume_command_slot(now);
+  notify(auto_precharge ? CommandType::kWriteAp : CommandType::kWrite, bank, 0, now);
   banks_[bank].issue_write(now, auto_precharge);
   last_cas_tick_ = now;
   any_cas_ = true;
@@ -128,8 +139,10 @@ Tick Channel::issue_write(std::uint32_t bank, Tick now, bool auto_precharge) {
 }
 
 void Channel::issue_refresh(Tick now) {
-  MEMSCHED_ASSERT(can_refresh(now), "illegal REF");
+  MEMSCHED_ASSERTF(can_refresh(now), "illegal REF: ch%u tick %llu", channel_id_,
+                   static_cast<unsigned long long>(now));
   consume_command_slot(now);
+  notify(CommandType::kRefresh, 0, 0, now);
   for (Bank& b : banks_) b.issue_refresh(now);
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dram/bank.hpp"
+#include "dram/command.hpp"
 #include "dram/timing.hpp"
 #include "util/types.hpp"
 
@@ -56,8 +57,24 @@ class Channel {
   [[nodiscard]] std::uint64_t data_busy_cycles() const { return data_busy_cycles_; }
   [[nodiscard]] std::uint64_t bursts() const { return bursts_; }
 
+  /// Attach a command-stream observer (nullptr detaches). `channel_id` is
+  /// echoed in every CommandRecord so one observer can shadow all channels.
+  void set_observer(CommandObserver* observer, std::uint32_t channel_id) {
+    observer_ = observer;
+    channel_id_ = channel_id;
+  }
+
  private:
   void consume_command_slot(Tick now);
+
+  void notify(CommandType type, std::uint32_t bank, std::uint64_t row, Tick now) {
+#if MEMSCHED_VERIF_ENABLED
+    if (observer_ != nullptr)
+      observer_->on_command(CommandRecord{type, channel_id_, bank, row, now});
+#else
+    (void)type; (void)bank; (void)row; (void)now;
+#endif
+  }
 
   const Timing* timing_;
   std::vector<Bank> banks_;
@@ -82,6 +99,9 @@ class Channel {
   std::uint64_t commands_ = 0;
   std::uint64_t data_busy_cycles_ = 0;
   std::uint64_t bursts_ = 0;
+
+  CommandObserver* observer_ = nullptr;
+  std::uint32_t channel_id_ = 0;
 };
 
 }  // namespace memsched::dram

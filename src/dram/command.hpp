@@ -1,5 +1,17 @@
-// DRAM command vocabulary.
+// DRAM command vocabulary and the command-stream observation hook.
 #pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+// The verification hook surface compiles out entirely when the build sets
+// MEMSCHED_VERIF_ENABLED=0 (CMake option MEMSCHED_VERIF=OFF): issue paths
+// then contain no observer branch at all. Default is on — the residual cost
+// with no observer attached is one predicted-not-taken null check.
+#ifndef MEMSCHED_VERIF_ENABLED
+#define MEMSCHED_VERIF_ENABLED 1
+#endif
 
 namespace memsched::dram {
 
@@ -25,5 +37,24 @@ constexpr const char* command_name(CommandType c) {
   }
   return "?";
 }
+
+/// One command as it appeared on a channel's command bus. `row` is only
+/// meaningful for kActivate; `bank` is unused for kRefresh (all banks).
+struct CommandRecord {
+  CommandType type = CommandType::kActivate;
+  std::uint32_t channel = 0;
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  Tick tick = 0;
+};
+
+/// Observes every command a Channel issues, in issue order. Implemented by
+/// verif::ProtocolChecker; the device model itself never depends on the
+/// checker, only on this interface.
+class CommandObserver {
+ public:
+  virtual ~CommandObserver() = default;
+  virtual void on_command(const CommandRecord& cmd) = 0;
+};
 
 }  // namespace memsched::dram

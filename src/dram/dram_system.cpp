@@ -30,4 +30,10 @@ std::uint64_t DramSystem::total_bursts() const {
   return n;
 }
 
+void DramSystem::set_command_observer(CommandObserver* observer) {
+  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+    channels_[c].set_observer(observer, c);
+  }
+}
+
 }  // namespace memsched::dram

@@ -36,6 +36,10 @@ class DramSystem {
   /// Total data bursts transferred (reads + writes), all channels.
   [[nodiscard]] std::uint64_t total_bursts() const;
 
+  /// Attach one observer to every channel's command stream (nullptr
+  /// detaches). Channels report with their index as CommandRecord::channel.
+  void set_command_observer(CommandObserver* observer);
+
  private:
   Timing timing_;
   Organization org_;

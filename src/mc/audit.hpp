@@ -1,0 +1,52 @@
+// Request-lifecycle observation hooks for the memory controller.
+//
+// The controller reports every externally meaningful transition of a request
+// — acceptance, scheduling, CAS issue, completion delivery — plus the
+// write-drain mode changes, to an attached RequestAuditor. The auditor (see
+// src/verif/lifecycle_checker.hpp) rebuilds the request state machine from
+// these events alone and cross-checks it against the controller's own
+// counters; the controller never depends on the checker implementation.
+//
+// All hook invocations compile out when MEMSCHED_VERIF_ENABLED=0 (the same
+// switch that strips the DRAM command observer, see dram/command.hpp).
+#pragma once
+
+#include "mc/request.hpp"
+#include "util/types.hpp"
+
+#ifndef MEMSCHED_VERIF_ENABLED
+#define MEMSCHED_VERIF_ENABLED 1
+#endif
+
+namespace memsched::mc {
+
+class RequestAuditor {
+ public:
+  virtual ~RequestAuditor() = default;
+
+  /// A request was accepted into the read or write queue at `now`.
+  virtual void on_enqueue(const Request& req, Tick now) = 0;
+
+  /// A read was satisfied from the write queue (no DRAM traffic); its
+  /// completion is already scheduled for `done`.
+  virtual void on_forward(const Request& req, Tick done) = 0;
+
+  /// A write coalesced into an existing write-queue entry.
+  virtual void on_merge(CoreId core, Addr line_addr, Tick now) = 0;
+
+  /// A queued request won scheduling and occupied its bank slot.
+  virtual void on_schedule(const Request& req, RowState state, Tick now) = 0;
+
+  /// The request's column access was issued; `data_end` is the tick of its
+  /// last data beat. Writes retire here; reads await delivery.
+  virtual void on_cas(const Request& req, Tick now, Tick data_end) = 0;
+
+  /// A read completion was handed to the read callback.
+  virtual void on_deliver(const Request& req, Tick done, Tick now) = 0;
+
+  /// Write-drain hysteresis flipped; `queued_writes` is the write-queue
+  /// depth that triggered the transition.
+  virtual void on_drain(bool entered, std::uint32_t queued_writes, Tick now) = 0;
+};
+
+}  // namespace memsched::mc

@@ -11,6 +11,19 @@ namespace {
 constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
 }
 
+// Lifecycle-audit hook: a single predicted-not-taken branch when no auditor
+// is attached; removed entirely when the verif layer is compiled out.
+#if MEMSCHED_VERIF_ENABLED
+#define MC_AUDIT(call)                        \
+  do {                                        \
+    if (auditor_ != nullptr) auditor_->call;  \
+  } while (false)
+#else
+#define MC_AUDIT(call) \
+  do {                 \
+  } while (false)
+#endif
+
 MemoryController::MemoryController(dram::DramSystem& dram, sched::Scheduler& scheduler,
                                    const ControllerConfig& cfg, std::uint32_t core_count,
                                    std::uint64_t seed)
@@ -61,6 +74,7 @@ bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
             [](Tick t, const Completion& c) { return t < c.done; });
         completions_.insert(it, Completion{done, req});
         ++stats_.read_forwards;
+        MC_AUDIT(on_forward(req, done));
         return true;
       }
     }
@@ -79,6 +93,7 @@ bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
   read_q_.push_back(req);
   ++pending_reads_[core];
   ++occupied_;
+  MC_AUDIT(on_enqueue(req, now));
   return true;
 }
 
@@ -88,6 +103,7 @@ bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
     for (Request& w : write_q_) {
       if (w.line_addr == line_addr) {
         ++stats_.write_merges;
+        MC_AUDIT(on_merge(core, line_addr, now));
         return true;  // coalesced into the existing entry
       }
     }
@@ -105,17 +121,20 @@ bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
   write_q_.push_back(req);
   ++pending_writes_[core];
   ++occupied_;
-  update_drain_mode();
+  MC_AUDIT(on_enqueue(req, now));
+  update_drain_mode(now);
   return true;
 }
 
-void MemoryController::update_drain_mode() {
+void MemoryController::update_drain_mode([[maybe_unused]] Tick now) {
   const auto writes = static_cast<std::uint32_t>(write_q_.size());
   if (!drain_mode_ && writes >= cfg_.drain_high) {
     drain_mode_ = true;
     ++stats_.drain_entries;
+    MC_AUDIT(on_drain(true, writes, now));
   } else if (drain_mode_ && writes <= cfg_.drain_low) {
     drain_mode_ = false;
+    MC_AUDIT(on_drain(false, writes, now));
   }
 }
 
@@ -178,22 +197,34 @@ void MemoryController::advance_in_flight(std::uint32_t ch, Tick now) {
       case Phase::kNeedCas: {
         const bool is_write = req.is_write;
         if (is_write ? channel.can_write(b, now) : channel.can_read(b, now)) {
-          MEMSCHED_ASSERT(channel.bank(b).open_row() == req.dram.row,
-                          "CAS to wrong row");
+          MEMSCHED_ASSERTF(channel.bank(b).open_row() == req.dram.row,
+                           "CAS to wrong row: ch%u bank %u open row %llu, "
+                           "request %llu wants row %llu at tick %llu",
+                           ch, b,
+                           static_cast<unsigned long long>(channel.bank(b).open_row()),
+                           static_cast<unsigned long long>(req.id),
+                           static_cast<unsigned long long>(req.dram.row),
+                           static_cast<unsigned long long>(now));
           const bool predictor_open =
               cfg_.page_policy == PagePolicy::kAdaptive &&
               open_predictor_[slot_index(ch, b)] >= 2;
           const bool keep_open = cfg_.page_policy == PagePolicy::kOpenPage ||
                                  predictor_open || another_queued_hit(req);
           if (is_write) {
-            channel.issue_write(b, now, !keep_open);
-            MEMSCHED_ASSERT(pending_writes_[req.core] > 0, "write counter underflow");
+            [[maybe_unused]] const Tick wdone = channel.issue_write(b, now, !keep_open);
+            MC_AUDIT(on_cas(req, now, wdone));
+            MEMSCHED_ASSERTF(pending_writes_[req.core] > 0,
+                             "write counter underflow: core %u tick %llu", req.core,
+                             static_cast<unsigned long long>(now));
             --pending_writes_[req.core];
             ++stats_.writes_served;
             ++stats_.core_writes[req.core];
           } else {
             const Tick done = channel.issue_read(b, now, !keep_open);
-            MEMSCHED_ASSERT(pending_reads_[req.core] > 0, "read counter underflow");
+            MC_AUDIT(on_cas(req, now, done));
+            MEMSCHED_ASSERTF(pending_reads_[req.core] > 0,
+                             "read counter underflow: core %u tick %llu", req.core,
+                             static_cast<unsigned long long>(now));
             --pending_reads_[req.core];
             ++stats_.reads_served;
             stats_.prefetch_reads += req.is_prefetch;
@@ -342,6 +373,7 @@ std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
 
 void MemoryController::start_transaction(Request req, RowState state, Tick now) {
   if (trace_sink_) trace_sink_(req, state, now);
+  MC_AUDIT(on_schedule(req, state, now));
   std::uint8_t& predictor =
       open_predictor_[slot_index(req.dram.channel, req.dram.bank)];
   switch (state) {
@@ -401,7 +433,7 @@ void MemoryController::schedule_new(std::uint32_t ch, Tick now) {
   Request req = queue[cand.queue_index];
   const RowState state = row_state_of(req);
   queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(cand.queue_index));
-  if (cand.from_write_queue) update_drain_mode();
+  if (cand.from_write_queue) update_drain_mode(now);
   start_transaction(req, state, now);
 }
 
@@ -409,6 +441,7 @@ void MemoryController::deliver_completions(Tick now) {
   while (!completions_.empty() && completions_.front().done <= now) {
     const Completion c = completions_.front();
     completions_.pop_front();
+    MC_AUDIT(on_deliver(c.req, c.done, now));
     if (read_cb_) read_cb_(c.req, c.done);
   }
 }

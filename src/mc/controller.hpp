@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "dram/dram_system.hpp"
+#include "mc/audit.hpp"
 #include "mc/request.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
@@ -101,6 +102,10 @@ class MemoryController {
   void set_read_callback(ReadCallback cb) { read_cb_ = std::move(cb); }
   void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
 
+  /// Attach a request-lifecycle auditor (nullptr detaches). Zero overhead
+  /// when detached; compiled out entirely with MEMSCHED_VERIF_ENABLED=0.
+  void set_auditor(RequestAuditor* auditor) { auditor_ = auditor; }
+
   /// Advance one bus cycle: progress in-flight transactions, start new ones
   /// via the scheduler, deliver completions.
   void tick(Tick now);
@@ -142,7 +147,7 @@ class MemoryController {
 
   [[nodiscard]] RowState row_state_of(const Request& req) const;
   [[nodiscard]] bool another_queued_hit(const Request& req) const;
-  void update_drain_mode();
+  void update_drain_mode(Tick now);
   void advance_in_flight(std::uint32_t ch, Tick now);
   void schedule_new(std::uint32_t ch, Tick now);
   void deliver_completions(Tick now);
@@ -200,6 +205,7 @@ class MemoryController {
   std::uint64_t next_order_ = 0;
   ReadCallback read_cb_;
   TraceSink trace_sink_;
+  RequestAuditor* auditor_ = nullptr;
   ControllerStats stats_;
 
   // Scratch buffers reused every tick to avoid per-cycle allocation.

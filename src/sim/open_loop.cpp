@@ -1,5 +1,6 @@
 #include "sim/open_loop.hpp"
 
+#include <memory>
 #include <vector>
 
 #include "dram/dram_system.hpp"
@@ -15,6 +16,10 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg, sched::Scheduler& schedu
   dram::DramSystem dram(cfg.timing, cfg.org, cfg.interleave);
   scheduler.reset();
   mc::MemoryController mcu(dram, scheduler, cfg.controller, cfg.cores, cfg.seed);
+  std::unique_ptr<verif::InvariantAuditor> auditor;
+  if (cfg.audit.enabled) {
+    auditor = std::make_unique<verif::InvariantAuditor>(dram, mcu, cfg.audit);
+  }
 
   util::Xoshiro256 rng(cfg.seed ^ 0x0be9100bULL);
   // Per-core sequential stream cursors with geometric run lengths, giving
@@ -56,6 +61,7 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg, sched::Scheduler& schedu
     }
     mcu.tick(now);
   }
+  if (auditor) auditor->finalize(total);
 
   OpenLoopResult r;
   const double mt = static_cast<double>(cfg.measure_ticks);

@@ -10,6 +10,7 @@
 #include "sched/scheduler.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
+#include "verif/invariant_auditor.hpp"
 
 namespace memsched::sim {
 
@@ -27,6 +28,7 @@ struct OpenLoopConfig {
   dram::Organization org{};
   dram::Interleave interleave = dram::Interleave::kHybrid;
   mc::ControllerConfig controller{};
+  verif::AuditConfig audit{};  ///< same opt-in as the closed-loop system
 };
 
 struct OpenLoopResult {

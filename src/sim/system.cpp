@@ -74,6 +74,10 @@ void MultiCoreSystem::wire(sched::Scheduler& scheduler,
       *dram_, scheduler, config_.controller, config_.cores, seed ^ 0xc011ec70ULL);
   hierarchy_ = std::make_unique<cache::CacheHierarchy>(config_.hierarchy, config_.cores,
                                                        *controller_);
+  if (config_.audit.enabled) {
+    auditor_ =
+        std::make_unique<verif::InvariantAuditor>(*dram_, *controller_, config_.audit);
+  }
   for (std::uint32_t c = 0; c < config_.cores; ++c) {
     cores_.push_back(std::make_unique<cpu::CoreModel>(c, config_.core, dispatch_ipc[c],
                                                       *streams_[c], *hierarchy_));
@@ -135,6 +139,7 @@ RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_
     }
     if (t >= next_epoch) {
       next_epoch += config_.epoch_ticks;
+      if (auditor_) auditor_->cross_check(t);
       const auto& cs = controller_->stats();
       for (std::uint32_t c = 0; c < n; ++c) {
         const std::uint64_t insts = cores_[c]->committed();
@@ -159,6 +164,8 @@ RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_
       }
     }
   }
+
+  if (auditor_) auditor_->finalize(t);
 
   RunResult result;
   result.ticks = t;

@@ -83,6 +83,10 @@ class MultiCoreSystem {
   [[nodiscard]] const cpu::CoreModel& core(CoreId i) const { return *cores_[i]; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
+  /// The attached invariant auditor, or nullptr when config().audit is off.
+  [[nodiscard]] verif::InvariantAuditor* auditor() { return auditor_.get(); }
+  [[nodiscard]] const verif::InvariantAuditor* auditor() const { return auditor_.get(); }
+
  private:
   void wire(sched::Scheduler& scheduler, const std::vector<double>& dispatch_ipc,
             std::uint64_t seed);
@@ -93,6 +97,7 @@ class MultiCoreSystem {
   std::unique_ptr<mc::MemoryController> controller_;
   std::unique_ptr<cache::CacheHierarchy> hierarchy_;
   std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
+  std::unique_ptr<verif::InvariantAuditor> auditor_;
   sched::Scheduler* scheduler_ = nullptr;
 };
 

@@ -11,6 +11,7 @@
 #include "dram/timing.hpp"
 #include "mc/controller.hpp"
 #include "util/types.hpp"
+#include "verif/invariant_auditor.hpp"
 
 namespace memsched::sim {
 
@@ -39,6 +40,11 @@ struct SystemConfig {
   /// Epoch (in bus ticks) between on_epoch() profiling feeds to the
   /// scheduler — used by the online-ME extension (~10 us by default).
   Tick epoch_ticks = 4096;
+
+  /// Invariant audit layer (src/verif): protocol + lifecycle checkers.
+  /// Defaults off for benches (opt in with verify=1 / MEMSCHED_VERIFY=1);
+  /// the test suite switches it on for every run.
+  verif::AuditConfig audit{};
 
   [[nodiscard]] double cpu_hz() const { return cpu_ghz * 1e9; }
   [[nodiscard]] double bus_hz() const { return cpu_hz() / cpu_ratio; }

@@ -1,9 +1,14 @@
-// Lightweight always-on assertion macro.
+// Lightweight always-on assertion macros.
 //
 // Simulator invariants (queue conservation, timing monotonicity, ...) are
 // cheap relative to the work per cycle, so they stay enabled in release
 // builds; a violated invariant means the simulation results are garbage and
 // must abort rather than silently produce numbers.
+//
+// MEMSCHED_ASSERT(cond, msg)          — fixed message.
+// MEMSCHED_ASSERTF(cond, fmt, ...)    — printf-style message; use it wherever
+//   the diagnostic needs operands (cycle numbers, bank indices, request ids):
+//   a bare "illegal ACT" is useless in a trace of millions of commands.
 #pragma once
 
 #include <cstdio>
@@ -14,6 +19,16 @@
     if (!(cond)) {                                                          \
       std::fprintf(stderr, "memsched: assertion failed at %s:%d: %s — %s\n", \
                    __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define MEMSCHED_ASSERTF(cond, fmt, ...)                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr,                                                  \
+                   "memsched: assertion failed at %s:%d: %s — " fmt "\n",   \
+                   __FILE__, __LINE__, #cond __VA_OPT__(, ) __VA_ARGS__);   \
       std::abort();                                                         \
     }                                                                       \
   } while (false)

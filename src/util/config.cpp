@@ -78,6 +78,17 @@ bool Config::get_bool(const std::string& key, bool def) const {
   return def;
 }
 
+bool env_flag(const char* name, bool def) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return def;
+  const std::string s(raw);
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  LOG_WARN("config: environment %s=%s is not a boolean; using default %d", name,
+           s.c_str(), def);
+  return def;
+}
+
 std::vector<std::string> Config::keys() const {
   std::vector<std::string> out;
   out.reserve(values_.size());

@@ -45,4 +45,11 @@ class Config {
   std::map<std::string, std::string> values_;
 };
 
+/// Boolean process-environment switch with the same truthy/falsy vocabulary
+/// as Config::get_bool ("1"/"true"/"yes"/"on", ...). Unset or malformed
+/// values yield `def`. Used for harness-wide toggles that must reach every
+/// binary without threading CLI flags (e.g. MEMSCHED_VERIFY=1 turns the
+/// invariant audit layer on for a whole ctest / bench-smoke run).
+[[nodiscard]] bool env_flag(const char* name, bool def);
+
 }  // namespace memsched::util

@@ -1,0 +1,75 @@
+// InvariantAuditor: one-stop attachment of the verification layer.
+//
+// Owns a ProtocolChecker (shadow DDR2 state machine fed by the device
+// model's command stream) and a RequestLifecycleChecker (shadow request
+// ledger fed by the controller's audit hooks), attaches both on
+// construction and detaches on destruction. sim::MultiCoreSystem creates
+// one when SystemConfig::audit.enabled is set; the periodic cross-check and
+// the end-of-run leak check run from the simulation loop.
+//
+// Cost model: disabled (the default) the hooks are a null-pointer check per
+// DRAM command / request event; compiled out (MEMSCHED_VERIF=OFF) they are
+// gone entirely and an attached auditor is inert. Enabled, the audit adds
+// O(1) shadow updates per event — cheap enough to keep always-on in tests
+// and opt into for bench runs (MEMSCHED_VERIFY=1 or verify=1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dram/dram_system.hpp"
+#include "mc/controller.hpp"
+#include "util/config.hpp"
+#include "verif/lifecycle_checker.hpp"
+#include "verif/protocol_checker.hpp"
+
+namespace memsched::verif {
+
+struct AuditConfig {
+  /// Master switch. Default follows the MEMSCHED_VERIFY environment flag so
+  /// whole test/bench runs can opt in without touching every call site.
+  bool enabled = util::env_flag("MEMSCHED_VERIFY", false);
+  bool abort_on_violation = true;  ///< false = record mode (mutation tests)
+  std::uint32_t history_depth = 32;  ///< command history per channel for dumps
+
+  [[nodiscard]] CheckerConfig checker() const {
+    CheckerConfig c;
+    c.abort_on_violation = abort_on_violation;
+    c.history_depth = history_depth;
+    return c;
+  }
+};
+
+class InvariantAuditor {
+ public:
+  InvariantAuditor(dram::DramSystem& dram, mc::MemoryController& mc,
+                   const AuditConfig& cfg);
+  ~InvariantAuditor();
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  /// Shadow-vs-controller counter comparison; call periodically (epochs).
+  void cross_check(Tick now);
+
+  /// Final conservation + leak check; call once when the run ends.
+  void finalize(Tick now);
+
+  [[nodiscard]] ProtocolChecker& protocol() { return *protocol_; }
+  [[nodiscard]] const ProtocolChecker& protocol() const { return *protocol_; }
+  [[nodiscard]] RequestLifecycleChecker& lifecycle() { return *lifecycle_; }
+  [[nodiscard]] const RequestLifecycleChecker& lifecycle() const { return *lifecycle_; }
+
+  /// Total violations across both checkers (record mode only; abort mode
+  /// never returns from the first).
+  [[nodiscard]] std::uint64_t violation_count() const {
+    return protocol_->violation_count() + lifecycle_->violation_count();
+  }
+
+ private:
+  dram::DramSystem& dram_;
+  mc::MemoryController& mc_;
+  std::unique_ptr<ProtocolChecker> protocol_;
+  std::unique_ptr<RequestLifecycleChecker> lifecycle_;
+};
+
+}  // namespace memsched::verif

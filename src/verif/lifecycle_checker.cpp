@@ -1,0 +1,287 @@
+#include "verif/lifecycle_checker.hpp"
+
+#include "mc/controller.hpp"
+
+namespace memsched::verif {
+
+namespace {
+unsigned long long ull(std::uint64_t v) { return static_cast<unsigned long long>(v); }
+}  // namespace
+
+RequestLifecycleChecker::RequestLifecycleChecker(const Params& params,
+                                                 const CheckerConfig& cfg)
+    : params_(params),
+      sink_(cfg, "LIFECYCLE"),
+      pending_reads_(params.core_count, 0),
+      pending_writes_(params.core_count, 0),
+      slot_owner_(static_cast<std::size_t>(params.channels) * params.banks_per_channel, 0),
+      slot_busy_(static_cast<std::size_t>(params.channels) * params.banks_per_channel,
+                 false) {}
+
+const char* RequestLifecycleChecker::state_name(St st) {
+  switch (st) {
+    case St::kQueued: return "queued";
+    case St::kScheduled: return "scheduled";
+    case St::kIssued: return "issued";
+    case St::kForwarded: return "forwarded";
+  }
+  return "?";
+}
+
+std::uint32_t RequestLifecycleChecker::occupied_shadow() const {
+  return queued_reads_ + queued_writes_ + scheduled_;
+}
+
+void RequestLifecycleChecker::on_enqueue(const mc::Request& req, Tick now) {
+  ++events_;
+  ++tracked_;
+  if (req.core >= params_.core_count) {
+    sink_.report("bad-core", now, "request %llu from core %u (only %u cores)",
+                 ull(req.id), req.core, params_.core_count);
+    return;
+  }
+  if (live_.count(req.id) != 0) {
+    sink_.report("duplicate-id", now, "request id %llu enqueued twice", ull(req.id));
+    return;
+  }
+  if (req.visible_tick != req.enqueue_tick + params_.overhead_ticks) {
+    sink_.report("visible-tick", now,
+                 "request %llu visible @%llu, expected enqueue %llu + overhead %u",
+                 ull(req.id), ull(req.visible_tick), ull(req.enqueue_tick),
+                 params_.overhead_ticks);
+  }
+  if (occupied_shadow() >= params_.buffer_entries) {
+    sink_.report("buffer-overflow", now,
+                 "request %llu accepted with %u of %u buffer entries already in use",
+                 ull(req.id), occupied_shadow(), params_.buffer_entries);
+  }
+  Rec rec;
+  rec.st = St::kQueued;
+  rec.is_write = req.is_write;
+  rec.core = req.core;
+  rec.channel = req.dram.channel;
+  rec.bank = req.dram.bank;
+  rec.enqueue = req.enqueue_tick;
+  live_.emplace(req.id, rec);
+  if (req.is_write) {
+    ++pending_writes_[req.core];
+    ++queued_writes_;
+  } else {
+    ++pending_reads_[req.core];
+    ++queued_reads_;
+  }
+}
+
+void RequestLifecycleChecker::on_forward(const mc::Request& req, Tick done) {
+  ++events_;
+  ++tracked_;
+  if (req.is_write) {
+    sink_.report("forward-write", done, "write request %llu took the forwarding path",
+                 ull(req.id));
+    return;
+  }
+  if (live_.count(req.id) != 0) {
+    sink_.report("duplicate-id", done, "forwarded request id %llu already live",
+                 ull(req.id));
+    return;
+  }
+  if (done != req.enqueue_tick + params_.overhead_ticks) {
+    sink_.report("forward-latency", done,
+                 "forwarded read %llu completes @%llu, expected enqueue %llu + "
+                 "overhead %u",
+                 ull(req.id), ull(done), ull(req.enqueue_tick), params_.overhead_ticks);
+  }
+  Rec rec;
+  rec.st = St::kForwarded;
+  rec.core = req.core;
+  rec.enqueue = req.enqueue_tick;
+  rec.data_end = done;
+  live_.emplace(req.id, rec);
+}
+
+void RequestLifecycleChecker::on_merge(CoreId core, Addr line_addr, Tick now) {
+  ++events_;
+  (void)core;
+  (void)line_addr;
+  (void)now;  // merges leave no shadow state: the existing entry absorbs them
+}
+
+void RequestLifecycleChecker::on_schedule(const mc::Request& req, mc::RowState state,
+                                          Tick now) {
+  ++events_;
+  (void)state;
+  auto it = live_.find(req.id);
+  if (it == live_.end()) {
+    sink_.report("schedule-unknown", now, "request %llu scheduled but never enqueued",
+                 ull(req.id));
+    return;
+  }
+  Rec& rec = it->second;
+  if (rec.st != St::kQueued) {
+    sink_.report("double-schedule", now, "request %llu scheduled while %s", ull(req.id),
+                 state_name(rec.st));
+    return;
+  }
+  if (req.visible_tick > now) {
+    sink_.report("overhead-bypass", now,
+                 "request %llu scheduled @%llu before its visible tick %llu",
+                 ull(req.id), ull(now), ull(req.visible_tick));
+  }
+  const std::size_t slot = slot_index(rec.channel, rec.bank);
+  if (slot < slot_busy_.size()) {
+    if (slot_busy_[slot]) {
+      sink_.report("slot-conflict", now,
+                   "request %llu books ch%u bank %u already held by request %llu",
+                   ull(req.id), rec.channel, rec.bank, ull(slot_owner_[slot]));
+    }
+    slot_busy_[slot] = true;
+    slot_owner_[slot] = req.id;
+  }
+  rec.st = St::kScheduled;
+  if (rec.is_write) {
+    --queued_writes_;
+  } else {
+    --queued_reads_;
+  }
+  ++scheduled_;
+}
+
+void RequestLifecycleChecker::on_cas(const mc::Request& req, Tick now, Tick data_end) {
+  ++events_;
+  auto it = live_.find(req.id);
+  if (it == live_.end()) {
+    sink_.report("cas-unknown", now, "CAS for request %llu that is not live",
+                 ull(req.id));
+    return;
+  }
+  Rec& rec = it->second;
+  if (rec.st != St::kScheduled) {
+    sink_.report("cas-out-of-order", now, "CAS for request %llu while %s", ull(req.id),
+                 state_name(rec.st));
+    return;
+  }
+  if (data_end <= now) {
+    sink_.report("data-end", now, "request %llu data burst ends @%llu, not after CAS",
+                 ull(req.id), ull(data_end));
+  }
+  auto& pending = rec.is_write ? pending_writes_ : pending_reads_;
+  if (pending[rec.core] == 0) {
+    sink_.report("counter-underflow", now, "core %u %s counter already zero at CAS",
+                 rec.core, rec.is_write ? "write" : "read");
+  } else {
+    --pending[rec.core];
+  }
+  const std::size_t slot = slot_index(rec.channel, rec.bank);
+  if (slot < slot_busy_.size()) {
+    slot_busy_[slot] = false;
+  }
+  --scheduled_;
+  if (rec.is_write) {
+    live_.erase(it);  // writes retire at CAS issue
+  } else {
+    rec.st = St::kIssued;
+    rec.data_end = data_end;
+  }
+}
+
+void RequestLifecycleChecker::on_deliver(const mc::Request& req, Tick done, Tick now) {
+  ++events_;
+  auto it = live_.find(req.id);
+  if (it == live_.end()) {
+    sink_.report("double-completion", now,
+                 "delivery of request %llu that is not awaiting one (already "
+                 "delivered or never issued)",
+                 ull(req.id));
+    return;
+  }
+  Rec& rec = it->second;
+  if (rec.st != St::kIssued && rec.st != St::kForwarded) {
+    sink_.report("deliver-before-cas", now, "request %llu delivered while %s",
+                 ull(req.id), state_name(rec.st));
+    return;
+  }
+  if (done != rec.data_end) {
+    sink_.report("completion-tick", now,
+                 "request %llu delivered with done %llu, expected %llu", ull(req.id),
+                 ull(done), ull(rec.data_end));
+  }
+  if (done > now) {
+    sink_.report("early-delivery", now, "request %llu delivered @%llu before done %llu",
+                 ull(req.id), ull(now), ull(done));
+  }
+  if (any_delivery_ && done < last_delivered_done_) {
+    sink_.report("completion-order", now,
+                 "request %llu done @%llu delivered after one done @%llu", ull(req.id),
+                 ull(done), ull(last_delivered_done_));
+  }
+  any_delivery_ = true;
+  last_delivered_done_ = done;
+  live_.erase(it);
+}
+
+void RequestLifecycleChecker::on_drain(bool entered, std::uint32_t queued_writes,
+                                       Tick now) {
+  ++events_;
+  if (entered) {
+    if (drain_) {
+      sink_.report("drain-double-enter", now, "drain mode entered twice");
+    }
+    if (queued_writes < params_.drain_high) {
+      sink_.report("drain-hysteresis", now,
+                   "drain mode entered with %u queued writes (threshold %u)",
+                   queued_writes, params_.drain_high);
+    }
+  } else {
+    if (!drain_) {
+      sink_.report("drain-double-exit", now, "drain mode exited while off");
+    }
+    if (queued_writes > params_.drain_low) {
+      sink_.report("drain-hysteresis", now,
+                   "drain mode exited with %u queued writes (threshold %u)",
+                   queued_writes, params_.drain_low);
+    }
+  }
+  drain_ = entered;
+}
+
+void RequestLifecycleChecker::cross_check(const mc::MemoryController& mc, Tick now) {
+  for (CoreId c = 0; c < params_.core_count; ++c) {
+    if (mc.pending_reads(c) != pending_reads_[c]) {
+      sink_.report("counter-divergence", now,
+                   "core %u pending reads: controller %u vs shadow %u", c,
+                   mc.pending_reads(c), pending_reads_[c]);
+    }
+    if (mc.pending_writes(c) != pending_writes_[c]) {
+      sink_.report("counter-divergence", now,
+                   "core %u pending writes: controller %u vs shadow %u", c,
+                   mc.pending_writes(c), pending_writes_[c]);
+    }
+  }
+  if (mc.queued_reads() != queued_reads_ || mc.queued_writes() != queued_writes_) {
+    sink_.report("queue-divergence", now,
+                 "queue depths: controller %u reads / %u writes vs shadow %u / %u",
+                 mc.queued_reads(), mc.queued_writes(), queued_reads_, queued_writes_);
+  }
+  if (mc.occupied() != occupied_shadow()) {
+    sink_.report("occupancy-divergence", now,
+                 "buffer occupancy: controller %u vs shadow %u", mc.occupied(),
+                 occupied_shadow());
+  }
+  if (mc.drain_mode() != drain_) {
+    sink_.report("drain-divergence", now, "drain mode: controller %d vs shadow %d",
+                 mc.drain_mode() ? 1 : 0, drain_ ? 1 : 0);
+  }
+}
+
+void RequestLifecycleChecker::finalize(const mc::MemoryController& mc, Tick now) {
+  cross_check(mc, now);
+  if (mc.idle() && !live_.empty()) {
+    const auto& [id, rec] = *live_.begin();
+    sink_.report("leak", now,
+                 "controller idle but %zu request(s) never retired; e.g. id %llu "
+                 "(%s, core %u, enqueued @%llu)",
+                 live_.size(), ull(id), state_name(rec.st), rec.core, ull(rec.enqueue));
+  }
+}
+
+}  // namespace memsched::verif

@@ -1,0 +1,119 @@
+// Request-lifecycle checker.
+//
+// Rebuilds every request's state machine (enqueue -> schedule -> CAS ->
+// deliver) purely from the controller's RequestAuditor events and flags:
+//   * duplicate request ids and double scheduling;
+//   * CAS issue or delivery for a request in the wrong state;
+//   * double completion and out-of-order / time-travelling deliveries;
+//   * double-booked bank slots (two in-flight transactions on one bank);
+//   * per-core pending-counter under/overflow and divergence from the
+//     controller's own counters (cross_check);
+//   * write-drain hysteresis transitions outside the high/low thresholds;
+//   * controller-overhead accounting (visible_tick = enqueue + overhead);
+//   * request leaks — an idle controller must have no live requests left.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/audit.hpp"
+#include "mc/request.hpp"
+#include "util/types.hpp"
+#include "verif/violation.hpp"
+
+namespace memsched::mc {
+class MemoryController;
+}
+
+namespace memsched::verif {
+
+class RequestLifecycleChecker final : public mc::RequestAuditor {
+ public:
+  /// Controller-shape parameters the checker validates against.
+  struct Params {
+    std::uint32_t core_count = 1;
+    std::uint32_t overhead_ticks = 6;
+    std::uint32_t buffer_entries = 64;
+    std::uint32_t drain_high = 32;
+    std::uint32_t drain_low = 16;
+    std::uint32_t channels = 2;
+    std::uint32_t banks_per_channel = 8;
+  };
+
+  explicit RequestLifecycleChecker(const Params& params, const CheckerConfig& cfg = {});
+
+  // --- RequestAuditor ---
+  void on_enqueue(const mc::Request& req, Tick now) override;
+  void on_forward(const mc::Request& req, Tick done) override;
+  void on_merge(CoreId core, Addr line_addr, Tick now) override;
+  void on_schedule(const mc::Request& req, mc::RowState state, Tick now) override;
+  void on_cas(const mc::Request& req, Tick now, Tick data_end) override;
+  void on_deliver(const mc::Request& req, Tick done, Tick now) override;
+  void on_drain(bool entered, std::uint32_t queued_writes, Tick now) override;
+
+  /// Compare the shadow ledger against the controller's own counters.
+  void cross_check(const mc::MemoryController& mc, Tick now);
+
+  /// Final conservation check; flags leaked requests if the controller
+  /// claims to be idle while the shadow ledger still holds live entries.
+  void finalize(const mc::MemoryController& mc, Tick now);
+
+  [[nodiscard]] std::uint64_t events_seen() const { return events_; }
+  [[nodiscard]] std::uint64_t requests_tracked() const { return tracked_; }
+  [[nodiscard]] std::size_t live_requests() const { return live_.size(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return sink_.violations();
+  }
+  [[nodiscard]] std::uint64_t violation_count() const { return sink_.violation_count(); }
+  [[nodiscard]] bool saw_rule(const std::string& rule) const {
+    return sink_.saw_rule(rule);
+  }
+  void clear_violations() { sink_.clear(); }
+
+ private:
+  enum class St : std::uint8_t {
+    kQueued,     ///< accepted, waiting for scheduling
+    kScheduled,  ///< owns a bank slot, command sequence in progress
+    kIssued,     ///< read CAS done, completion pending delivery
+    kForwarded,  ///< read served from the write queue, delivery pending
+  };
+
+  struct Rec {
+    St st = St::kQueued;
+    bool is_write = false;
+    CoreId core = 0;
+    std::uint32_t channel = 0;
+    std::uint32_t bank = 0;
+    Tick enqueue = 0;
+    Tick data_end = 0;
+  };
+
+  static const char* state_name(St st);
+
+  /// Buffer entries currently accounted to the controller's M-entry buffer
+  /// (queued + scheduled; issued reads and forwards have released theirs).
+  [[nodiscard]] std::uint32_t occupied_shadow() const;
+
+  [[nodiscard]] std::size_t slot_index(std::uint32_t channel, std::uint32_t bank) const {
+    return static_cast<std::size_t>(channel) * params_.banks_per_channel + bank;
+  }
+
+  Params params_;
+  ViolationSink sink_;
+  std::unordered_map<RequestId, Rec> live_;
+  std::vector<std::uint32_t> pending_reads_;   ///< shadow, per core
+  std::vector<std::uint32_t> pending_writes_;  ///< shadow, per core
+  std::uint32_t queued_reads_ = 0;
+  std::uint32_t queued_writes_ = 0;
+  std::uint32_t scheduled_ = 0;
+  std::vector<RequestId> slot_owner_;  ///< kNoOwner = free
+  std::vector<bool> slot_busy_;
+  bool drain_ = false;
+  bool any_delivery_ = false;
+  Tick last_delivered_done_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t tracked_ = 0;
+};
+
+}  // namespace memsched::verif

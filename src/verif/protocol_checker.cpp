@@ -1,0 +1,292 @@
+#include "verif/protocol_checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace memsched::verif {
+
+namespace {
+using dram::CommandRecord;
+using dram::CommandType;
+
+unsigned long long ull(Tick t) { return static_cast<unsigned long long>(t); }
+}  // namespace
+
+ProtocolChecker::ProtocolChecker(const dram::Timing& timing, std::uint32_t channels,
+                                 std::uint32_t banks_per_channel,
+                                 std::uint32_t banks_per_rank, const CheckerConfig& cfg)
+    : timing_(timing),
+      banks_per_rank_(banks_per_rank),
+      cfg_(cfg),
+      sink_(cfg, "PROTOCOL") {
+  channels_.resize(channels);
+  for (ChannelShadow& ch : channels_) {
+    ch.banks.resize(banks_per_channel);
+    ch.history.resize(cfg_.history_depth);
+  }
+  sink_.set_abort_context([this] { dump_history(); });
+}
+
+void ProtocolChecker::record_history(ChannelShadow& ch, const CommandRecord& cmd) {
+  if (ch.history.empty()) return;
+  ch.history[ch.hist_pos] = cmd;
+  ch.hist_pos = (ch.hist_pos + 1) % static_cast<std::uint32_t>(ch.history.size());
+  if (ch.hist_fill < ch.history.size()) ++ch.hist_fill;
+}
+
+void ProtocolChecker::dump_history() const {
+  if (last_channel_ >= channels_.size()) return;
+  const ChannelShadow& ch = channels_[last_channel_];
+  std::fprintf(stderr, "memsched verif: last %u commands on ch%u (oldest first):\n",
+               ch.hist_fill, last_channel_);
+  const auto depth = static_cast<std::uint32_t>(ch.history.size());
+  for (std::uint32_t i = 0; i < ch.hist_fill; ++i) {
+    const std::uint32_t idx = (ch.hist_pos + depth - ch.hist_fill + i) % depth;
+    const CommandRecord& c = ch.history[idx];
+    if (c.type == CommandType::kActivate) {
+      std::fprintf(stderr, "  @%-8llu %-3s bank %u row %llu\n", ull(c.tick),
+                   command_name(c.type), c.bank, ull(c.row));
+    } else {
+      std::fprintf(stderr, "  @%-8llu %-3s bank %u\n", ull(c.tick),
+                   command_name(c.type), c.bank);
+    }
+  }
+}
+
+void ProtocolChecker::on_command(const CommandRecord& cmd) {
+  ++commands_;
+  if (cmd.channel >= channels_.size()) {
+    last_channel_ = 0;
+    sink_.report("bad-coordinates", cmd.tick, "%s on channel %u (only %zu channels)",
+                 command_name(cmd.type), cmd.channel, channels_.size());
+    return;
+  }
+  last_channel_ = cmd.channel;
+  ChannelShadow& ch = channels_[cmd.channel];
+  if (cmd.type != CommandType::kRefresh && cmd.bank >= ch.banks.size()) {
+    sink_.report("bad-coordinates", cmd.tick, "%s on ch%u bank %u (only %zu banks)",
+                 command_name(cmd.type), cmd.channel, cmd.bank, ch.banks.size());
+    return;
+  }
+  record_history(ch, cmd);
+
+  // Command bus: one command per channel per tick, time never reverses.
+  if (ch.any_cmd && cmd.tick < ch.last_cmd) {
+    sink_.report("time-reversal", cmd.tick, "%s at tick %llu after a command at %llu",
+                 command_name(cmd.type), ull(cmd.tick), ull(ch.last_cmd));
+  } else if (ch.any_cmd && cmd.tick == ch.last_cmd) {
+    sink_.report("command-bus", cmd.tick, "%s shares ch%u's command slot at %llu",
+                 command_name(cmd.type), cmd.channel, ull(cmd.tick));
+  }
+  ch.any_cmd = true;
+  ch.last_cmd = cmd.tick;
+
+  switch (cmd.type) {
+    case CommandType::kActivate: check_activate(ch, cmd); break;
+    case CommandType::kPrecharge: check_precharge(ch, cmd); break;
+    case CommandType::kRead: check_read(ch, cmd, false); break;
+    case CommandType::kReadAp: check_read(ch, cmd, true); break;
+    case CommandType::kWrite: check_write(ch, cmd, false); break;
+    case CommandType::kWriteAp: check_write(ch, cmd, true); break;
+    case CommandType::kRefresh: check_refresh(ch, cmd); break;
+  }
+}
+
+void ProtocolChecker::check_activate(ChannelShadow& ch, const CommandRecord& cmd) {
+  BankShadow& bank = ch.banks[cmd.bank];
+  const Tick t = cmd.tick;
+  if (bank.open) {
+    sink_.report("ACT-open-bank", t, "ACT to ch%u bank %u while row %llu is open",
+                 cmd.channel, cmd.bank, ull(bank.row));
+  }
+  if (bank.any_pre && t < bank.pre_start + timing_.tRP) {
+    sink_.report("tRP", t, "ACT on ch%u bank %u %llu ticks after precharge start (tRP %u)",
+                 cmd.channel, cmd.bank, ull(t - bank.pre_start), timing_.tRP);
+  }
+  if (bank.any_act && t < bank.act_tick + timing_.tRC()) {
+    sink_.report("tRC", t, "ACT on ch%u bank %u %llu ticks after previous ACT (tRC %u)",
+                 cmd.channel, cmd.bank, ull(t - bank.act_tick), timing_.tRC());
+  }
+  if (ch.any_ref && t < ch.ref_tick + timing_.tRFC) {
+    sink_.report("tRFC", t, "ACT on ch%u %llu ticks after REF (tRFC %u)", cmd.channel,
+                 ull(t - ch.ref_tick), timing_.tRFC);
+  }
+  if (ch.any_act && t < ch.last_act + timing_.tRRD) {
+    sink_.report("tRRD", t, "ACT on ch%u %llu ticks after ACT to another bank (tRRD %u)",
+                 cmd.channel, ull(t - ch.last_act), timing_.tRRD);
+  }
+  if (ch.faw_fill >= 4 && t < ch.faw[ch.faw_pos] + timing_.tFAW) {
+    sink_.report("tFAW", t,
+                 "fifth ACT on ch%u within the four-activate window (oldest ACT @%llu, "
+                 "tFAW %u)",
+                 cmd.channel, ull(ch.faw[ch.faw_pos]), timing_.tFAW);
+  }
+
+  bank.open = true;
+  bank.row = cmd.row;
+  bank.any_act = true;
+  bank.act_tick = t;
+  ch.any_act = true;
+  ch.last_act = t;
+  ch.faw[ch.faw_pos] = t;
+  ch.faw_pos = (ch.faw_pos + 1) % 4;
+  if (ch.faw_fill < 4) ++ch.faw_fill;
+}
+
+void ProtocolChecker::check_read(ChannelShadow& ch, const CommandRecord& cmd,
+                                 bool auto_pre) {
+  BankShadow& bank = ch.banks[cmd.bank];
+  const Tick t = cmd.tick;
+  const char* name = auto_pre ? "RDA" : "RD";
+  if (!bank.open) {
+    sink_.report("CAS-closed-bank", t, "%s to ch%u bank %u with no open row", name,
+                 cmd.channel, cmd.bank);
+  } else if (bank.any_act && t < bank.act_tick + timing_.tRCD) {
+    sink_.report("tRCD", t, "%s on ch%u bank %u %llu ticks after ACT (tRCD %u)", name,
+                 cmd.channel, cmd.bank, ull(t - bank.act_tick), timing_.tRCD);
+  }
+  if (ch.any_cas && t < ch.last_cas + timing_.tCCD) {
+    sink_.report("tCCD", t, "%s on ch%u %llu ticks after previous CAS (tCCD %u)", name,
+                 cmd.channel, ull(t - ch.last_cas), timing_.tCCD);
+  }
+  if (ch.any_write_burst && t < ch.write_data_end + timing_.tWTR) {
+    sink_.report("tWTR", t,
+                 "%s on ch%u %llu ticks after the last write beat (tWTR %u)", name,
+                 cmd.channel, ull(t - ch.write_data_end), timing_.tWTR);
+  }
+  const Tick data_start = t + timing_.tCL;
+  if (data_start < ch.data_busy_until) {
+    sink_.report("data-bus", t,
+                 "%s burst on ch%u starts @%llu while the data bus is busy until %llu",
+                 name, cmd.channel, ull(data_start), ull(ch.data_busy_until));
+  } else if (ch.any_cas && banks_per_rank_ != 0 &&
+             rank_of(cmd.bank) != ch.last_cas_rank &&
+             data_start < ch.data_busy_until + timing_.tRTRS) {
+    sink_.report("tRTRS", t,
+                 "%s on ch%u switches rank %u->%u without the tRTRS gap (%u)", name,
+                 cmd.channel, ch.last_cas_rank, rank_of(cmd.bank), timing_.tRTRS);
+  }
+
+  bank.any_read = true;
+  bank.read_cas = t;
+  ch.any_cas = true;
+  ch.last_cas = t;
+  ch.last_cas_rank = rank_of(cmd.bank);
+  const Tick data_end = data_start + timing_.burst_cycles;
+  ch.data_busy_until = data_end;
+  ch.any_read_burst = true;
+  ch.read_data_end = data_end;
+  if (auto_pre) {
+    // Internal precharge starts once both tRTP (from this CAS) and tRAS
+    // (from the ACT) are satisfied — mirror of the JEDEC rule.
+    bank.pre_start = std::max(t + timing_.tRTP, bank.act_tick + timing_.tRAS);
+    bank.any_pre = true;
+    bank.open = false;
+  }
+}
+
+void ProtocolChecker::check_write(ChannelShadow& ch, const CommandRecord& cmd,
+                                  bool auto_pre) {
+  BankShadow& bank = ch.banks[cmd.bank];
+  const Tick t = cmd.tick;
+  const char* name = auto_pre ? "WRA" : "WR";
+  if (!bank.open) {
+    sink_.report("CAS-closed-bank", t, "%s to ch%u bank %u with no open row", name,
+                 cmd.channel, cmd.bank);
+  } else if (bank.any_act && t < bank.act_tick + timing_.tRCD) {
+    sink_.report("tRCD", t, "%s on ch%u bank %u %llu ticks after ACT (tRCD %u)", name,
+                 cmd.channel, cmd.bank, ull(t - bank.act_tick), timing_.tRCD);
+  }
+  if (ch.any_cas && t < ch.last_cas + timing_.tCCD) {
+    sink_.report("tCCD", t, "%s on ch%u %llu ticks after previous CAS (tCCD %u)", name,
+                 cmd.channel, ull(t - ch.last_cas), timing_.tCCD);
+  }
+  const Tick data_start = t + timing_.tWL;
+  if (ch.any_read_burst && data_start < ch.read_data_end + timing_.tRTW) {
+    sink_.report("tRTW", t,
+                 "%s data on ch%u starts @%llu, before the read burst ending @%llu "
+                 "plus tRTW %u",
+                 name, cmd.channel, ull(data_start), ull(ch.read_data_end), timing_.tRTW);
+  }
+  if (data_start < ch.data_busy_until) {
+    sink_.report("data-bus", t,
+                 "%s burst on ch%u starts @%llu while the data bus is busy until %llu",
+                 name, cmd.channel, ull(data_start), ull(ch.data_busy_until));
+  } else if (ch.any_cas && banks_per_rank_ != 0 &&
+             rank_of(cmd.bank) != ch.last_cas_rank &&
+             data_start < ch.data_busy_until + timing_.tRTRS) {
+    sink_.report("tRTRS", t,
+                 "%s on ch%u switches rank %u->%u without the tRTRS gap (%u)", name,
+                 cmd.channel, ch.last_cas_rank, rank_of(cmd.bank), timing_.tRTRS);
+  }
+
+  bank.any_write = true;
+  bank.write_cas = t;
+  ch.any_cas = true;
+  ch.last_cas = t;
+  ch.last_cas_rank = rank_of(cmd.bank);
+  const Tick data_end = data_start + timing_.burst_cycles;
+  ch.data_busy_until = data_end;
+  ch.any_write_burst = true;
+  ch.write_data_end = data_end;
+  if (auto_pre) {
+    bank.pre_start =
+        std::max(write_burst_end(t) + timing_.tWR, bank.act_tick + timing_.tRAS);
+    bank.any_pre = true;
+    bank.open = false;
+  }
+}
+
+void ProtocolChecker::check_precharge(ChannelShadow& ch, const CommandRecord& cmd) {
+  BankShadow& bank = ch.banks[cmd.bank];
+  const Tick t = cmd.tick;
+  if (!bank.open) {
+    sink_.report("PRE-closed-bank", t, "PRE to ch%u bank %u with no open row",
+                 cmd.channel, cmd.bank);
+  }
+  if (bank.any_act && t < bank.act_tick + timing_.tRAS) {
+    sink_.report("tRAS", t, "PRE on ch%u bank %u %llu ticks after ACT (tRAS %u)",
+                 cmd.channel, cmd.bank, ull(t - bank.act_tick), timing_.tRAS);
+  }
+  if (bank.any_read && t < bank.read_cas + timing_.tRTP) {
+    sink_.report("tRTP", t, "PRE on ch%u bank %u %llu ticks after read CAS (tRTP %u)",
+                 cmd.channel, cmd.bank, ull(t - bank.read_cas), timing_.tRTP);
+  }
+  if (bank.any_write && t < write_burst_end(bank.write_cas) + timing_.tWR) {
+    sink_.report("tWR", t,
+                 "PRE on ch%u bank %u before write recovery completes (last write "
+                 "beat @%llu + tWR %u)",
+                 cmd.channel, cmd.bank, ull(write_burst_end(bank.write_cas)),
+                 timing_.tWR);
+  }
+  bank.open = false;
+  bank.any_pre = true;
+  bank.pre_start = t;
+}
+
+void ProtocolChecker::check_refresh(ChannelShadow& ch, const CommandRecord& cmd) {
+  const Tick t = cmd.tick;
+  for (std::uint32_t b = 0; b < ch.banks.size(); ++b) {
+    const BankShadow& bank = ch.banks[b];
+    if (bank.open) {
+      sink_.report("REF-open-bank", t, "REF on ch%u while bank %u has row %llu open",
+                   cmd.channel, b, ull(bank.row));
+    }
+    if (bank.any_pre && t < bank.pre_start + timing_.tRP) {
+      sink_.report("tRP", t, "REF on ch%u %llu ticks after bank %u precharge (tRP %u)",
+                   cmd.channel, ull(t - bank.pre_start), b, timing_.tRP);
+    }
+    if (bank.any_act && t < bank.act_tick + timing_.tRC()) {
+      sink_.report("tRC", t, "REF on ch%u %llu ticks after bank %u ACT (tRC %u)",
+                   cmd.channel, ull(t - bank.act_tick), b, timing_.tRC());
+    }
+  }
+  if (ch.any_ref && t < ch.ref_tick + timing_.tRFC) {
+    sink_.report("tRFC", t, "REF on ch%u %llu ticks after previous REF (tRFC %u)",
+                 cmd.channel, ull(t - ch.ref_tick), timing_.tRFC);
+  }
+  ch.any_ref = true;
+  ch.ref_tick = t;
+}
+
+}  // namespace memsched::verif

@@ -1,0 +1,121 @@
+// DDR2 protocol conformance checker.
+//
+// Observes every command the device model issues (dram::CommandObserver) and
+// re-validates the full Timing constraint set from its *own* shadow state —
+// an independent implementation of the JEDEC rules, deliberately not sharing
+// code with Bank/Channel so that a bug in the device model's ad-hoc
+// "earliest legal tick" registers cannot hide from the checker (the
+// DRAMsys/Ramulator-2 style of machine-checked conformance).
+//
+// Rules verified per command:
+//   ACT  — bank closed, tRP since precharge start, tRC same-bank, tRFC since
+//          refresh, tRRD cross-bank, tFAW four-activate sliding window
+//   RD   — row open, tRCD, tCCD, tWTR after the last write burst, data-bus
+//          no-overlap, tRTRS on rank switch
+//   WR   — row open, tRCD, tCCD, tRTW after the last read burst, data-bus
+//          no-overlap, tRTRS on rank switch
+//   PRE  — row open, tRAS, tRTP after a read CAS, tWR after a write burst
+//   REF  — all rows closed, tRP/tRC/tRFC satisfied on every bank
+//   all  — one command per channel per tick, monotonic time
+//
+// Auto-precharge (RDA/WRA) updates the shadow row state exactly as the JEDEC
+// internal-precharge rules prescribe; a following ACT is checked against the
+// derived precharge start, which is where close-page scheduling bugs live.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dram/command.hpp"
+#include "dram/timing.hpp"
+#include "util/types.hpp"
+#include "verif/violation.hpp"
+
+namespace memsched::verif {
+
+class ProtocolChecker final : public dram::CommandObserver {
+ public:
+  /// `banks_per_rank` = 0 treats each channel as one rank (no tRTRS rule),
+  /// matching dram::Channel's convention.
+  ProtocolChecker(const dram::Timing& timing, std::uint32_t channels,
+                  std::uint32_t banks_per_channel, std::uint32_t banks_per_rank = 0,
+                  const CheckerConfig& cfg = {});
+
+  void on_command(const dram::CommandRecord& cmd) override;
+
+  [[nodiscard]] std::uint64_t commands_checked() const { return commands_; }
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return sink_.violations();
+  }
+  [[nodiscard]] std::uint64_t violation_count() const { return sink_.violation_count(); }
+  [[nodiscard]] bool saw_rule(const std::string& rule) const {
+    return sink_.saw_rule(rule);
+  }
+  void clear_violations() { sink_.clear(); }
+
+ private:
+  struct BankShadow {
+    bool open = false;
+    std::uint64_t row = 0;
+    bool any_act = false;
+    Tick act_tick = 0;   ///< most recent ACT
+    bool any_pre = false;
+    Tick pre_start = 0;  ///< start of the most recent precharge (explicit or auto)
+    bool any_read = false;
+    Tick read_cas = 0;   ///< most recent read CAS
+    bool any_write = false;
+    Tick write_cas = 0;  ///< most recent write CAS
+  };
+
+  struct ChannelShadow {
+    std::vector<BankShadow> banks;
+    bool any_cmd = false;
+    Tick last_cmd = 0;
+    bool any_cas = false;
+    Tick last_cas = 0;
+    std::uint32_t last_cas_rank = 0;
+    Tick data_busy_until = 0;
+    bool any_read_burst = false;
+    Tick read_data_end = 0;
+    bool any_write_burst = false;
+    Tick write_data_end = 0;
+    bool any_act = false;
+    Tick last_act = 0;
+    std::array<Tick, 4> faw{};  ///< ring of the last four ACT ticks
+    std::uint32_t faw_pos = 0;
+    std::uint32_t faw_fill = 0;
+    bool any_ref = false;
+    Tick ref_tick = 0;
+    std::vector<dram::CommandRecord> history;  ///< ring, newest overwrite oldest
+    std::uint32_t hist_pos = 0;
+    std::uint32_t hist_fill = 0;
+  };
+
+  void check_activate(ChannelShadow& ch, const dram::CommandRecord& cmd);
+  void check_read(ChannelShadow& ch, const dram::CommandRecord& cmd, bool auto_pre);
+  void check_write(ChannelShadow& ch, const dram::CommandRecord& cmd, bool auto_pre);
+  void check_precharge(ChannelShadow& ch, const dram::CommandRecord& cmd);
+  void check_refresh(ChannelShadow& ch, const dram::CommandRecord& cmd);
+  void record_history(ChannelShadow& ch, const dram::CommandRecord& cmd);
+  void dump_history() const;
+
+  /// Tick the last data beat of a write burst lands, given its CAS tick.
+  [[nodiscard]] Tick write_burst_end(Tick cas) const {
+    return cas + timing_.tWL + timing_.burst_cycles;
+  }
+
+  [[nodiscard]] std::uint32_t rank_of(std::uint32_t bank) const {
+    return banks_per_rank_ == 0 ? 0 : bank / banks_per_rank_;
+  }
+
+  dram::Timing timing_;
+  std::uint32_t banks_per_rank_;
+  CheckerConfig cfg_;
+  std::vector<ChannelShadow> channels_;
+  ViolationSink sink_;
+  std::uint64_t commands_ = 0;
+  std::uint32_t last_channel_ = 0;  ///< channel of the offending command, for dumps
+};
+
+}  // namespace memsched::verif

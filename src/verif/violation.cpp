@@ -1,0 +1,38 @@
+#include "verif/violation.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace memsched::verif {
+
+void ViolationSink::report(const char* rule, Tick tick, const char* fmt, ...) {
+  char detail[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(detail, sizeof detail, fmt, args);
+  va_end(args);
+
+  char message[640];
+  std::snprintf(message, sizeof message, "memsched verif: %s VIOLATION [%s] @%llu: %s",
+                domain_.c_str(), rule, static_cast<unsigned long long>(tick), detail);
+
+  if (cfg_.abort_on_violation) {
+    if (dump_) dump_();
+    std::fprintf(stderr, "%s\n", message);
+    std::abort();
+  }
+  ++count_;
+  if (violations_.size() < cfg_.max_recorded) {
+    violations_.push_back(Violation{rule, message, tick});
+  }
+}
+
+bool ViolationSink::saw_rule(const std::string& rule) const {
+  for (const Violation& v : violations_) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+}  // namespace memsched::verif

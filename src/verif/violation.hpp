@@ -1,0 +1,66 @@
+// Shared violation vocabulary for the checker subsystem.
+//
+// Every checker funnels failed invariants through a ViolationSink. In abort
+// mode (the default — a protocol violation means every downstream statistic
+// is garbage) the sink prints the checker's diagnostic context (e.g. the
+// recent command history) and aborts, mirroring MEMSCHED_ASSERT. In record
+// mode (mutation tests) violations accumulate and the simulation continues,
+// so a test can drive an illegal command sequence and assert that exactly
+// the targeted rule fired.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace memsched::verif {
+
+struct Violation {
+  std::string rule;     ///< short rule name: "tFAW", "tWTR", "double-completion", ...
+  std::string message;  ///< full formatted diagnostic (includes the rule name)
+  Tick tick = 0;        ///< bus tick of the offending event
+};
+
+struct CheckerConfig {
+  bool abort_on_violation = true;  ///< false = record mode (mutation tests)
+  std::uint32_t history_depth = 32;  ///< per-channel command history kept for dumps
+  std::size_t max_recorded = 4096;   ///< record-mode cap (the count keeps rising)
+};
+
+class ViolationSink {
+ public:
+  ViolationSink(const CheckerConfig& cfg, std::string domain)
+      : cfg_(cfg), domain_(std::move(domain)) {}
+
+  /// Invoked (abort mode only) right before the diagnostic is printed, so
+  /// the owning checker can dump its shadow state / command history.
+  void set_abort_context(std::function<void()> dump) { dump_ = std::move(dump); }
+
+  /// Report one violation; printf-style `fmt` describes the specifics.
+  /// Aborts the process in abort mode.
+  [[gnu::format(printf, 4, 5)]] void report(const char* rule, Tick tick,
+                                            const char* fmt, ...);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t violation_count() const { return count_; }
+
+  /// True if any recorded violation matched `rule` exactly.
+  [[nodiscard]] bool saw_rule(const std::string& rule) const;
+
+  void clear() {
+    violations_.clear();
+    count_ = 0;
+  }
+
+ private:
+  CheckerConfig cfg_;
+  std::string domain_;
+  std::function<void()> dump_;
+  std::vector<Violation> violations_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace memsched::verif

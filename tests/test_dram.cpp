@@ -48,6 +48,36 @@ TEST(Timing, RejectsRefreshIntervalBelowRfc) {
   EXPECT_FALSE(t.validate().empty());
 }
 
+TEST(Timing, RefreshIntervalUncheckedWhileRefreshDisabled) {
+  Timing t;
+  t.tREFI = t.tRFC;  // inconsistent, but the refresh machinery is off
+  EXPECT_TRUE(t.validate().empty());
+}
+
+TEST(Timing, RejectsRasShorterThanRcd) {
+  Timing t;
+  t.tRAS = t.tRCD - 1;
+  EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(Timing, RejectsZeroBurst) {
+  Timing t;
+  t.burst_cycles = 0;
+  EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(Timing, RejectsFawBelowRrd) {
+  Timing t;
+  t.tFAW = t.tRRD - 1;
+  EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(Timing, AcceptsWriteLatencyEqualToCas) {
+  Timing t;
+  t.tWL = t.tCL;  // DDR2 allows tWL up to tCL (nominally tCL - 1)
+  EXPECT_TRUE(t.validate().empty()) << t.validate();
+}
+
 TEST(Organization, Table1Defaults) {
   const Organization o;
   EXPECT_TRUE(o.validate().empty());
@@ -69,6 +99,41 @@ TEST(Organization, RejectsTooSmallCapacity) {
   Organization o;
   o.capacity_bytes = o.row_bytes;  // fewer rows than banks
   EXPECT_FALSE(o.validate().empty());
+}
+
+TEST(Organization, RejectsZeroDimensions) {
+  for (int field = 0; field < 3; ++field) {
+    Organization o;
+    if (field == 0) o.channels = 0;
+    if (field == 1) o.dimms_per_channel = 0;
+    if (field == 2) o.banks_per_dimm = 0;
+    EXPECT_FALSE(o.validate().empty()) << "field " << field;
+  }
+}
+
+TEST(Organization, RejectsRowSmallerThanLine) {
+  Organization o;
+  o.row_bytes = kLineBytes / 2;
+  EXPECT_FALSE(o.validate().empty());
+}
+
+TEST(Organization, RejectsNonPow2RowBytes) {
+  Organization o;
+  o.row_bytes = 8192 + 64;
+  EXPECT_FALSE(o.validate().empty());
+}
+
+TEST(Organization, RejectsNonPow2Capacity) {
+  Organization o;
+  o.capacity_bytes = (std::uint64_t{4} << 30) + 4096;
+  EXPECT_FALSE(o.validate().empty());
+}
+
+TEST(Organization, MinimalSingleRowPerBankValidates) {
+  Organization o;
+  o.capacity_bytes = static_cast<std::uint64_t>(o.total_banks()) * o.row_bytes;
+  EXPECT_TRUE(o.validate().empty()) << o.validate();
+  EXPECT_EQ(o.rows_per_bank(), 1u);
 }
 
 // -------------------------------------------------------- address map -----

@@ -1,0 +1,416 @@
+// Tests for the verification layer (src/verif).
+//
+// The mutation tests are the heart of this file: each drives one illegal
+// command sequence at the ProtocolChecker in record mode and asserts that
+// exactly the targeted JEDEC rule fires. A checker that never fires is
+// worse than none — these tests are what make the clean-run integration
+// checks meaningful.
+#include <gtest/gtest.h>
+
+#include "dram/command.hpp"
+#include "dram/timing.hpp"
+#include "mc/request.hpp"
+#include "sched/policies.hpp"
+#include "sim/open_loop.hpp"
+#include "sim/system.hpp"
+#include "trace/generator.hpp"
+#include "verif/invariant_auditor.hpp"
+#include "verif/lifecycle_checker.hpp"
+#include "verif/protocol_checker.hpp"
+
+namespace memsched::verif {
+namespace {
+
+using dram::CommandRecord;
+using dram::CommandType;
+
+// ----------------------------------------------- protocol checker rig ----
+
+CheckerConfig record_mode() {
+  CheckerConfig cfg;
+  cfg.abort_on_violation = false;
+  return cfg;
+}
+
+/// One channel, eight banks, single rank, DDR2-800 5-5-5 defaults.
+ProtocolChecker make_checker(std::uint32_t banks_per_rank = 0) {
+  return ProtocolChecker(dram::Timing{}, 1, 8, banks_per_rank, record_mode());
+}
+
+CommandRecord cmd(CommandType type, std::uint32_t bank, Tick tick,
+                  std::uint64_t row = 0) {
+  CommandRecord c;
+  c.type = type;
+  c.channel = 0;
+  c.bank = bank;
+  c.row = row;
+  c.tick = tick;
+  return c;
+}
+
+// A legal close-page transaction sequence produces no violations; this is
+// the baseline the mutations below perturb. DDR2-800: tCL 5, tRCD 5, tRP 5,
+// tRAS 18, tWL 4, tWR 6, tWTR 3, tRTW 2, tRTP 3, tRRD 3, tFAW 15, tCCD 2.
+TEST(ProtocolChecker, CleanSequencePasses) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0, 17));
+  pc.on_command(cmd(CommandType::kRead, 0, 5));
+  pc.on_command(cmd(CommandType::kPrecharge, 0, 18));
+  pc.on_command(cmd(CommandType::kActivate, 0, 23, 4));
+  pc.on_command(cmd(CommandType::kWrite, 0, 28));
+  pc.on_command(cmd(CommandType::kPrecharge, 0, 46));  // 28+4+2+6 = 40, tRAS = 46
+  EXPECT_EQ(pc.violation_count(), 0u);
+  EXPECT_EQ(pc.commands_checked(), 6u);
+}
+
+// ------------------------------------------------------ mutation tests ----
+// Each test breaks exactly one timing rule and asserts the checker names it.
+
+TEST(ProtocolCheckerMutation, CasTooSoonAfterActivateFirestRCD) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kRead, 0, 4));  // tRCD = 5
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("tRCD"));
+}
+
+TEST(ProtocolCheckerMutation, ActivateTooSoonAfterPrechargeFirestRP) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kPrecharge, 0, 30));  // tRAS long since met
+  pc.on_command(cmd(CommandType::kActivate, 0, 33));   // needs 30 + tRP(5) = 35
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("tRP"));
+}
+
+TEST(ProtocolCheckerMutation, EarlyPrechargeFirestRAS) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kPrecharge, 0, 10));  // tRAS = 18
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("tRAS"));
+}
+
+TEST(ProtocolCheckerMutation, BackToBackActivatesFiretRRD) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kActivate, 1, 2));  // tRRD = 3
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("tRRD"));
+}
+
+TEST(ProtocolCheckerMutation, FifthActivateInWindowFirestFAW) {
+  auto pc = make_checker();
+  // Four ACTs spaced at exactly tRRD: legal, and they fill the FAW window.
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kActivate, 1, 3));
+  pc.on_command(cmd(CommandType::kActivate, 2, 6));
+  pc.on_command(cmd(CommandType::kActivate, 3, 9));
+  EXPECT_EQ(pc.violation_count(), 0u);
+  pc.on_command(cmd(CommandType::kActivate, 4, 12));  // needs 0 + tFAW(15)
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("tFAW"));
+}
+
+TEST(ProtocolCheckerMutation, ReadChasingWriteBurstFirestWTR) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kWrite, 0, 5));  // data beats end @ 5+4+2 = 11
+  pc.on_command(cmd(CommandType::kRead, 0, 12));  // needs 11 + tWTR(3) = 14
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("tWTR"));
+}
+
+TEST(ProtocolCheckerMutation, WriteChasingReadBurstFirestRTW) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kActivate, 1, 3));
+  pc.on_command(cmd(CommandType::kRead, 0, 8));    // read data ends @ 8+5+2 = 15
+  pc.on_command(cmd(CommandType::kWrite, 1, 11));  // data @ 15, needs 15+tRTW(2)
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("tRTW"));
+}
+
+TEST(ProtocolCheckerMutation, PrechargeDuringWriteRecoveryFirestWR) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kWrite, 0, 5));
+  pc.on_command(cmd(CommandType::kWrite, 0, 7));       // last beat @ 7+4+2 = 13
+  pc.on_command(cmd(CommandType::kPrecharge, 0, 18));  // tRAS met; needs 13+tWR(6)
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("tWR"));
+}
+
+TEST(ProtocolCheckerMutation, PrechargeRightAfterReadFirestRTP) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kRead, 0, 16));
+  pc.on_command(cmd(CommandType::kPrecharge, 0, 18));  // tRAS met; needs 16+tRTP(3)
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("tRTP"));
+}
+
+TEST(ProtocolCheckerMutation, BackToBackCasFiretCCD) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kRead, 0, 5));
+  pc.on_command(cmd(CommandType::kRead, 0, 6));  // tCCD = 2 (also overlaps data)
+  EXPECT_TRUE(pc.saw_rule("tCCD"));
+  EXPECT_TRUE(pc.saw_rule("data-bus"));
+}
+
+TEST(ProtocolCheckerMutation, OverlappingBurstsFireDataBus) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kRead, 0, 5));   // data occupies 10..12
+  pc.on_command(cmd(CommandType::kWrite, 0, 7));  // write data starts @ 11
+  EXPECT_TRUE(pc.saw_rule("data-bus"));
+}
+
+TEST(ProtocolCheckerMutation, ActivateToOpenBankFires) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0, 7));
+  pc.on_command(cmd(CommandType::kActivate, 0, 30, 9));  // tRC met, row still open
+  EXPECT_EQ(pc.violation_count(), 1u);
+  EXPECT_TRUE(pc.saw_rule("ACT-open-bank"));
+}
+
+TEST(ProtocolCheckerMutation, CasWithNoOpenRowFires) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kRead, 0, 0));
+  EXPECT_TRUE(pc.saw_rule("CAS-closed-bank"));
+}
+
+TEST(ProtocolCheckerMutation, SharedCommandSlotFires) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 5));
+  pc.on_command(cmd(CommandType::kActivate, 1, 5));  // one command/channel/tick
+  EXPECT_TRUE(pc.saw_rule("command-bus"));
+}
+
+TEST(ProtocolCheckerMutation, RankSwitchWithoutGapFirestRTRS) {
+  auto pc = make_checker(/*banks_per_rank=*/4);  // banks 0-3 rank 0, 4-7 rank 1
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kActivate, 4, 3));
+  pc.on_command(cmd(CommandType::kRead, 0, 8));    // data 13..15
+  pc.on_command(cmd(CommandType::kRead, 4, 10));   // data @ 15: legal same-rank,
+  EXPECT_EQ(pc.violation_count(), 1u);             // but needs +tRTRS across ranks
+  EXPECT_TRUE(pc.saw_rule("tRTRS"));
+}
+
+// Auto-precharge shadows the JEDEC internal-precharge start: the next ACT is
+// checked against max(tRTP/tWR completion, tRAS) + tRP, not the CAS tick.
+TEST(ProtocolCheckerMutation, AutoPrechargeDerivedStartEnforced) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 0, 0));
+  pc.on_command(cmd(CommandType::kReadAp, 0, 5));     // pre starts @ tRAS = 18
+  pc.on_command(cmd(CommandType::kActivate, 0, 22));  // needs 18 + tRP(5) = 23
+  EXPECT_TRUE(pc.saw_rule("tRP"));
+
+  auto ok = make_checker();
+  ok.on_command(cmd(CommandType::kActivate, 0, 0));
+  ok.on_command(cmd(CommandType::kReadAp, 0, 5));
+  ok.on_command(cmd(CommandType::kActivate, 0, 23));
+  EXPECT_EQ(ok.violation_count(), 0u);
+}
+
+TEST(ProtocolCheckerMutation, RefreshWithOpenRowFires) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 2, 0));
+  pc.on_command(cmd(CommandType::kRefresh, 0, 30));
+  EXPECT_TRUE(pc.saw_rule("REF-open-bank"));
+}
+
+TEST(ProtocolCheckerMutation, BadCoordinatesFire) {
+  auto pc = make_checker();
+  pc.on_command(cmd(CommandType::kActivate, 99, 0));
+  EXPECT_TRUE(pc.saw_rule("bad-coordinates"));
+}
+
+// Abort mode is the default wiring: the first violation must terminate the
+// process, naming the rule, so a protocol bug can never produce numbers.
+TEST(ProtocolCheckerDeath, AbortModeDiesNamingTheRule) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ProtocolChecker pc(dram::Timing{}, 1, 8, 0, CheckerConfig{});
+        pc.on_command(cmd(CommandType::kActivate, 0, 0));
+        pc.on_command(cmd(CommandType::kRead, 0, 4));
+      },
+      "tRCD");
+}
+
+// --------------------------------------------- lifecycle checker tests ----
+
+RequestLifecycleChecker::Params small_params() {
+  RequestLifecycleChecker::Params p;
+  p.core_count = 2;
+  p.overhead_ticks = 6;
+  p.buffer_entries = 4;
+  p.drain_high = 32;
+  p.drain_low = 16;
+  p.channels = 2;
+  p.banks_per_channel = 8;
+  return p;
+}
+
+mc::Request make_req(RequestId id, CoreId core, bool is_write, Tick enqueue,
+                     std::uint32_t channel = 0, std::uint32_t bank = 0) {
+  mc::Request r;
+  r.id = id;
+  r.core = core;
+  r.line_addr = id * kLineBytes;
+  r.is_write = is_write;
+  r.dram.channel = channel;
+  r.dram.bank = bank;
+  r.enqueue_tick = enqueue;
+  r.visible_tick = enqueue + 6;
+  return r;
+}
+
+TEST(LifecycleChecker, CleanReadLifecyclePasses) {
+  RequestLifecycleChecker lc(small_params(), record_mode());
+  const auto r = make_req(1, 0, false, 0);
+  lc.on_enqueue(r, 0);
+  lc.on_schedule(r, mc::RowState::kClosed, 6);
+  lc.on_cas(r, 10, 22);
+  lc.on_deliver(r, 22, 22);
+  EXPECT_EQ(lc.violation_count(), 0u);
+  EXPECT_EQ(lc.live_requests(), 0u);
+}
+
+TEST(LifecycleCheckerMutation, SecondDeliveryFiresDoubleCompletion) {
+  RequestLifecycleChecker lc(small_params(), record_mode());
+  const auto r = make_req(1, 0, false, 0);
+  lc.on_enqueue(r, 0);
+  lc.on_schedule(r, mc::RowState::kClosed, 6);
+  lc.on_cas(r, 10, 22);
+  lc.on_deliver(r, 22, 22);
+  lc.on_deliver(r, 22, 25);
+  EXPECT_TRUE(lc.saw_rule("double-completion"));
+}
+
+TEST(LifecycleCheckerMutation, CasBeforeScheduleFires) {
+  RequestLifecycleChecker lc(small_params(), record_mode());
+  const auto r = make_req(1, 0, false, 0);
+  lc.on_enqueue(r, 0);
+  lc.on_cas(r, 10, 22);
+  EXPECT_TRUE(lc.saw_rule("cas-out-of-order"));
+}
+
+TEST(LifecycleCheckerMutation, ScheduleBeforeVisibleTickFires) {
+  RequestLifecycleChecker lc(small_params(), record_mode());
+  const auto r = make_req(1, 0, false, 10);  // visible @ 16
+  lc.on_enqueue(r, 10);
+  lc.on_schedule(r, mc::RowState::kHit, 12);
+  EXPECT_TRUE(lc.saw_rule("overhead-bypass"));
+}
+
+TEST(LifecycleCheckerMutation, WrongControllerOverheadFires) {
+  RequestLifecycleChecker lc(small_params(), record_mode());
+  auto r = make_req(1, 0, false, 10);
+  r.visible_tick = 12;  // params say enqueue + 6
+  lc.on_enqueue(r, 10);
+  EXPECT_TRUE(lc.saw_rule("visible-tick"));
+}
+
+TEST(LifecycleCheckerMutation, DoubleBookedBankSlotFires) {
+  RequestLifecycleChecker lc(small_params(), record_mode());
+  const auto a = make_req(1, 0, false, 0, 0, 3);
+  const auto b = make_req(2, 1, false, 0, 0, 3);
+  lc.on_enqueue(a, 0);
+  lc.on_enqueue(b, 0);
+  lc.on_schedule(a, mc::RowState::kClosed, 6);
+  lc.on_schedule(b, mc::RowState::kClosed, 7);
+  EXPECT_TRUE(lc.saw_rule("slot-conflict"));
+}
+
+TEST(LifecycleCheckerMutation, OverfilledBufferFires) {
+  RequestLifecycleChecker lc(small_params(), record_mode());  // 4 entries
+  for (RequestId id = 1; id <= 5; ++id) {
+    lc.on_enqueue(make_req(id, 0, false, 0), 0);
+  }
+  EXPECT_TRUE(lc.saw_rule("buffer-overflow"));
+}
+
+TEST(LifecycleCheckerMutation, DrainHysteresisViolationsFire) {
+  RequestLifecycleChecker lc(small_params(), record_mode());
+  lc.on_drain(true, 10, 100);  // entered below drain_high = 32
+  EXPECT_TRUE(lc.saw_rule("drain-hysteresis"));
+  lc.clear_violations();
+  lc.on_drain(true, 40, 110);  // entered while already draining
+  EXPECT_TRUE(lc.saw_rule("drain-double-enter"));
+  lc.clear_violations();
+  lc.on_drain(false, 20, 120);  // exited above drain_low = 16
+  EXPECT_TRUE(lc.saw_rule("drain-hysteresis"));
+}
+
+TEST(LifecycleCheckerMutation, DuplicateIdFires) {
+  RequestLifecycleChecker lc(small_params(), record_mode());
+  lc.on_enqueue(make_req(7, 0, false, 0), 0);
+  lc.on_enqueue(make_req(7, 1, true, 1), 1);
+  EXPECT_TRUE(lc.saw_rule("duplicate-id"));
+}
+
+// ------------------------------------------------- integration checks ----
+
+std::vector<trace::AppProfile> two_apps() {
+  return {trace::spec2000_by_name("swim"), trace::spec2000_by_name("gzip")};
+}
+
+// The unmodified simulator must run clean under the full audit: every DRAM
+// command re-validated, every request's lifecycle tracked, counters
+// cross-checked each epoch, leak check at the end. Abort mode means any
+// violation kills this test outright.
+TEST(InvariantAuditor, CleanSimulationRunsAuditedWithoutViolations) {
+  sim::SystemConfig cfg;
+  cfg.cores = 2;
+  cfg.audit.enabled = true;
+  sched::HitFirstReadFirstScheduler s;
+  sim::MultiCoreSystem sys(cfg, two_apps(), s, 7);
+  const auto r = sys.run(25'000, 5'000);
+  EXPECT_GT(r.ticks, 0u);
+  ASSERT_NE(sys.auditor(), nullptr);
+  EXPECT_EQ(sys.auditor()->violation_count(), 0u);
+#if MEMSCHED_VERIF_ENABLED
+  EXPECT_GT(sys.auditor()->protocol().commands_checked(), 1000u);
+  EXPECT_GT(sys.auditor()->lifecycle().requests_tracked(), 100u);
+#endif
+}
+
+TEST(InvariantAuditor, RefreshTrafficAlsoRunsClean) {
+  sim::SystemConfig cfg;
+  cfg.cores = 2;
+  cfg.timing.refresh_enabled = true;
+  cfg.audit.enabled = true;
+  sched::HitFirstReadFirstScheduler s;
+  sim::MultiCoreSystem sys(cfg, two_apps(), s, 11);
+  sys.run(20'000, 2'000);
+  ASSERT_NE(sys.auditor(), nullptr);
+  EXPECT_EQ(sys.auditor()->violation_count(), 0u);
+}
+
+TEST(InvariantAuditor, DisabledConfigAttachesNothing) {
+  sim::SystemConfig cfg;
+  cfg.cores = 2;
+  cfg.audit.enabled = false;
+  sched::HitFirstReadFirstScheduler s;
+  sim::MultiCoreSystem sys(cfg, two_apps(), s, 7);
+  EXPECT_EQ(sys.auditor(), nullptr);
+}
+
+// Open-loop harness path: the auditor rides along and the leak check runs
+// at the end of the drive loop (abort mode — violations kill the test).
+TEST(InvariantAuditor, OpenLoopRunsAudited) {
+  sim::OpenLoopConfig cfg;
+  cfg.cores = 2;
+  cfg.warmup_ticks = 1'000;
+  cfg.measure_ticks = 8'000;
+  cfg.audit.enabled = true;
+  sched::HitFirstReadFirstScheduler s;
+  const auto r = sim::run_open_loop(cfg, s);
+  EXPECT_GT(r.accepted_per_tick, 0.0);
+}
+
+}  // namespace
+}  // namespace memsched::verif
