@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/guarded_main.hpp"
 #include "report.hpp"
 #include "sim/runner.hpp"
 #include "sim/workloads.hpp"
@@ -44,9 +45,10 @@ double mean_unfairness(const sim::ExperimentConfig& cfg, const std::string& sche
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  BenchSetup setup;
-  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+namespace {
+
+int run_bench(int argc, char** argv) {
+  const BenchSetup setup = BenchSetup::parse(argc, argv);
   bench::print_header(setup, "Ablation — design choices (4-core MEM mean SMT speedup)",
                       "priority-table quantisation is performance-neutral; ordering, "
                       "interleaving and drain thresholds quantified");
@@ -170,4 +172,10 @@ int main(int argc, char** argv) {
               "strongest for both schemes; (D) paper thresholds competitive;\n"
               "(E) online ME approaches off-line profiling and beats plain LREQ.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("ablation_design_choices", [&] { return run_bench(argc, argv); });
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/guarded_main.hpp"
 #include "report.hpp"
 #include "sim/json_report.hpp"
 #include "sim/runner.hpp"
@@ -25,9 +26,10 @@ struct Row {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  BenchSetup setup;
-  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+namespace {
+
+int run_bench(int argc, char** argv) {
+  const BenchSetup setup = BenchSetup::parse(argc, argv, {"json"});
   bench::print_header(
       setup, "Figure 2 — SMT speedup of five scheduling schemes",
       "ME-LREQ wins on MEM workloads; gains grow with core count "
@@ -138,4 +140,10 @@ int main(int argc, char** argv) {
               " \"the performance gains ... are insignificant on the two-core\n"
               " platform\".)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("fig2_smt_speedup", [&] { return run_bench(argc, argv); });
 }

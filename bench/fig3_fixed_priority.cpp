@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/guarded_main.hpp"
 #include "report.hpp"
 #include "sim/runner.hpp"
 #include "sim/workloads.hpp"
@@ -24,9 +25,10 @@ namespace {
 const std::vector<std::string> kSchemes = {"HF-RF", "ME", "FIX-DESC", "FIX-ASC"};
 }
 
-int main(int argc, char** argv) {
-  BenchSetup setup;
-  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+namespace {
+
+int run_bench(int argc, char** argv) {
+  const BenchSetup setup = BenchSetup::parse(argc, argv);
   bench::print_header(setup, "Figure 3 — simple and fixed priority schemes (4 cores)",
                       "random fixed priorities are erratic across workloads; "
                       "ME-guided priority is consistent");
@@ -93,4 +95,10 @@ int main(int argc, char** argv) {
       "swings *negative* as in the paper; the order-dependence and ME's\n"
       "consistency — Figure 3's argument — are in the two statistics above.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("fig3_fixed_priority", [&] { return run_bench(argc, argv); });
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/guarded_main.hpp"
 #include "report.hpp"
 #include "sim/runner.hpp"
 #include "sim/workloads.hpp"
@@ -21,9 +22,10 @@ namespace {
 const std::vector<std::string> kSchemes = {"HF-RF", "ME", "RR", "LREQ", "ME-LREQ"};
 }
 
-int main(int argc, char** argv) {
-  BenchSetup setup;
-  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+namespace {
+
+int run_bench(int argc, char** argv) {
+  const BenchSetup setup = BenchSetup::parse(argc, argv);
   bench::print_header(setup, "Figure 4 — memory read latency (4-core MEM workloads)",
                       "ME-LREQ has the lowest average read latency; fixed ME "
                       "priority spreads per-core latency the most (starvation)");
@@ -112,4 +114,10 @@ int main(int argc, char** argv) {
   std::printf("reproduced when ME-LREQ's mean is the lowest (or ties lowest) and the\n"
               "ME scheme shows the largest per-core max/min ratio above.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("fig4_read_latency", [&] { return run_bench(argc, argv); });
 }

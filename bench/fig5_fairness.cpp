@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/guarded_main.hpp"
 #include "report.hpp"
 #include "sim/runner.hpp"
 #include "sim/workloads.hpp"
@@ -21,9 +22,10 @@ namespace {
 const std::vector<std::string> kSchemes = {"HF-RF", "ME", "RR", "LREQ", "ME-LREQ"};
 }
 
-int main(int argc, char** argv) {
-  BenchSetup setup;
-  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+namespace {
+
+int run_bench(int argc, char** argv) {
+  const BenchSetup setup = BenchSetup::parse(argc, argv);
   bench::print_header(setup, "Figure 5 — fairness (4-core MEM workloads)",
                       "ME-LREQ has the lowest unfairness; fixed ME priority the worst");
 
@@ -81,4 +83,10 @@ int main(int argc, char** argv) {
   std::printf("  measured mean ME %.3f vs HF-RF %.3f (%s)\n", unf[1].mean(), unf[0].mean(),
               bench::fmt_pct(bench::pct(unf[1].mean(), unf[0].mean())).c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("fig5_fairness", [&] { return run_bench(argc, argv); });
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/scheduler_factory.hpp"
+#include "harness/guarded_main.hpp"
 #include "report.hpp"
 #include "sim/open_loop.hpp"
 #include "util/stats.hpp"
@@ -16,9 +17,10 @@
 using namespace memsched;
 using bench::BenchSetup;
 
-int main(int argc, char** argv) {
-  BenchSetup setup;
-  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+namespace {
+
+int run_bench(int argc, char** argv) {
+  const BenchSetup setup = BenchSetup::parse(argc, argv);
   bench::print_header(setup, "Extension — open-loop latency-vs-load curves",
                       "queueing knees per policy; thread-aware scheduling defers "
                       "saturation relative to the windowed arrival-order baseline");
@@ -65,4 +67,10 @@ int main(int argc, char** argv) {
   std::printf("latencies in bus ticks (x8 for 3.2 GHz CPU cycles); a row is\n"
               "marked saturated when >1%% of offered requests were rejected.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("latency_curves", [&] { return run_bench(argc, argv); });
 }

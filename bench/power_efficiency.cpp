@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/guarded_main.hpp"
 #include "report.hpp"
 #include "sim/runner.hpp"
 #include "sim/workloads.hpp"
@@ -21,9 +22,10 @@ namespace {
 const std::vector<std::string> kSchemes = {"HF-RF", "ME", "RR", "LREQ", "ME-LREQ"};
 }
 
-int main(int argc, char** argv) {
-  BenchSetup setup;
-  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+namespace {
+
+int run_bench(int argc, char** argv) {
+  const BenchSetup setup = BenchSetup::parse(argc, argv);
   bench::print_header(setup, "Extension — DRAM power/energy by scheduling scheme",
                       "row-hit-friendly scheduling avoids ACT/PRE energy; faster "
                       "runs amortize background power");
@@ -80,4 +82,10 @@ int main(int argc, char** argv) {
               "spend fewer microjoules per kilo-instruction; HF-RF's head-of-line\n"
               "stalls stretch runtime and pay background power for it.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("power_efficiency", [&] { return run_bench(argc, argv); });
 }

@@ -1,19 +1,30 @@
 #include "report.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 
 namespace memsched::bench {
 
-bool BenchSetup::parse(int argc, char** argv, BenchSetup& out) {
-  if (auto err = out.cli.parse_args(argc, argv)) {
-    std::fprintf(stderr, "argument error: %s\n", err->c_str());
+BenchSetup BenchSetup::parse(int argc, char** argv,
+                             const std::vector<std::string_view>& extra_keys) {
+  BenchSetup out;
+  const auto fail = [&](const std::string& msg) -> void {
+    std::fprintf(stderr, "argument error: %s\n", msg.c_str());
     std::fprintf(stderr,
                  "usage: %s [insts=N] [repeats=N] [warmup=N] [profile_insts=N]\n"
                  "          [seed=N] [profile_seed=N] [interleave=line|page|hybrid]\n"
                  "          [refresh=0|1] [verify=0|1] [csv=path]\n",
                  argv[0]);
-    return false;
-  }
+    throw std::invalid_argument(msg);
+  };
+  if (auto err = out.cli.parse_args(argc, argv)) fail(*err);
+  // A misspelled override must stop the bench, not silently measure the
+  // default configuration.
+  std::vector<std::string_view> known = {"insts",        "repeats",    "warmup",
+                                         "profile_insts", "seed",      "profile_seed",
+                                         "interleave",    "refresh",   "verify", "csv"};
+  known.insert(known.end(), extra_keys.begin(), extra_keys.end());
+  if (auto err = out.cli.check_known(known)) fail(*err);
   sim::ExperimentConfig& e = out.experiment;
   e.eval_insts = out.cli.get_uint("insts", e.eval_insts);
   e.eval_repeats = static_cast<std::uint32_t>(out.cli.get_uint("repeats", e.eval_repeats));
@@ -25,15 +36,12 @@ bool BenchSetup::parse(int argc, char** argv, BenchSetup& out) {
   if (il == "line") e.base.interleave = dram::Interleave::kLineInterleave;
   else if (il == "page") e.base.interleave = dram::Interleave::kPageInterleave;
   else if (il == "hybrid") e.base.interleave = dram::Interleave::kHybrid;
-  else {
-    std::fprintf(stderr, "unknown interleave '%s'\n", il.c_str());
-    return false;
-  }
+  else fail("unknown interleave '" + il + "'");
   e.base.timing.refresh_enabled = out.cli.get_bool("refresh", false);
   // Default comes from the MEMSCHED_VERIFY environment flag; verify= overrides.
   e.base.audit.enabled = out.cli.get_bool("verify", e.base.audit.enabled);
   out.csv_path = out.cli.get_string("csv", "");
-  return true;
+  return out;
 }
 
 void print_header(const BenchSetup& setup, const char* artefact,

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/experiment.hpp"
@@ -25,8 +26,13 @@ struct BenchSetup {
   sim::ExperimentConfig experiment;
   std::string csv_path;  ///< empty = no CSV
 
-  /// Returns false (after printing usage) on bad arguments.
-  static bool parse(int argc, char** argv, BenchSetup& out);
+  /// Parses or dies loudly: malformed tokens, unknown keys (after a
+  /// did-you-mean check), or bad enum values print usage and raise
+  /// std::invalid_argument, which the guarded_main wrapper turns into exit
+  /// code 2 plus a structured MEMSCHED_ERROR line. `extra_keys` lists
+  /// bench-specific additions to the shared vocabulary above.
+  static BenchSetup parse(int argc, char** argv,
+                          const std::vector<std::string_view>& extra_keys = {});
 };
 
 /// Prints the standard header: binary name, paper artefact, configuration.

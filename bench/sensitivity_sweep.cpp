@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/guarded_main.hpp"
 #include "report.hpp"
 #include "sim/workloads.hpp"
 #include "util/stats.hpp"
@@ -37,9 +38,10 @@ Point measure(const sim::ExperimentConfig& cfg, const sim::Workload& w) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  BenchSetup setup;
-  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+namespace {
+
+int run_bench(int argc, char** argv) {
+  const BenchSetup setup = BenchSetup::parse(argc, argv, {"workload"});
   bench::print_header(setup, "Extension — device/organization sensitivity sweep",
                       "scheduling gains grow as the memory system gets scarcer");
 
@@ -115,4 +117,10 @@ int main(int argc, char** argv) {
               "scheduler's opportunity); XOR hashing preserves the hybrid map's\n"
               "row locality for sequential streams (low row bits untouched).\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("sensitivity_sweep", [&] { return run_bench(argc, argv); });
 }

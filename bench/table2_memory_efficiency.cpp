@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/guarded_main.hpp"
 #include "report.hpp"
 #include "trace/app_profile.hpp"
 #include "util/stats.hpp"
@@ -16,9 +17,10 @@
 using namespace memsched;
 using bench::BenchSetup;
 
-int main(int argc, char** argv) {
-  BenchSetup setup;
-  if (!BenchSetup::parse(argc, argv, setup)) return 1;
+namespace {
+
+int run_bench(int argc, char** argv) {
+  const BenchSetup setup = BenchSetup::parse(argc, argv);
   bench::print_header(setup, "Table 2 — per-application memory efficiency",
                       "26 SPEC2000 apps, class (M/I) and ME = IPC_single/BW_single");
 
@@ -80,4 +82,10 @@ int main(int argc, char** argv) {
               "traffic-scale factor); it should approximate the paper column.\n",
               trace::kTable2MeScale);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("table2_memory_efficiency", [&] { return run_bench(argc, argv); });
 }

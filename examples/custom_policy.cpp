@@ -13,6 +13,7 @@
 #include "sched/policies.hpp"
 #include "sim/system.hpp"
 #include "sim/workloads.hpp"
+#include "harness/guarded_main.hpp"
 #include "util/config.hpp"
 
 using namespace memsched;
@@ -67,12 +68,16 @@ double run_with(sched::Scheduler& policy, const sim::Workload& w,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_example(int argc, char** argv) {
   util::Config cli;
   if (auto err = cli.parse_args(argc, argv)) {
     std::fprintf(stderr, "usage: custom_policy [insts=N] [seed=N] [workload=NAME]\n");
-    return 1;
+    throw std::invalid_argument(*err);
   }
+  if (auto err = cli.check_known({"insts", "seed", "workload"}))
+    throw std::invalid_argument(*err);
   const std::uint64_t insts = cli.get_uint("insts", 300'000);
   const std::uint64_t seed = cli.get_uint("seed", 42);
   const sim::Workload& w =
@@ -98,4 +103,11 @@ int main(int argc, char** argv) {
   std::printf("\nTo add a policy to the factory (so benches can use it by name),\n"
               "see core::make_scheduler in src/core/scheduler_factory.cpp.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return memsched::harness::guarded_main("custom_policy",
+                                         [&] { return run_example(argc, argv); });
 }

@@ -7,20 +7,26 @@
 // profile -> evaluate methodology; everything it does can also be driven
 // manually (see custom_policy.cpp for the lower-level route).
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "sim/experiment.hpp"
 #include "sim/workloads.hpp"
+#include "harness/guarded_main.hpp"
 #include "util/config.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_example(int argc, char** argv) {
   using namespace memsched;
 
   util::Config cli;
   if (auto err = cli.parse_args(argc, argv)) {
     std::fprintf(stderr, "usage: quickstart [key=value]...\n%s\n", err->c_str());
-    return 1;
+    throw std::invalid_argument(*err);
   }
+  if (auto err = cli.check_known({"insts", "profile_insts", "repeats", "seed", "workload"}))
+    throw std::invalid_argument(*err);
 
   sim::ExperimentConfig cfg;  // defaults reproduce the paper's Table 1
   cfg.eval_insts = cli.get_uint("insts", 200'000);
@@ -54,4 +60,11 @@ int main(int argc, char** argv) {
   std::printf("\nME-LREQ over HF-RF: %+.2f%% SMT speedup\n",
               (ours.smt_speedup / base.smt_speedup - 1.0) * 100.0);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return memsched::harness::guarded_main("quickstart",
+                                         [&] { return run_example(argc, argv); });
 }

@@ -16,6 +16,7 @@
 #include "sim/system.hpp"
 #include "trace/generator.hpp"
 #include "trace/trace_file.hpp"
+#include "harness/guarded_main.hpp"
 #include "util/config.hpp"
 
 using namespace memsched;
@@ -32,13 +33,18 @@ std::vector<trace::InstRecord> load_any(const std::string& path) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_example(int argc, char** argv) {
   util::Config cli;
   if (auto err = cli.parse_args(argc, argv)) {
     std::fprintf(stderr, "usage: trace_replay [trace0=path trace1=path ...] "
                          "[insts=N] [ipc=F]\n");
-    return 1;
+    throw std::invalid_argument(*err);
   }
+  // traceN is an open-ended family: prefix-match instead of enumerating.
+  if (auto err = cli.check_known({"insts", "ipc"}, {"trace"}))
+    throw std::invalid_argument(*err);
   const std::uint64_t insts = cli.get_uint("insts", 100'000);
   const double ipc = cli.get_double("ipc", 2.0);
 
@@ -101,4 +107,11 @@ int main(int argc, char** argv) {
               "working set becomes cache-resident, so supply slices comfortably\n"
               "longer than warmup+measured instructions per core.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return memsched::harness::guarded_main("trace_replay",
+                                         [&] { return run_example(argc, argv); });
 }

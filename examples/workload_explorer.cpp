@@ -13,6 +13,7 @@
 #include "sched/policies.hpp"
 #include "sim/system.hpp"
 #include "trace/app_profile.hpp"
+#include "harness/guarded_main.hpp"
 #include "util/config.hpp"
 
 using namespace memsched;
@@ -36,13 +37,17 @@ Sample run_once(const std::vector<trace::AppProfile>& apps, sched::Scheduler& po
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_example(int argc, char** argv) {
   util::Config cli;
   if (auto err = cli.parse_args(argc, argv)) {
     std::fprintf(stderr,
                  "usage: workload_explorer [cores=4] [insts=N] [seed=N] [light=gzip]\n");
-    return 1;
+    throw std::invalid_argument(*err);
   }
+  if (auto err = cli.check_known({"cores", "insts", "seed", "light"}))
+    throw std::invalid_argument(*err);
   const auto cores = static_cast<std::uint32_t>(cli.get_uint("cores", 4));
   const std::uint64_t insts = cli.get_uint("insts", 150'000);
   const std::uint64_t seed = cli.get_uint("seed", 7);
@@ -81,4 +86,11 @@ int main(int argc, char** argv) {
               "is idle); as the streamers approach saturation, ME-LREQ protects the\n"
               "light, memory-efficient application and total throughput diverges.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return memsched::harness::guarded_main("workload_explorer",
+                                         [&] { return run_example(argc, argv); });
 }

@@ -11,7 +11,8 @@ else
   cmake -B build -G Ninja
 fi
 cmake --build build
-ctest --test-dir build --output-on-failure
+# Hard wall-clock cap: a wedged test must fail the gate, not hang it.
+timeout 2400 ctest --test-dir build --output-on-failure
 
 echo "== clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
@@ -40,5 +41,9 @@ echo "== tool smoke =="
 ./build/tools/memsched_trace info in=/tmp/check_trace.bin > /dev/null
 rm -f /tmp/check_trace.bin
 echo "  tools ok"
+
+echo "== chaos smoke (fault injection + kill/resume, see docs/robustness.md) =="
+scripts/chaos_smoke.sh build > /dev/null
+echo "  chaos smoke ok"
 
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,20 @@
+#include "harness/bench_registry.hpp"
+
+namespace memsched::harness {
+
+const std::vector<BenchEntry>& bench_registry() {
+  static const std::vector<BenchEntry> registry = {
+      {"table2_memory_efficiency", {"insts=40000", "repeats=1", "profile_insts=100000"}},
+      {"fig2_smt_speedup", {"insts=30000", "repeats=1", "profile_insts=80000"}},
+      {"fig3_fixed_priority", {"insts=40000", "repeats=1", "profile_insts=100000"}},
+      {"fig4_read_latency", {"insts=40000", "repeats=1", "profile_insts=100000"}},
+      {"fig5_fairness", {"insts=40000", "repeats=1", "profile_insts=100000"}},
+      {"ablation_design_choices", {"insts=30000", "repeats=1", "profile_insts=80000"}},
+      {"power_efficiency", {"insts=30000", "repeats=1", "profile_insts=80000"}},
+      {"sensitivity_sweep", {"insts=20000", "repeats=1", "profile_insts=60000"}},
+      {"latency_curves", {}},
+  };
+  return registry;
+}
+
+}  // namespace memsched::harness

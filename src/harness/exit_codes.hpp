@@ -1,0 +1,26 @@
+// Exit-code contract shared by every memsched binary and the sweep
+// orchestrator.
+//
+// The orchestrator classifies a child purely from how it terminated, so the
+// binaries must agree on what each code means. Code 1 is deliberately left
+// unused: it is what an abort()ing assert, a sanitizer, or a shell builtin
+// reports, and folding those into our own vocabulary would blur the one
+// distinction the sweep report cares about — "we diagnosed this" versus
+// "something died".
+#pragma once
+
+namespace memsched::harness {
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitUsage = 2,     ///< bad CLI/config (std::invalid_argument)
+  kExitLivelock = 3,  ///< sim::LivelockError — progress watchdog fired
+  kExitBudget = 4,    ///< sim::CycleBudgetError — max_ticks exhausted
+  kExitInternal = 5,  ///< any other uncaught std::exception
+};
+
+/// Stable category string for an exit code ("ok", "usage", "livelock",
+/// "budget", "internal"); unknown codes map to "internal".
+[[nodiscard]] const char* exit_category(int code);
+
+}  // namespace memsched::harness

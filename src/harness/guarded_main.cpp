@@ -1,0 +1,66 @@
+#include "harness/guarded_main.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+
+#include "sim/watchdog.hpp"
+#include "util/json.hpp"
+
+namespace memsched::harness {
+
+const char* exit_category(int code) {
+  switch (code) {
+    case kExitOk: return "ok";
+    case kExitUsage: return "usage";
+    case kExitLivelock: return "livelock";
+    case kExitBudget: return "budget";
+    default: return "internal";
+  }
+}
+
+ErrorInfo classify_current_exception() {
+  ErrorInfo info;
+  try {
+    throw;  // re-inspect the in-flight exception
+  } catch (const sim::LivelockError& e) {
+    info.exit_code = kExitLivelock;
+    info.what = e.what();
+  } catch (const sim::CycleBudgetError& e) {
+    info.exit_code = kExitBudget;
+    info.what = e.what();
+  } catch (const std::invalid_argument& e) {
+    info.exit_code = kExitUsage;
+    info.what = e.what();
+  } catch (const std::exception& e) {
+    info.exit_code = kExitInternal;
+    info.what = e.what();
+  } catch (...) {
+    info.exit_code = kExitInternal;
+    info.what = "unknown non-standard exception";
+  }
+  info.category = exit_category(info.exit_code);
+  return info;
+}
+
+void emit_error_line(const std::string& binary, const ErrorInfo& info) {
+  util::Json line = util::Json::object();
+  line["binary"] = binary;
+  line["category"] = info.category;
+  line["exit_code"] = info.exit_code;
+  line["what"] = info.what;
+  std::fprintf(stderr, "MEMSCHED_ERROR %s\n", line.dump(-1).c_str());
+  std::fflush(stderr);
+}
+
+int guarded_main(const std::string& binary, const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (...) {
+    const ErrorInfo info = classify_current_exception();
+    emit_error_line(binary, info);
+    return info.exit_code;
+  }
+}
+
+}  // namespace memsched::harness

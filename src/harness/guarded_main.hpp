@@ -1,0 +1,38 @@
+// Top-level exception guard for memsched binaries.
+//
+// Wrapping a binary's real entry point in guarded_main() turns uncaught
+// exceptions into (a) a single machine-parseable "MEMSCHED_ERROR {...}" line
+// on stderr and (b) the contract exit code from exit_codes.hpp, instead of
+// std::terminate. The sweep orchestrator — and any shell script — can then
+// distinguish a typo'd config from a livelock from a genuine crash without
+// scraping free-form text.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "harness/exit_codes.hpp"
+
+namespace memsched::harness {
+
+/// How an exception maps onto the exit-code contract.
+struct ErrorInfo {
+  int exit_code = kExitInternal;
+  std::string category;  ///< "usage" | "livelock" | "budget" | "internal"
+  std::string what;
+};
+
+/// Classifies the exception currently being handled. Must be called from
+/// inside a catch block; rethrows nothing.
+[[nodiscard]] ErrorInfo classify_current_exception();
+
+/// Prints the structured one-line error record to stderr:
+///   MEMSCHED_ERROR {"binary":...,"category":...,"exit_code":N,"what":...}
+/// The JSON escaping keeps multi-line diagnostics (e.g. a livelock state
+/// dump) on a single grep-able line.
+void emit_error_line(const std::string& binary, const ErrorInfo& info);
+
+/// Runs `body`, translating exceptions per classify_current_exception().
+int guarded_main(const std::string& binary, const std::function<int()>& body);
+
+}  // namespace memsched::harness

@@ -1,0 +1,126 @@
+#include "harness/manifest.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace memsched::harness {
+
+namespace {
+
+constexpr const char* kFormat = "memsched-sweep-manifest-v1";
+
+std::string read_file(const std::string& path, bool& exists) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    exists = false;
+    return {};
+  }
+  exists = true;
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) throw std::runtime_error("manifest: read error on " + path);
+  return out;
+}
+
+PointRecord record_from(const util::Json& j) {
+  PointRecord r;
+  r.name = j.at("name").as_string();
+  r.status = j.at("status").as_string();
+  r.category = j.at("category").as_string();
+  r.exit_code = static_cast<int>(j.at("exit_code").as_number());
+  r.term_signal = static_cast<int>(j.at("term_signal").as_number());
+  r.attempts = static_cast<std::uint32_t>(j.at("attempts").as_uint());
+  r.wall_ms = j.at("wall_ms").as_number();
+  r.payload = j.at("payload").as_string();
+  r.error = j.at("error").as_string();
+  return r;
+}
+
+}  // namespace
+
+void Manifest::open(const std::string& path, const std::string& fingerprint) {
+  path_ = path;
+  fingerprint_ = fingerprint;
+  records_.clear();
+
+  bool exists = false;
+  const std::string text = read_file(path, exists);
+  if (!exists) return;  // fresh sweep
+
+  util::Json doc;
+  try {
+    doc = util::Json::parse(text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("manifest: " + path + " is not valid JSON (" + e.what() +
+                             "); delete it to start the sweep over");
+  }
+  if (const util::Json* fmt = doc.find("format");
+      fmt == nullptr || !fmt->is_string() || fmt->as_string() != kFormat) {
+    throw std::runtime_error("manifest: " + path + " has an unrecognized format tag");
+  }
+  const std::string found = doc.at("fingerprint").as_string();
+  if (found != fingerprint) {
+    throw std::runtime_error(
+        "manifest: " + path + " belongs to a different sweep (fingerprint '" + found +
+        "', expected '" + fingerprint + "'); delete it or change manifest=");
+  }
+  for (const util::Json& p : doc.at("points").elements())
+    records_.push_back(record_from(p));
+}
+
+const PointRecord* Manifest::find(const std::string& name) const {
+  for (const PointRecord& r : records_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+void Manifest::record(const PointRecord& rec) {
+  bool replaced = false;
+  for (PointRecord& r : records_) {
+    if (r.name == rec.name) {
+      r = rec;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) records_.push_back(rec);
+  if (bound()) save();
+}
+
+void Manifest::save() const {
+  util::Json doc = util::Json::object();
+  doc["format"] = kFormat;
+  doc["fingerprint"] = fingerprint_;
+  util::Json points = util::Json::array();
+  for (const PointRecord& r : records_) {
+    util::Json p = util::Json::object();
+    p["name"] = r.name;
+    p["status"] = r.status;
+    p["category"] = r.category;
+    p["exit_code"] = r.exit_code;
+    p["term_signal"] = r.term_signal;
+    p["attempts"] = r.attempts;
+    p["wall_ms"] = r.wall_ms;
+    p["payload"] = r.payload;
+    p["error"] = r.error;
+    points.push_back(std::move(p));
+  }
+  doc["points"] = std::move(points);
+
+  // Atomic checkpoint: a crash mid-write must never corrupt the manifest —
+  // the previous checkpoint survives until rename() commits the new one.
+  const std::string tmp = path_ + ".tmp";
+  doc.write_file(tmp, -1);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("manifest: cannot rename " + tmp + " to " + path_);
+  }
+}
+
+}  // namespace memsched::harness

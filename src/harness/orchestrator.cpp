@@ -1,0 +1,346 @@
+#include "harness/orchestrator.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "harness/guarded_main.hpp"
+
+namespace memsched::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  ::usleep(static_cast<useconds_t>(seconds * 1e6));
+}
+
+/// Replaces fd `target` with a freshly created file (child-side only).
+void redirect_to_file(const std::string& path, int target) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;  // diagnostics-only stream; keep running without it
+  ::dup2(fd, target);
+  ::close(fd);
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", seconds);
+  return buf;
+}
+
+}  // namespace
+
+Orchestrator::Orchestrator(OrchestratorConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.max_attempts == 0) cfg_.max_attempts = 1;
+  if (!cfg_.manifest_path.empty()) {
+    manifest_.open(cfg_.manifest_path, cfg_.fingerprint);
+  }
+  if (cfg_.work_dir.empty()) {
+    cfg_.work_dir = cfg_.manifest_path.empty() ? std::string("memsched-sweep.work")
+                                               : cfg_.manifest_path + ".work";
+  }
+  if (::mkdir(cfg_.work_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("orchestrator: cannot create work dir " + cfg_.work_dir +
+                             ": " + std::strerror(errno));
+  }
+}
+
+SweepSummary Orchestrator::run(const std::vector<PointSpec>& points) {
+  SweepSummary summary;
+  summary.total = points.size();
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointSpec& point = points[i];
+    if (const PointRecord* prev = manifest_.find(point.name);
+        prev != nullptr && prev->ok()) {
+      ++summary.resumed;
+      ++summary.ok;
+      if (cfg_.verbose) {
+        std::fprintf(stderr, "[sweep] %zu/%zu %s: ok (resumed from manifest)\n", i + 1,
+                     points.size(), point.name.c_str());
+      }
+      continue;
+    }
+    if (cfg_.stop_after != 0 && summary.executed >= cfg_.stop_after) {
+      summary.abandoned = true;
+      break;
+    }
+
+    PointRecord rec = execute_point(point, i);
+    manifest_.record(rec);  // checkpoint after *every* point
+    ++summary.executed;
+    if (rec.ok()) {
+      ++summary.ok;
+    } else {
+      ++summary.failed;
+    }
+    if (cfg_.verbose) {
+      std::fprintf(stderr, "[sweep] %zu/%zu %s: %s (%s, %u attempt%s, %.0f ms)\n",
+                   i + 1, points.size(), point.name.c_str(), rec.status.c_str(),
+                   rec.category.c_str(), rec.attempts, rec.attempts == 1 ? "" : "s",
+                   rec.wall_ms);
+    }
+  }
+  return summary;
+}
+
+PointRecord Orchestrator::execute_point(const PointSpec& point, std::size_t index) {
+  PointRecord rec;
+  for (std::uint32_t attempt = 1; attempt <= cfg_.max_attempts; ++attempt) {
+    rec = run_attempt(point, index);
+    rec.name = point.name;
+    rec.attempts = attempt;
+    if (rec.ok()) break;
+    if (attempt < cfg_.max_attempts) {
+      if (cfg_.verbose) {
+        std::fprintf(stderr, "[sweep] %s: attempt %u %s (%s); retrying\n",
+                     point.name.c_str(), attempt, rec.status.c_str(),
+                     rec.category.c_str());
+      }
+      sleep_seconds(cfg_.backoff_seconds * attempt);
+    }
+  }
+  return rec;
+}
+
+PointRecord Orchestrator::run_attempt(const PointSpec& point, std::size_t index) {
+  return cfg_.isolate || !point.argv.empty() ? run_forked(point, index)
+                                             : run_inline(point);
+}
+
+PointRecord Orchestrator::run_inline(const PointSpec& point) {
+  PointRecord rec;
+  const auto start = Clock::now();
+  try {
+    if (!point.body) throw std::runtime_error("point has no body");
+    rec.payload = point.body().dump(-1);
+    rec.status = "ok";
+    rec.category = "ok";
+  } catch (...) {
+    const ErrorInfo info = classify_current_exception();
+    rec.status = "failed";
+    rec.category = info.category;
+    rec.exit_code = info.exit_code;
+    rec.error = info.what;
+  }
+  rec.wall_ms = ms_since(start);
+  return rec;
+}
+
+PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) {
+  PointRecord rec;
+  const std::string stem = cfg_.work_dir + "/point-" + std::to_string(index);
+  const std::string result_path = stem + ".result.json";
+  const std::string stderr_path = stem + ".stderr";
+  const std::string stdout_path = stem + ".stdout";
+  std::remove(result_path.c_str());
+
+  // Flush before fork so buffered output is not emitted twice.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  const auto start = Clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    rec.status = "failed";
+    rec.category = "internal";
+    rec.exit_code = kExitInternal;
+    rec.error = std::string("fork failed: ") + std::strerror(errno);
+    return rec;
+  }
+
+  if (pid == 0) {
+    // Child. Keep the parent's streams clean; diagnostics land in per-point
+    // files the parent harvests after exit.
+    redirect_to_file(stdout_path, STDOUT_FILENO);
+    redirect_to_file(stderr_path, STDERR_FILENO);
+    if (!point.argv.empty()) {
+      std::vector<char*> argv;
+      argv.reserve(point.argv.size() + 1);
+      for (const std::string& a : point.argv)
+        argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::fprintf(stderr, "exec %s failed: %s\n", argv[0], std::strerror(errno));
+      std::fflush(nullptr);
+      ::_exit(kExitInternal);
+    }
+    try {
+      if (!point.body) throw std::runtime_error("point has no body");
+      point.body().write_file(result_path, -1);
+      std::fflush(nullptr);
+      ::_exit(kExitOk);
+    } catch (...) {
+      const ErrorInfo info = classify_current_exception();
+      emit_error_line(point.name, info);
+      std::fflush(nullptr);
+      ::_exit(info.exit_code);
+    }
+  }
+
+  // Parent: wall-clock watchdog. Poll so a wedged child — one the in-process
+  // progress watchdog cannot see, e.g. stuck before it even starts ticking —
+  // is killed hard at the deadline.
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(cfg_.timeout_seconds));
+  bool timed_out = false;
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      rec.status = "failed";
+      rec.category = "internal";
+      rec.error = std::string("waitpid failed: ") + std::strerror(errno);
+      rec.wall_ms = ms_since(start);
+      return rec;
+    }
+    if (cfg_.timeout_seconds > 0.0 && Clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      timed_out = true;
+      break;
+    }
+    ::usleep(2000);
+  }
+  rec.wall_ms = ms_since(start);
+
+  if (timed_out) {
+    rec.status = "timeout";
+    rec.category = "timeout";
+    rec.term_signal = SIGKILL;
+    rec.error = "watchdog: no exit within " + format_seconds(cfg_.timeout_seconds) +
+                " s wall clock; sent SIGKILL";
+    return rec;
+  }
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    rec.status = "crash";
+    rec.category = "crash";
+    rec.term_signal = sig;
+    rec.error = "child killed by signal " + std::to_string(sig);
+    if (const std::string detail = child_error(stderr_path); !detail.empty())
+      rec.error += ": " + detail;
+    return rec;
+  }
+
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : kExitInternal;
+  rec.exit_code = code;
+  if (code != kExitOk) {
+    rec.status = "failed";
+    rec.category = exit_category(code);
+    rec.error = child_error(stderr_path);
+    if (rec.error.empty())
+      rec.error = "child exited with code " + std::to_string(code);
+    return rec;
+  }
+
+  if (point.argv.empty()) {
+    rec.payload = read_whole_file(result_path);
+    // write_file appends a newline; strip it so the payload splices cleanly
+    // into the report.
+    while (!rec.payload.empty() && rec.payload.back() == '\n') rec.payload.pop_back();
+    if (rec.payload.empty()) {
+      rec.status = "failed";
+      rec.category = "internal";
+      rec.exit_code = kExitInternal;
+      rec.error = "child exited 0 but wrote no result file";
+      return rec;
+    }
+  } else {
+    // Exec points produce human-readable output, captured per point; the
+    // report records where it went rather than duplicating it.
+    util::Json payload = util::Json::object();
+    payload["stdout_file"] = "point-" + std::to_string(index) + ".stdout";
+    rec.payload = payload.dump(-1);
+  }
+  rec.status = "ok";
+  rec.category = "ok";
+  return rec;
+}
+
+std::string Orchestrator::child_error(const std::string& stderr_path) const {
+  const std::string text = read_whole_file(stderr_path);
+  if (text.empty()) return {};
+  // Prefer the structured error record emitted by guarded_main / the forked
+  // point body; fall back to a bounded tail of raw stderr.
+  static constexpr std::string_view kMarker = "MEMSCHED_ERROR ";
+  if (const std::size_t pos = text.rfind(kMarker); pos != std::string::npos) {
+    const std::size_t begin = pos + kMarker.size();
+    const std::size_t end = text.find('\n', begin);
+    return text.substr(begin, end == std::string::npos ? std::string::npos
+                                                       : end - begin);
+  }
+  constexpr std::size_t kTail = 512;
+  std::string tail = text.size() > kTail ? text.substr(text.size() - kTail) : text;
+  while (!tail.empty() && (tail.back() == '\n' || tail.back() == '\r')) tail.pop_back();
+  return tail;
+}
+
+util::Json Orchestrator::report() const {
+  util::Json doc = util::Json::object();
+  doc["schema"] = "memsched-sweep-report-v1";
+  doc["fingerprint"] = cfg_.fingerprint;
+
+  util::Json points = util::Json::array();
+  util::Json gaps = util::Json::array();
+  std::size_t ok = 0;
+  for (const PointRecord& r : manifest_.records()) {
+    util::Json p = util::Json::object();
+    p["name"] = r.name;
+    p["status"] = r.status;
+    p["category"] = r.category;
+    p["attempts"] = r.attempts;
+    p["exit_code"] = r.exit_code;
+    p["term_signal"] = r.term_signal;
+    if (r.ok()) {
+      ++ok;
+      // Verbatim splice of the recorded payload: no parse/re-emit round
+      // trip, so resumed sweeps reproduce the exact bytes.
+      p["result"] = util::Json::raw(r.payload.empty() ? "null" : r.payload);
+    } else {
+      p["error"] = r.error;
+      gaps.push_back(r.name);
+    }
+    points.push_back(std::move(p));
+  }
+  doc["points"] = std::move(points);
+
+  util::Json summary = util::Json::object();
+  summary["total"] = manifest_.size();
+  summary["ok"] = ok;
+  summary["gap_count"] = manifest_.size() - ok;
+  summary["gaps"] = std::move(gaps);
+  doc["summary"] = std::move(summary);
+  return doc;
+}
+
+}  // namespace memsched::harness

@@ -1,0 +1,88 @@
+// Fault-tolerant sweep orchestrator.
+//
+// Runs a list of experiment points, each in an isolated forked child, under a
+// wall-clock watchdog. A hung point is SIGKILLed and recorded as a structured
+// "timeout" failure; a crashed point records its signal; a point that exits
+// with one of the exit_codes.hpp codes records that diagnosis. Failed points
+// are retried a bounded number of times with backoff, then recorded and
+// *skipped* — the rest of the sweep still completes and the final report
+// marks the gaps. After every point the manifest is checkpointed, so a sweep
+// killed at any moment resumes exactly where it stopped and reproduces a
+// byte-identical report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/manifest.hpp"
+#include "util/json.hpp"
+
+namespace memsched::harness {
+
+/// One experiment point. Either an in-process body returning the point's
+/// JSON result (run inside a forked child when isolation is on), or an
+/// external command in `argv` (fork + exec; takes precedence when set).
+struct PointSpec {
+  std::string name;
+  std::function<util::Json()> body;
+  std::vector<std::string> argv;
+};
+
+struct OrchestratorConfig {
+  std::string manifest_path;  ///< empty = in-memory only (no resume)
+  std::string fingerprint;    ///< sweep identity; resume refuses a mismatch
+  std::string work_dir;       ///< scratch dir for per-point result/stderr files
+
+  double timeout_seconds = 300.0;  ///< per-attempt wall-clock watchdog; 0 = none
+  std::uint32_t max_attempts = 1;  ///< bounded retry (1 = no retry)
+  double backoff_seconds = 0.0;    ///< sleep between attempts, scaled by attempt #
+  bool isolate = true;   ///< fork per point; false = in-process (no timeout or
+                         ///< crash shielding — unit tests and debugging only)
+  bool verbose = true;   ///< per-point progress lines on stderr
+
+  /// Test hook: abandon the sweep after this many *executed* (not resumed)
+  /// points — simulates a mid-sweep kill without the signal plumbing.
+  std::uint32_t stop_after = 0;
+};
+
+struct SweepSummary {
+  std::size_t total = 0;
+  std::size_t ok = 0;        ///< includes resumed points
+  std::size_t failed = 0;
+  std::size_t resumed = 0;   ///< replayed from the manifest, not re-run
+  std::size_t executed = 0;  ///< actually run this invocation
+  bool abandoned = false;    ///< stop_after hook tripped
+
+  [[nodiscard]] bool complete() const { return !abandoned && ok + failed == total; }
+};
+
+class Orchestrator {
+ public:
+  explicit Orchestrator(OrchestratorConfig cfg);
+
+  /// Runs (or resumes) the sweep. Points whose manifest record is already
+  /// "ok" are skipped; previously failed points are re-attempted.
+  SweepSummary run(const std::vector<PointSpec>& points);
+
+  [[nodiscard]] const Manifest& manifest() const { return manifest_; }
+
+  /// Deterministic sweep report: recorded payloads are spliced back verbatim
+  /// and wall-clock fields are excluded, so an interrupted-and-resumed sweep
+  /// dumps byte-identical output to an uninterrupted one. Failed points are
+  /// listed with their diagnosis and summarized as gaps.
+  [[nodiscard]] util::Json report() const;
+
+ private:
+  PointRecord execute_point(const PointSpec& point, std::size_t index);
+  PointRecord run_attempt(const PointSpec& point, std::size_t index);
+  PointRecord run_forked(const PointSpec& point, std::size_t index);
+  PointRecord run_inline(const PointSpec& point);
+  [[nodiscard]] std::string child_error(const std::string& stderr_path) const;
+
+  OrchestratorConfig cfg_;
+  Manifest manifest_;
+};
+
+}  // namespace memsched::harness

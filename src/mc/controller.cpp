@@ -51,23 +51,42 @@ MemoryController::MemoryController(dram::DramSystem& dram, sched::Scheduler& sch
   }
 }
 
+Request MemoryController::make_request(CoreId core, Addr line_addr, bool is_write,
+                                       bool is_prefetch, Tick now, Tick extra_delay) {
+  Request req;
+  req.id = next_id_++;
+  req.core = core;
+  req.line_addr = line_addr;
+  req.is_write = is_write;
+  req.is_prefetch = is_prefetch;
+  req.dram = dram_.address_map().decode(line_addr);
+  req.enqueue_tick = now;
+  req.visible_tick = now + cfg_.overhead_ticks + extra_delay;
+  req.order = next_order_++;
+  return req;
+}
+
 bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
                                     bool is_prefetch) {
   MEMSCHED_ASSERT(core < core_count_, "read from unknown core");
+  FaultInjector::EnqueueFault fault{};
+  if (fault_ != nullptr) {
+    fault = fault_->on_enqueue(/*is_write=*/false);
+    if (fault.drop) {
+      // Accepted, then lost inside the controller. The audit layer sees the
+      // enqueue, so the lifecycle checker's counter cross-check / leak check
+      // flags the corruption — unless a starving core trips the progress
+      // watchdog first. Both are the induced failures chaos tests look for.
+      MC_AUDIT(on_enqueue(make_request(core, line_addr, false, is_prefetch, now, 0), now));
+      return true;
+    }
+  }
   if (cfg_.forward_writes) {
     for (const Request& w : write_q_) {
       if (w.line_addr == line_addr) {
         // Read-after-write forwarding: served from the write buffer without
         // a DRAM transaction, after the controller pipeline overhead.
-        Request req;
-        req.id = next_id_++;
-        req.core = core;
-        req.line_addr = line_addr;
-        req.is_write = false;
-        req.dram = dram_.address_map().decode(line_addr);
-        req.enqueue_tick = now;
-        req.visible_tick = now + cfg_.overhead_ticks;
-        req.order = next_order_++;
+        const Request req = make_request(core, line_addr, false, false, now, 0);
         const Tick done = req.visible_tick;
         auto it = std::upper_bound(
             completions_.begin(), completions_.end(), done,
@@ -80,25 +99,33 @@ bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
     }
   }
   if (!can_accept()) return false;
-  Request req;
-  req.id = next_id_++;
-  req.core = core;
-  req.line_addr = line_addr;
-  req.is_write = false;
-  req.is_prefetch = is_prefetch;
-  req.dram = dram_.address_map().decode(line_addr);
-  req.enqueue_tick = now;
-  req.visible_tick = now + cfg_.overhead_ticks;
-  req.order = next_order_++;
+  const Request req =
+      make_request(core, line_addr, false, is_prefetch, now, fault.delay_ticks);
   read_q_.push_back(req);
   ++pending_reads_[core];
   ++occupied_;
   MC_AUDIT(on_enqueue(req, now));
+  if (fault.duplicate && can_accept()) {
+    const Request dup =
+        make_request(core, line_addr, false, is_prefetch, now, fault.delay_ticks);
+    read_q_.push_back(dup);
+    ++pending_reads_[core];
+    ++occupied_;
+    MC_AUDIT(on_enqueue(dup, now));
+  }
   return true;
 }
 
 bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
   MEMSCHED_ASSERT(core < core_count_, "write from unknown core");
+  FaultInjector::EnqueueFault fault{};
+  if (fault_ != nullptr) {
+    fault = fault_->on_enqueue(/*is_write=*/true);
+    if (fault.drop) {
+      MC_AUDIT(on_enqueue(make_request(core, line_addr, true, false, now, 0), now));
+      return true;
+    }
+  }
   if (cfg_.combine_writes) {
     for (Request& w : write_q_) {
       if (w.line_addr == line_addr) {
@@ -109,19 +136,20 @@ bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
     }
   }
   if (!can_accept()) return false;
-  Request req;
-  req.id = next_id_++;
-  req.core = core;
-  req.line_addr = line_addr;
-  req.is_write = true;
-  req.dram = dram_.address_map().decode(line_addr);
-  req.enqueue_tick = now;
-  req.visible_tick = now + cfg_.overhead_ticks;
-  req.order = next_order_++;
+  const Request req = make_request(core, line_addr, true, false, now, fault.delay_ticks);
   write_q_.push_back(req);
   ++pending_writes_[core];
   ++occupied_;
   MC_AUDIT(on_enqueue(req, now));
+  if (fault.duplicate && can_accept()) {
+    // A duplicated write lands on the same line; with write combining off it
+    // costs a second DRAM transaction, with it on it is merged away later.
+    const Request dup = make_request(core, line_addr, true, false, now, fault.delay_ticks);
+    write_q_.push_back(dup);
+    ++pending_writes_[core];
+    ++occupied_;
+    MC_AUDIT(on_enqueue(dup, now));
+  }
   update_drain_mode(now);
   return true;
 }
@@ -458,6 +486,9 @@ void MemoryController::tick(Tick now) {
   scheduler_.prepare(snap);
 
   for (std::uint32_t ch = 0; ch < dram_.channel_count(); ++ch) {
+    // Injected command-issue stall: the channel is frozen outright — no
+    // command progress, no new transactions — until the stall window ends.
+    if (fault_ != nullptr && fault_->stall_command(ch, now)) continue;
     bool refresh_blocking = false;
     if (!next_refresh_.empty() && now >= next_refresh_[ch]) {
       dram::Channel& channel = dram_.channel(ch);
@@ -500,6 +531,54 @@ void MemoryController::reset_stats() {
 bool MemoryController::idle() const {
   return read_q_.empty() && write_q_.empty() && inflight_count_ == 0 &&
          completions_.empty();
+}
+
+std::string MemoryController::dump_state(Tick now) const {
+  char line[192];
+  std::string out;
+  const auto append = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof line, fmt, args...);
+    out += line;
+  };
+  append("controller state at tick %llu:\n", static_cast<unsigned long long>(now));
+  append("  occupied %u/%u, reads queued %zu, writes queued %zu, in-flight %u, "
+         "completions %zu, drain %s\n",
+         occupied_, cfg_.buffer_entries, read_q_.size(), write_q_.size(),
+         inflight_count_, completions_.size(), drain_mode_ ? "on" : "off");
+  append("  served since stats reset: %llu reads, %llu writes, %llu forwards\n",
+         static_cast<unsigned long long>(stats_.reads_served),
+         static_cast<unsigned long long>(stats_.writes_served),
+         static_cast<unsigned long long>(stats_.read_forwards));
+  out += "  per-core pending (reads/writes):";
+  for (std::uint32_t c = 0; c < core_count_; ++c) {
+    append(" c%u=%u/%u", c, pending_reads_[c], pending_writes_[c]);
+  }
+  out += '\n';
+  const auto dump_oldest = [&](const std::vector<Request>& q, const char* label) {
+    const Request* oldest = nullptr;
+    for (const Request& r : q) {
+      if (oldest == nullptr || r.order < oldest->order) oldest = &r;
+    }
+    if (oldest == nullptr) return;
+    append("  oldest %s: id %llu core %u line 0x%llx ch %u bank %u row %llu, "
+           "enqueued tick %llu (age %llu), visible %llu\n",
+           label, static_cast<unsigned long long>(oldest->id), oldest->core,
+           static_cast<unsigned long long>(oldest->line_addr), oldest->dram.channel,
+           oldest->dram.bank, static_cast<unsigned long long>(oldest->dram.row),
+           static_cast<unsigned long long>(oldest->enqueue_tick),
+           static_cast<unsigned long long>(now - oldest->enqueue_tick),
+           static_cast<unsigned long long>(oldest->visible_tick));
+  };
+  dump_oldest(read_q_, "read");
+  dump_oldest(write_q_, "write");
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].valid) continue;
+    const Request& r = slots_[s].req;
+    append("  in-flight slot %zu: id %llu core %u %s phase %d ch %u bank %u\n", s,
+           static_cast<unsigned long long>(r.id), r.core, r.is_write ? "write" : "read",
+           static_cast<int>(slots_[s].phase), r.dram.channel, r.dram.bank);
+  }
+  return out;
 }
 
 }  // namespace memsched::mc

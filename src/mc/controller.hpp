@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "dram/dram_system.hpp"
 #include "mc/audit.hpp"
+#include "mc/fault_injector.hpp"
 #include "mc/request.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
@@ -106,6 +108,11 @@ class MemoryController {
   /// when detached; compiled out entirely with MEMSCHED_VERIF_ENABLED=0.
   void set_auditor(RequestAuditor* auditor) { auditor_ = auditor; }
 
+  /// Attach a fault injector (nullptr detaches). Detached, the request path
+  /// is bit-identical to a controller without the hooks — chaos runs must
+  /// not perturb paper results when switched off.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
   /// Advance one bus cycle: progress in-flight transactions, start new ones
   /// via the scheduler, deliver completions.
   void tick(Tick now);
@@ -117,9 +124,21 @@ class MemoryController {
   [[nodiscard]] std::uint32_t occupied() const { return occupied_; }
   [[nodiscard]] std::uint32_t pending_reads(CoreId core) const { return pending_reads_[core]; }
   [[nodiscard]] std::uint32_t pending_writes(CoreId core) const { return pending_writes_[core]; }
+  [[nodiscard]] std::uint32_t inflight() const { return inflight_count_; }
   [[nodiscard]] bool idle() const;  ///< no queued or in-flight work
 
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+
+  /// Requests that finished since the last reset_stats() — the forward-
+  /// progress signal the livelock watchdog polls.
+  [[nodiscard]] std::uint64_t served_total() const {
+    return stats_.reads_served + stats_.writes_served + stats_.read_forwards;
+  }
+
+  /// Multi-line scheduler/queue state snapshot for livelock diagnostics:
+  /// queue occupancy, drain mode, per-core pending counters, in-flight
+  /// slots and the oldest queued requests per class.
+  [[nodiscard]] std::string dump_state(Tick now) const;
 
   /// Zero all statistics (queue/DRAM state untouched) — measurement begins
   /// after warmup.
@@ -144,6 +163,11 @@ class MemoryController {
   [[nodiscard]] std::size_t slot_index(std::uint32_t channel, std::uint32_t bank) const {
     return static_cast<std::size_t>(channel) * dram_.organization().banks_per_channel() + bank;
   }
+
+  /// Builds a fresh request (next id, next arrival order). `extra_delay`
+  /// extends the controller-overhead window (fault injection only).
+  Request make_request(CoreId core, Addr line_addr, bool is_write, bool is_prefetch,
+                       Tick now, Tick extra_delay);
 
   [[nodiscard]] RowState row_state_of(const Request& req) const;
   [[nodiscard]] bool another_queued_hit(const Request& req) const;
@@ -206,6 +230,7 @@ class MemoryController {
   ReadCallback read_cb_;
   TraceSink trace_sink_;
   RequestAuditor* auditor_ = nullptr;
+  FaultInjector* fault_ = nullptr;
   ControllerStats stats_;
 
   // Scratch buffers reused every tick to avoid per-cycle allocation.

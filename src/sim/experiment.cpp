@@ -4,6 +4,7 @@
 
 #include "core/scheduler_factory.hpp"
 #include "sched/policies.hpp"
+#include "sim/watchdog.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::sim {
@@ -25,7 +26,11 @@ const core::MeProfile& Experiment::profile(const std::string& app_name) {
   sched::HitFirstReadFirstScheduler sched;
   MultiCoreSystem sys(config_for(1), {app}, sched, cfg_.profile_seed);
   const RunResult r = sys.run(cfg_.profile_insts, cfg_.warmup_insts, cfg_.max_ticks);
-  MEMSCHED_ASSERT(!r.hit_tick_limit, "profiling run hit the tick limit");
+  if (r.hit_tick_limit) {
+    throw CycleBudgetError("profiling run for '" + app_name + "' hit the " +
+                               std::to_string(cfg_.max_ticks) + "-tick budget",
+                           cfg_.max_ticks);
+  }
   auto [it, _] = profiles_.emplace(
       app_name,
       core::MeProfile::from_measurement(app_name, r.cores[0].ipc, r.bandwidth_gbs));
@@ -42,7 +47,11 @@ double Experiment::single_ipc(const std::string& app_name, std::uint64_t seed) {
   sched::HitFirstReadFirstScheduler sched;
   MultiCoreSystem sys(config_for(1), {app}, sched, seed);
   const RunResult r = sys.run(cfg_.eval_insts, cfg_.warmup_insts, cfg_.max_ticks);
-  MEMSCHED_ASSERT(!r.hit_tick_limit, "single-core reference hit the tick limit");
+  if (r.hit_tick_limit) {
+    throw CycleBudgetError("single-core reference for '" + app_name + "' hit the " +
+                               std::to_string(cfg_.max_ticks) + "-tick budget",
+                           cfg_.max_ticks);
+  }
   single_ipc_[key] = r.cores[0].ipc;
   return single_ipc_[key];
 }
@@ -86,7 +95,12 @@ WorkloadRun Experiment::run(const Workload& w, const std::string& scheme_name) {
 
     MultiCoreSystem sys(config_for(n), apps, *scheduler, seed);
     RunResult r = sys.run(cfg_.eval_insts, cfg_.warmup_insts, cfg_.max_ticks);
-    MEMSCHED_ASSERT(!r.hit_tick_limit, "evaluation run hit the tick limit");
+    if (r.hit_tick_limit) {
+      throw CycleBudgetError("evaluation run " + w.name + "/" + scheme_name +
+                                 " (slice " + std::to_string(rep) + ") hit the " +
+                                 std::to_string(cfg_.max_ticks) + "-tick budget",
+                             cfg_.max_ticks);
+    }
 
     std::vector<double> ipc_multi(n), ipc_single(n);
     for (std::uint32_t c = 0; c < n; ++c) {

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "dram/dram_system.hpp"
+#include "mc/fault_injector.hpp"
+#include "sim/watchdog.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -20,6 +22,12 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg, sched::Scheduler& schedu
   if (cfg.audit.enabled) {
     auditor = std::make_unique<verif::InvariantAuditor>(dram, mcu, cfg.audit);
   }
+  std::unique_ptr<mc::FaultInjector> fault;
+  if (cfg.fault.enabled) {
+    fault = std::make_unique<mc::FaultInjector>(cfg.fault);
+    mcu.set_fault_injector(fault.get());
+  }
+  ProgressWatchdog watchdog(cfg.progress_window_ticks);
 
   util::Xoshiro256 rng(cfg.seed ^ 0x0be9100bULL);
   // Per-core sequential stream cursors with geometric run lengths, giving
@@ -60,6 +68,10 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg, sched::Scheduler& schedu
       accepted += ok;
     }
     mcu.tick(now);
+    if ((now & 1023) == 0 &&
+        watchdog.poll(now, mcu.served_total(), !mcu.idle())) {
+      watchdog.raise("open-loop run", mcu, scheduler, now);
+    }
   }
   if (auditor) auditor->finalize(total);
 

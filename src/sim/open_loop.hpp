@@ -29,6 +29,13 @@ struct OpenLoopConfig {
   dram::Interleave interleave = dram::Interleave::kHybrid;
   mc::ControllerConfig controller{};
   verif::AuditConfig audit{};  ///< same opt-in as the closed-loop system
+
+  /// Forward-progress watchdog: no request retired for this many ticks with
+  /// work queued raises sim::LivelockError. 0 disables.
+  Tick progress_window_ticks = 200'000;
+
+  /// Fault injection (chaos testing); off = bit-identical request path.
+  mc::FaultConfig fault{};
 };
 
 struct OpenLoopResult {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "sim/watchdog.hpp"
 #include "trace/generator.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -78,6 +79,10 @@ void MultiCoreSystem::wire(sched::Scheduler& scheduler,
     auditor_ =
         std::make_unique<verif::InvariantAuditor>(*dram_, *controller_, config_.audit);
   }
+  if (config_.fault.enabled) {
+    fault_ = std::make_unique<mc::FaultInjector>(config_.fault);
+    controller_->set_fault_injector(fault_.get());
+  }
   for (std::uint32_t c = 0; c < config_.cores; ++c) {
     cores_.push_back(std::make_unique<cpu::CoreModel>(c, config_.core, dispatch_ipc[c],
                                                       *streams_[c], *hierarchy_));
@@ -123,6 +128,13 @@ RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_
     done_count = 0;
   };
 
+  // One forward-progress watchdog per core: a single starved core must be
+  // caught even while its neighbours keep committing. Polled sparsely — the
+  // counters are monotonic, so coarse sampling only delays detection by at
+  // most one poll interval.
+  constexpr Tick kWatchdogPollMask = 1023;
+  std::vector<ProgressWatchdog> watchdogs(n, ProgressWatchdog(config_.progress_window_ticks));
+
   Tick t = 0;
   Tick t_measure_start = 0;
   for (; t < max_ticks; ++t) {
@@ -135,6 +147,17 @@ RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_
         done[c] = true;
         finish_cycle[c] = cores_[c]->cycle();
         ++done_count;
+      }
+    }
+    if ((t & kWatchdogPollMask) == 0 && watchdogs[0].enabled()) {
+      for (std::uint32_t c = 0; c < n; ++c) {
+        // Early finishers keep running but owe no further progress; their
+        // lane resets instead of arming.
+        if (watchdogs[c].poll(t, cores_[c]->committed(), !done[c])) {
+          watchdogs[c].raise("core " + std::to_string(c) + " (closed-loop run, " +
+                                 (measuring ? "measurement" : "warmup") + " phase)",
+                             *controller_, *scheduler_, t);
+        }
       }
     }
     if (t >= next_epoch) {

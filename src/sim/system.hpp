@@ -87,6 +87,9 @@ class MultiCoreSystem {
   [[nodiscard]] verif::InvariantAuditor* auditor() { return auditor_.get(); }
   [[nodiscard]] const verif::InvariantAuditor* auditor() const { return auditor_.get(); }
 
+  /// The attached fault injector, or nullptr when config().fault is off.
+  [[nodiscard]] const mc::FaultInjector* fault_injector() const { return fault_.get(); }
+
  private:
   void wire(sched::Scheduler& scheduler, const std::vector<double>& dispatch_ipc,
             std::uint64_t seed);
@@ -98,6 +101,7 @@ class MultiCoreSystem {
   std::unique_ptr<cache::CacheHierarchy> hierarchy_;
   std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
   std::unique_ptr<verif::InvariantAuditor> auditor_;
+  std::unique_ptr<mc::FaultInjector> fault_;
   sched::Scheduler* scheduler_ = nullptr;
 };
 

@@ -20,6 +20,7 @@ std::string SystemConfig::validate() const {
   if (hierarchy.cpu_ratio != cpu_ratio || controller.cpu_ratio != cpu_ratio)
     return "cpu_ratio mismatch between hierarchy/controller and system";
   if (epoch_ticks == 0) return "epoch_ticks must be nonzero";
+  if (auto err = fault.validate(); !err.empty()) return err;
   return {};
 }
 

@@ -10,6 +10,7 @@
 #include "dram/power.hpp"
 #include "dram/timing.hpp"
 #include "mc/controller.hpp"
+#include "mc/fault_injector.hpp"
 #include "util/types.hpp"
 #include "verif/invariant_auditor.hpp"
 
@@ -45,6 +46,18 @@ struct SystemConfig {
   /// Defaults off for benches (opt in with verify=1 / MEMSCHED_VERIFY=1);
   /// the test suite switches it on for every run.
   verif::AuditConfig audit{};
+
+  /// Forward-progress watchdog: if no core commits an instruction for this
+  /// many bus ticks, the run throws sim::LivelockError with a controller
+  /// state dump instead of spinning to max_ticks. Legitimate memory stalls
+  /// are hundreds of ticks; the default window is four orders of magnitude
+  /// above that, so it never fires on a healthy run. 0 disables.
+  Tick progress_window_ticks = 2'000'000;
+
+  /// Fault injection (chaos testing). Off by default; when disabled no
+  /// injector is constructed and the request path is bit-identical to a
+  /// build without the hooks.
+  mc::FaultConfig fault{};
 
   [[nodiscard]] double cpu_hz() const { return cpu_ghz * 1e9; }
   [[nodiscard]] double bus_hz() const { return cpu_hz() / cpu_ratio; }

@@ -1,5 +1,6 @@
 #include "util/config.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/log.hpp"
@@ -87,6 +88,51 @@ bool env_flag(const char* name, bool def) {
   LOG_WARN("config: environment %s=%s is not a boolean; using default %d", name,
            s.c_str(), def);
   return def;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Two-row dynamic program; key names are short, so O(|a|*|b|) is nothing.
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::optional<std::string> Config::check_known(
+    const std::vector<std::string_view>& known,
+    const std::vector<std::string_view>& prefixes) const {
+  for (const auto& [key, _] : values_) {
+    bool ok = false;
+    for (const std::string_view k : known) ok = ok || key == k;
+    for (const std::string_view p : prefixes)
+      ok = ok || (key.size() > p.size() && key.compare(0, p.size(), p) == 0);
+    if (ok) continue;
+
+    std::string_view best;
+    std::size_t best_dist = std::string::npos;
+    for (const std::string_view k : known) {
+      const std::size_t d = edit_distance(key, k);
+      if (d < best_dist) {
+        best_dist = d;
+        best = k;
+      }
+    }
+    std::string err = "unknown config key '" + key + "'";
+    // Suggest only close matches — a suggestion for a wildly different key
+    // is worse than none.
+    if (best_dist != std::string::npos && best_dist <= std::max<std::size_t>(2, key.size() / 3)) {
+      err += " (did you mean '" + std::string(best) + "'?)";
+    }
+    return err;
+  }
+  return std::nullopt;
 }
 
 std::vector<std::string> Config::keys() const {

@@ -41,9 +41,24 @@ class Config {
   /// effective configuration at the top of bench output.
   [[nodiscard]] std::vector<std::string> keys() const;
 
+  /// Reject unknown keys: every stored key must appear in `known` or start
+  /// with one of `prefixes` (for families like "trace0", "fault.drop").
+  /// Returns a human-readable error naming the offending key — with a
+  /// did-you-mean suggestion when a known key is within edit distance — or
+  /// an empty optional when everything checks out. A misspelled key must
+  /// fail the run, not silently fall back to the default and measure the
+  /// wrong experiment.
+  [[nodiscard]] std::optional<std::string> check_known(
+      const std::vector<std::string_view>& known,
+      const std::vector<std::string_view>& prefixes = {}) const;
+
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs) — the
+/// metric behind Config::check_known's did-you-mean suggestions.
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
 
 /// Boolean process-environment switch with the same truthy/falsy vocabulary
 /// as Config::get_bool ("1"/"true"/"yes"/"on", ...). Unset or malformed

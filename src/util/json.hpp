@@ -1,13 +1,16 @@
-// Minimal JSON document builder.
+// Minimal JSON document builder and reader.
 //
 // Purpose-built for machine-readable experiment records: supports objects,
 // arrays, strings (escaped), finite numbers and booleans — nothing else.
-// Not a parser; memsched emits JSON, it never consumes it.
+// parse() exists for the sweep harness, which must re-read its own
+// checkpoint manifests on resume; it accepts exactly the dialect dump()
+// emits (plus arbitrary whitespace) and throws on anything malformed.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <type_traits>
 #include <string>
 #include <vector>
@@ -39,15 +42,51 @@ class Json {
     return j;
   }
 
+  /// Verbatim splice: `text` is emitted as-is by dump(). Lets the sweep
+  /// harness copy an already-serialized payload into a report without a
+  /// parse/re-emit round trip (guaranteeing byte-identical output).
+  static Json raw(std::string text) {
+    Json j;
+    j.kind_ = Kind::kRaw;
+    j.str_ = std::move(text);
+    return j;
+  }
+
+  /// Parse a complete JSON document; throws std::runtime_error with the
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
   /// Object member access (creates the member; converts null to object).
   Json& operator[](const std::string& key);
 
   /// Array append (converts null to array).
   void push_back(Json value);
 
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
   [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
   [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
   [[nodiscard]] std::size_t size() const;
+
+  /// Read accessors. as_*() throw std::runtime_error on a kind mismatch so
+  /// a malformed manifest fails loudly instead of yielding zeros.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_uint() const;  ///< number, checked >= 0
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Object lookup: find() returns nullptr when absent; at() throws.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] const Json& at(std::size_t index) const;  ///< array element
+
+  /// Ordered element/member views (empty for scalar kinds).
+  [[nodiscard]] const std::vector<Json>& elements() const { return elements_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
 
   /// Serialize; `indent` < 0 gives compact output, otherwise pretty-printed
   /// with that many spaces per level.
@@ -57,7 +96,7 @@ class Json {
   void write_file(const std::string& path, int indent = 2) const;
 
  private:
-  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray, kRaw };
 
   void dump_to(std::string& out, int indent, int depth) const;
   static void escape_to(std::string& out, const std::string& s);

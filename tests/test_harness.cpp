@@ -1,0 +1,454 @@
+// Robustness-layer tests: forward-progress watchdog, cycle-budget guard,
+// deterministic fault injection, and the fault-tolerant sweep orchestrator
+// (isolation, timeout, retry, checkpoint/resume).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/guarded_main.hpp"
+#include "harness/manifest.hpp"
+#include "harness/orchestrator.hpp"
+#include "mc/fault_injector.hpp"
+#include "sched/policies.hpp"
+#include "sim/experiment.hpp"
+#include "sim/open_loop.hpp"
+#include "sim/system.hpp"
+#include "sim/watchdog.hpp"
+#include "trace/app_profile.hpp"
+#include "util/json.hpp"
+
+using namespace memsched;
+
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + "memsched_" + name;
+}
+
+harness::PointSpec ok_point(const std::string& name, double value) {
+  harness::PointSpec p;
+  p.name = name;
+  p.body = [value] {
+    util::Json j = util::Json::object();
+    j["value"] = value;
+    return j;
+  };
+  return p;
+}
+
+harness::OrchestratorConfig quick_config(const std::string& tag) {
+  harness::OrchestratorConfig oc;
+  oc.work_dir = tmp_path("work_" + tag);
+  oc.verbose = false;
+  oc.timeout_seconds = 60.0;
+  return oc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProgressWatchdog unit behaviour.
+
+TEST(ProgressWatchdog, FiresOnlyAfterFullWindowWithoutProgress) {
+  sim::ProgressWatchdog wd(100);
+  ASSERT_TRUE(wd.enabled());
+  EXPECT_FALSE(wd.poll(0, 5, true));    // first observation arms the lane
+  EXPECT_FALSE(wd.poll(60, 5, true));   // within the window
+  EXPECT_TRUE(wd.poll(100, 5, true));   // window elapsed, counter frozen
+  EXPECT_FALSE(wd.poll(150, 6, true));  // progress resets the lane
+  EXPECT_FALSE(wd.poll(260, 6, false));  // no pending work: lane resets
+  EXPECT_FALSE(wd.poll(300, 6, true));
+  EXPECT_TRUE(wd.poll(400, 6, true));  // re-armed after the idle reset
+}
+
+TEST(ProgressWatchdog, ZeroWindowDisables) {
+  sim::ProgressWatchdog wd(0);
+  EXPECT_FALSE(wd.enabled());
+  EXPECT_FALSE(wd.poll(1'000'000, 0, true));
+}
+
+// ---------------------------------------------------------------------------
+// Injected starvation: the simulator watchdogs must convert a wedged memory
+// system into a structured, diagnosable error instead of an endless spin.
+
+TEST(Livelock, StalledChannelsTripClosedLoopWatchdog) {
+  sim::SystemConfig cfg;
+  cfg.cores = 1;
+  cfg.progress_window_ticks = 20'000;
+  cfg.audit.enabled = false;  // isolate the watchdog path
+  cfg.fault.enabled = true;
+  cfg.fault.stall_prob = 1.0;  // freeze every channel forever
+  sched::HitFirstReadFirstScheduler sched;
+  const std::vector<trace::AppProfile> apps = {trace::spec2000_by_name("swim")};
+  sim::MultiCoreSystem sys(cfg, apps, sched, 1);
+  try {
+    sys.run(50'000, 0, 500'000);
+    FAIL() << "expected LivelockError";
+  } catch (const sim::LivelockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("livelock"), std::string::npos) << what;
+    EXPECT_NE(what.find("core 0"), std::string::npos) << what;
+    EXPECT_NE(e.state_dump().find("controller state"), std::string::npos);
+    EXPECT_GE(e.tick(), cfg.progress_window_ticks);
+    EXPECT_LT(e.tick(), Tick{500'000});  // caught well before the budget
+  }
+}
+
+TEST(Livelock, DroppedReadsStarveTheCore) {
+  // The "always-starving" case: every demand read is accepted and then lost,
+  // so the core waits forever on a fill that never comes.
+  sim::SystemConfig cfg;
+  cfg.cores = 1;
+  cfg.progress_window_ticks = 20'000;
+  cfg.audit.enabled = false;
+  cfg.fault.enabled = true;
+  cfg.fault.drop_read_prob = 1.0;
+  sched::HitFirstReadFirstScheduler sched;
+  const std::vector<trace::AppProfile> apps = {trace::spec2000_by_name("swim")};
+  sim::MultiCoreSystem sys(cfg, apps, sched, 1);
+  EXPECT_THROW(sys.run(50'000, 0, 500'000), sim::LivelockError);
+}
+
+TEST(Livelock, StalledChannelsTripOpenLoopWatchdog) {
+  sim::OpenLoopConfig cfg;
+  cfg.warmup_ticks = 1'000;
+  cfg.measure_ticks = 400'000;
+  cfg.progress_window_ticks = 20'000;
+  cfg.audit.enabled = false;
+  cfg.fault.enabled = true;
+  cfg.fault.stall_prob = 1.0;
+  sched::HitFirstReadFirstScheduler sched;
+  EXPECT_THROW(sim::run_open_loop(cfg, sched), sim::LivelockError);
+}
+
+TEST(Livelock, HealthyRunDoesNotTrip) {
+  sim::SystemConfig cfg;
+  cfg.cores = 1;
+  cfg.progress_window_ticks = 20'000;  // tight window, healthy system
+  sched::HitFirstReadFirstScheduler sched;
+  const std::vector<trace::AppProfile> apps = {trace::spec2000_by_name("gzip")};
+  sim::MultiCoreSystem sys(cfg, apps, sched, 1);
+  const sim::RunResult r = sys.run(5'000, 0);
+  EXPECT_FALSE(r.hit_tick_limit);
+}
+
+TEST(CycleBudget, ExperimentThrowsStructuredError) {
+  sim::ExperimentConfig cfg;
+  cfg.profile_insts = 500'000;
+  cfg.max_ticks = 2'000;  // nowhere near enough
+  sim::Experiment exp(cfg);
+  try {
+    exp.profile("swim");
+    FAIL() << "expected CycleBudgetError";
+  } catch (const sim::CycleBudgetError& e) {
+    EXPECT_EQ(e.budget(), Tick{2'000});
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector: seeded, reproducible, and audited by the verification
+// layer when it corrupts state.
+
+TEST(FaultInjector, ValidatesKnobRanges) {
+  mc::FaultConfig bad;
+  bad.enabled = true;
+  bad.drop_read_prob = 1.5;
+  EXPECT_FALSE(bad.validate().empty());
+  mc::FaultConfig good;
+  good.enabled = true;
+  good.dup_prob = 0.25;
+  EXPECT_TRUE(good.validate().empty());
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  mc::FaultConfig fc;
+  fc.enabled = true;
+  fc.seed = 7;
+  fc.drop_read_prob = 0.3;
+  fc.dup_prob = 0.2;
+  fc.delay_prob = 0.5;
+  fc.delay_ticks_max = 16;
+  mc::FaultInjector a(fc), b(fc);
+  for (int i = 0; i < 500; ++i) {
+    const auto fa = a.on_enqueue(i % 3 == 0);
+    const auto fb = b.on_enqueue(i % 3 == 0);
+    ASSERT_EQ(fa.drop, fb.drop) << "call " << i;
+    ASSERT_EQ(fa.duplicate, fb.duplicate) << "call " << i;
+    ASSERT_EQ(fa.delay_ticks, fb.delay_ticks) << "call " << i;
+  }
+  EXPECT_EQ(a.stats().total(), b.stats().total());
+  EXPECT_GT(a.stats().total(), 0u);
+
+  fc.seed = 8;
+  mc::FaultInjector c(fc);
+  fc.seed = 7;
+  mc::FaultInjector a2(fc);
+  bool diverged = false;
+  for (int i = 0; i < 500 && !diverged; ++i) {
+    const auto fa = a2.on_enqueue(false);
+    const auto fcv = c.on_enqueue(false);
+    diverged = fa.drop != fcv.drop || fa.duplicate != fcv.duplicate ||
+               fa.delay_ticks != fcv.delay_ticks;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, PermanentStallFreezesChannel) {
+  mc::FaultConfig fc;
+  fc.enabled = true;
+  fc.stall_prob = 1.0;
+  mc::FaultInjector inj(fc);
+  for (Tick t = 0; t < 10'000; t += 1'000) EXPECT_TRUE(inj.stall_command(0, t));
+  mc::FaultConfig off;
+  off.enabled = true;  // stall_prob 0
+  mc::FaultInjector none(off);
+  for (Tick t = 0; t < 10'000; t += 1'000) EXPECT_FALSE(none.stall_command(0, t));
+}
+
+TEST(FaultInjector, DroppedWritesAreCaughtByVerificationLayer) {
+  // Chaos cross-check: induced request loss must register as lifecycle
+  // violations in PR 1's audit layer (record mode), proving the checkers see
+  // real corruption — not just clean runs.
+  sim::SystemConfig cfg;
+  cfg.cores = 1;
+  cfg.audit.enabled = true;
+  cfg.audit.abort_on_violation = false;
+  cfg.fault.enabled = true;
+  cfg.fault.seed = 11;
+  cfg.fault.drop_write_prob = 0.5;
+  sched::HitFirstReadFirstScheduler sched;
+  const std::vector<trace::AppProfile> apps = {trace::spec2000_by_name("swim")};
+  sim::MultiCoreSystem sys(cfg, apps, sched, 1);
+  const sim::RunResult r = sys.run(20'000, 0);
+  (void)r;
+  ASSERT_NE(sys.fault_injector(), nullptr);
+  EXPECT_GT(sys.fault_injector()->stats().dropped_writes, 0u);
+  ASSERT_NE(sys.auditor(), nullptr);
+  EXPECT_GT(sys.auditor()->violation_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// guarded_main: the binary-side half of the exit-code contract.
+
+TEST(GuardedMain, MapsExceptionsToContractExitCodes) {
+  EXPECT_EQ(harness::guarded_main("t", [] { return 0; }), harness::kExitOk);
+  EXPECT_EQ(harness::guarded_main(
+                "t", []() -> int { throw std::invalid_argument("bad key"); }),
+            harness::kExitUsage);
+  EXPECT_EQ(harness::guarded_main(
+                "t", []() -> int { throw sim::LivelockError("livelock: x", 1, "dump"); }),
+            harness::kExitLivelock);
+  EXPECT_EQ(harness::guarded_main(
+                "t", []() -> int { throw sim::CycleBudgetError("budget", 9); }),
+            harness::kExitBudget);
+  EXPECT_EQ(harness::guarded_main(
+                "t", []() -> int { throw std::runtime_error("boom"); }),
+            harness::kExitInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest: atomic checkpoint + fingerprint-guarded resume.
+
+TEST(Manifest, RoundTripsRecordsAndPayloadBytes) {
+  const std::string path = tmp_path("manifest_roundtrip.json");
+  std::remove(path.c_str());
+
+  harness::Manifest m;
+  m.open(path, "fp-a");
+  harness::PointRecord rec;
+  rec.name = "p0";
+  rec.status = "ok";
+  rec.category = "ok";
+  rec.attempts = 2;
+  rec.wall_ms = 12.5;
+  rec.payload = R"({"v":1.25,"s":"quote\"and\nnewline"})";
+  m.record(rec);
+
+  harness::Manifest back;
+  back.open(path, "fp-a");
+  ASSERT_EQ(back.size(), 1u);
+  const harness::PointRecord* r = back.find("p0");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->payload, rec.payload);  // byte-exact through the checkpoint
+  EXPECT_EQ(r->attempts, 2u);
+  EXPECT_TRUE(r->ok());
+  std::remove(path.c_str());
+}
+
+TEST(Manifest, RefusesForeignFingerprint) {
+  const std::string path = tmp_path("manifest_fp.json");
+  std::remove(path.c_str());
+  harness::Manifest m;
+  m.open(path, "sweep-one");
+  harness::PointRecord rec;
+  rec.name = "p0";
+  rec.status = "failed";
+  m.record(rec);
+
+  harness::Manifest other;
+  EXPECT_THROW(other.open(path, "sweep-two"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator: classification, retry, isolation, resume.
+
+TEST(Orchestrator, RunsPointsAndSplicesPayloads) {
+  harness::OrchestratorConfig oc = quick_config("ok");
+  oc.isolate = false;
+  harness::Orchestrator orch(oc);
+  const harness::SweepSummary s =
+      orch.run({ok_point("a", 1.0), ok_point("b", 2.0)});
+  EXPECT_EQ(s.ok, 2u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_TRUE(s.complete());
+  const util::Json rep = orch.report();
+  EXPECT_EQ(rep.at("summary").at("gap_count").as_uint(), 0u);
+  // Payloads are spliced verbatim (raw nodes), so navigate via a re-parse.
+  const util::Json result =
+      util::Json::parse(rep.at("points").at(0).at("result").dump(-1));
+  EXPECT_DOUBLE_EQ(result.at("value").as_number(), 1.0);
+}
+
+TEST(Orchestrator, RetriesThenRecordsFailureAndContinues) {
+  harness::OrchestratorConfig oc = quick_config("retry");
+  oc.isolate = false;
+  oc.max_attempts = 3;
+  harness::PointSpec bad;
+  bad.name = "bad";
+  bad.body = []() -> util::Json { throw std::invalid_argument("unknown key 'x'"); };
+  harness::Orchestrator orch(oc);
+  const harness::SweepSummary s = orch.run({bad, ok_point("good", 4.0)});
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.ok, 1u);  // the sweep did not stop at the failure
+  const harness::PointRecord* r = orch.manifest().find("bad");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status, "failed");
+  EXPECT_EQ(r->category, "usage");
+  EXPECT_EQ(r->exit_code, harness::kExitUsage);
+  EXPECT_EQ(r->attempts, 3u);
+  const util::Json rep = orch.report();
+  EXPECT_EQ(rep.at("summary").at("gaps").at(0).as_string(), "bad");
+}
+
+TEST(Orchestrator, ForkedChildExitCodeIsClassified) {
+  harness::OrchestratorConfig oc = quick_config("exitcode");
+  harness::PointSpec p;
+  p.name = "livelocked";
+  p.body = []() -> util::Json {
+    throw sim::LivelockError("livelock: injected point", 42, "dump text");
+  };
+  harness::Orchestrator orch(oc);
+  const harness::SweepSummary s = orch.run({p});
+  EXPECT_EQ(s.failed, 1u);
+  const harness::PointRecord* r = orch.manifest().find("livelocked");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status, "failed");
+  EXPECT_EQ(r->category, "livelock");
+  EXPECT_EQ(r->exit_code, harness::kExitLivelock);
+  // The structured stderr line made it into the record.
+  EXPECT_NE(r->error.find("\"category\":\"livelock\""), std::string::npos) << r->error;
+}
+
+TEST(Orchestrator, WallClockWatchdogKillsHungChild) {
+  harness::OrchestratorConfig oc = quick_config("timeout");
+  oc.timeout_seconds = 0.3;
+  harness::PointSpec hung;
+  hung.name = "hung";
+  hung.body = []() -> util::Json {
+    volatile std::uint64_t spin = 0;
+    for (;;) spin = spin + 1;  // a wedge the in-process watchdogs cannot see
+  };
+  harness::Orchestrator orch(oc);
+  const harness::SweepSummary s = orch.run({hung, ok_point("after", 1.0)});
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.ok, 1u);  // the point after the hang still ran
+  const harness::PointRecord* r = orch.manifest().find("hung");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status, "timeout");
+  EXPECT_EQ(r->term_signal, SIGKILL);
+}
+
+TEST(Orchestrator, CrashIsRecordedWithSignal) {
+  harness::OrchestratorConfig oc = quick_config("crash");
+  harness::PointSpec crash;
+  crash.name = "crash";
+  crash.body = []() -> util::Json {
+    std::abort();
+  };
+  harness::Orchestrator orch(oc);
+  const harness::SweepSummary s = orch.run({crash});
+  EXPECT_EQ(s.failed, 1u);
+  const harness::PointRecord* r = orch.manifest().find("crash");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status, "crash");
+  EXPECT_EQ(r->term_signal, SIGABRT);
+}
+
+TEST(Orchestrator, InterruptedSweepResumesByteIdentical) {
+  const std::string mA = tmp_path("resume_a.json");
+  const std::string mB = tmp_path("resume_b.json");
+  std::remove(mA.c_str());
+  std::remove(mB.c_str());
+
+  harness::PointSpec flaky;  // deterministic failure: same record every run
+  flaky.name = "fails";
+  flaky.body = []() -> util::Json { throw std::invalid_argument("always"); };
+  const std::vector<harness::PointSpec> points = {ok_point("p0", 0.5), flaky,
+                                                  ok_point("p2", 2.5)};
+
+  // Interrupted run: killed (simulated) after two executed points.
+  harness::OrchestratorConfig oc1 = quick_config("resume1");
+  oc1.isolate = false;
+  oc1.manifest_path = mA;
+  oc1.fingerprint = "resume-sweep";
+  oc1.stop_after = 2;
+  {
+    harness::Orchestrator orch(oc1);
+    const harness::SweepSummary s = orch.run(points);
+    EXPECT_TRUE(s.abandoned);
+    EXPECT_EQ(s.executed, 2u);
+  }
+
+  // Resume: completed points replay from the manifest, the rest run.
+  harness::OrchestratorConfig oc2 = oc1;
+  oc2.stop_after = 0;
+  oc2.work_dir = tmp_path("work_resume2");
+  harness::Orchestrator resumed(oc2);
+  const harness::SweepSummary s2 = resumed.run(points);
+  EXPECT_TRUE(s2.complete());
+  EXPECT_EQ(s2.resumed, 1u);  // p0 came from the checkpoint
+
+  // Uninterrupted reference sweep.
+  harness::OrchestratorConfig oc3 = oc1;
+  oc3.stop_after = 0;
+  oc3.manifest_path = mB;
+  oc3.work_dir = tmp_path("work_resume3");
+  harness::Orchestrator reference(oc3);
+  const harness::SweepSummary s3 = reference.run(points);
+  EXPECT_TRUE(s3.complete());
+
+  EXPECT_EQ(resumed.report().dump(2), reference.report().dump(2));
+  std::remove(mA.c_str());
+  std::remove(mB.c_str());
+}
+
+TEST(Orchestrator, ExecPointRunsExternalBinary) {
+  harness::OrchestratorConfig oc = quick_config("exec");
+  harness::PointSpec p;
+  p.name = "true-cmd";
+  p.argv = {"/bin/sh", "-c", "exit 0"};
+  harness::PointSpec bad;
+  bad.name = "usage-cmd";
+  bad.argv = {"/bin/sh", "-c", "exit 2"};
+  harness::Orchestrator orch(oc);
+  const harness::SweepSummary s = orch.run({p, bad});
+  EXPECT_EQ(s.ok, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(orch.manifest().find("usage-cmd")->category, "usage");
+}

@@ -245,6 +245,87 @@ TEST(TraceIo, TextParserRejectsGarbageOps) {
   std::remove(path.c_str());
 }
 
+// Corrupt-input diagnosis: every failure must name the file and say where
+// and why reading stopped, so a bad trace is debuggable from the message.
+
+std::string capture_error(const std::string& path, bool binary = true) {
+  try {
+    if (binary)
+      read_binary_trace(path);
+    else
+      read_text_trace(path);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+std::string write_bytes(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(TraceIo, TruncatedCountHeaderNamesOffset) {
+  const std::string path = write_bytes("trunc_hdr.bin", std::string("MST1\x02\x00", 6));
+  const std::string msg = capture_error(path);
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("byte offset"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("record count header"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, OversizedCountHeaderIsRejectedBeforeReserve) {
+  // Header claims 2^56 records in a 12-byte file: the sanity check must
+  // refuse it instead of trusting it with a reserve().
+  std::string bytes = "MST1";
+  bytes += std::string("\x00\x00\x00\x00\x00\x00\x00\x01", 8);  // LE 2^56
+  const std::string path = write_bytes("huge_count.bin", bytes);
+  const std::string msg = capture_error(path);
+  EXPECT_NE(msg.find("record count header claims"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncationMidRecordsNamesTheRecord) {
+  // Write a valid 3-record trace, then chop it after the first record.
+  const std::string path = ::testing::TempDir() + "chop.bin";
+  write_binary_trace(path, sample_records());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  char buf[64];
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  ASSERT_GT(n, 14u);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(buf, 1, 14, f);  // magic + count + record 0 + 1 byte of record 1
+  std::fclose(f);
+  const std::string msg = capture_error(path);
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("record"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, InvalidClassBitsNameTheRecordIndex) {
+  std::string bytes = "MST1";
+  bytes += std::string("\x01\x00\x00\x00\x00\x00\x00\x00", 8);  // count = 1
+  bytes += '\x03';  // class bits 3: no such InstClass
+  const std::string path = write_bytes("badclass.bin", bytes);
+  const std::string msg = capture_error(path);
+  EXPECT_NE(msg.find("record 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("invalid class bits"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TextErrorsNameFileAndLine) {
+  const std::string path = write_bytes("badline.txt", "C\nL 40\nS\n");
+  const std::string msg = capture_error(path, /*binary=*/false);
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("store needs an address"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
 TEST(TraceIo, TextParserSkipsCommentsAndBlanks) {
   const std::string path = ::testing::TempDir() + "c.txt";
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -384,5 +384,84 @@ TEST(Json, WriteFileThrowsOnBadPath) {
   EXPECT_THROW(Json(1).write_file("/nonexistent/dir/x.json"), std::runtime_error);
 }
 
+TEST(Json, ParseRoundTripsDump) {
+  Json j = Json::object();
+  j["name"] = "2MEM-1/HF-RF";
+  j["speedup"] = 3.25;
+  j["n"] = std::uint64_t{12345};
+  j["flag"] = true;
+  j["none"] = Json();
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  j["arr"] = std::move(arr);
+  const std::string text = j.dump(-1);
+  EXPECT_EQ(Json::parse(text).dump(-1), text);
+  // Pretty-printed form parses back to the same document.
+  EXPECT_EQ(Json::parse(j.dump(2)).dump(-1), text);
+}
+
+TEST(Json, ParseHandlesEscapesAndNesting) {
+  const Json j = Json::parse(R"({"s":"a\"b\nc\\d","o":{"x":[null,false,-2.5e1]}})");
+  EXPECT_EQ(j.at("s").as_string(), "a\"b\nc\\d");
+  EXPECT_EQ(j.at("o").at("x").at(2).as_number(), -25.0);
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW((void)j.at("missing"), std::runtime_error);
+}
+
+TEST(Json, ParseReportsOffsetOnGarbage) {
+  try {
+    Json::parse("{\"a\": tru}");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+}
+
+TEST(Json, RawSplicesVerbatim) {
+  Json j = Json::object();
+  j["result"] = Json::raw(R"({"v": 1.0})");  // note: internal spacing kept
+  EXPECT_EQ(j.dump(-1), "{\"result\":{\"v\": 1.0}}");
+}
+
+// ---------------------------------------------------- unknown-key guard ----
+
+TEST(Config, CheckKnownAcceptsKnownAndPrefixed) {
+  Config c;
+  c.set("insts", "100");
+  c.set("fault.drop_read", "0.5");
+  c.set("trace0", "a.bin");
+  EXPECT_FALSE(c.check_known({"insts"}, {"fault.", "trace"}).has_value());
+}
+
+TEST(Config, CheckKnownRejectsWithDidYouMean) {
+  Config c;
+  c.set("inst", "100");  // typo'd "insts"
+  const auto err = c.check_known({"insts", "repeats", "seed"});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("unknown config key 'inst'"), std::string::npos) << *err;
+  EXPECT_NE(err->find("did you mean 'insts'"), std::string::npos) << *err;
+}
+
+TEST(Config, CheckKnownRejectsFarFromAnything) {
+  Config c;
+  c.set("zzzzzz", "1");
+  const auto err = c.check_known({"insts", "repeats"});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("unknown config key 'zzzzzz'"), std::string::npos) << *err;
+  EXPECT_EQ(err->find("did you mean"), std::string::npos) << *err;
+}
+
+TEST(Config, EditDistanceBasics) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("insts", "inst"), 1u);    // deletion
+  EXPECT_EQ(edit_distance("seed", "sead"), 1u);     // substitution
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+}
+
 }  // namespace
 }  // namespace memsched::util

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/guarded_main.hpp"
 #include "sim/experiment.hpp"
 #include "sim/json_report.hpp"
 #include "sim/workloads.hpp"
@@ -95,115 +96,120 @@ std::string pct_str(double x, double base) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Config cli;
-  if (auto err = cli.parse_args(argc, argv)) {
-    std::fprintf(stderr, "%s\nusage: memsched_report [key=value...]\n", err->c_str());
-    return 2;
-  }
-  sim::ExperimentConfig cfg;
-  cfg.eval_insts = cli.get_uint("insts", 300'000);
-  cfg.eval_repeats = static_cast<std::uint32_t>(cli.get_uint("repeats", 3));
-  cfg.profile_insts = cli.get_uint("profile_insts", 1'000'000);
-  cfg.eval_seed = cli.get_uint("seed", 2002);
-  sim::Experiment exp(cfg);
-
-  std::printf("memsched reproduction report (eval %llu insts x %u, profile %llu)\n\n",
-              static_cast<unsigned long long>(cfg.eval_insts), cfg.eval_repeats,
-              static_cast<unsigned long long>(cfg.profile_insts));
-
-  // --- Table 2 ---
-  std::printf("Table 2 — memory efficiency:\n");
-  const double rho = spearman_vs_table2(exp);
-  check("ME ordering matches Table 2 (Spearman > 0.95)", rho > 0.95,
-        "rho = " + util::fmt(rho, 3));
-
-  // --- Figure 2 ---
-  std::printf("Figure 2 — SMT speedup:\n");
-  const auto mem4 = sim::table3_workloads(4, "MEM");
-  const auto mem8 = sim::table3_workloads(8, "MEM");
-  const auto mem2 = sim::table3_workloads(2, "MEM");
-  const GroupStats hf4 = group_mean(exp, mem4, "HF-RF");
-  const GroupStats ml4 = group_mean(exp, mem4, "ME-LREQ");
-  const GroupStats hf8 = group_mean(exp, mem8, "HF-RF");
-  const GroupStats lreq8 = group_mean(exp, mem8, "LREQ");
-  const GroupStats rr8 = group_mean(exp, mem8, "RR");
-  const GroupStats ml8 = group_mean(exp, mem8, "ME-LREQ");
-  const GroupStats hf2 = group_mean(exp, mem2, "HF-RF");
-  const GroupStats ml2 = group_mean(exp, mem2, "ME-LREQ");
-
-  check("ME-LREQ beats HF-RF on 4-core MEM (avg)", ml4.smt > hf4.smt,
-        pct_str(ml4.smt, hf4.smt));
-  check("ME-LREQ beats HF-RF on 8-core MEM (avg)", ml8.smt > hf8.smt,
-        pct_str(ml8.smt, hf8.smt));
-  check("ME-LREQ beats LREQ on 8-core MEM", ml8.smt > lreq8.smt,
-        pct_str(ml8.smt, lreq8.smt));
-  // The LREQ-over-RR gap is only resolvable where memory pressure is high;
-  // at 4 cores the two schemes tie within noise (paper: 4.0% vs ~1%).
-  check("LREQ beats RR on 8-core MEM", lreq8.smt > rr8.smt, pct_str(lreq8.smt, rr8.smt));
-  const double gain2 = ml2.smt / hf2.smt - 1.0;
-  const double gain4 = ml4.smt / hf4.smt - 1.0;
-  const double gain8 = ml8.smt / hf8.smt - 1.0;
-  check("gains grow with core count (2 < 4 < 8)", gain2 < gain4 && gain4 < gain8,
-        util::fmt(gain2 * 100, 1) + " < " + util::fmt(gain4 * 100, 1) + " < " +
-            util::fmt(gain8 * 100, 1) + " %");
-  check("2-core gains small (paper: insignificant)", std::abs(gain2) < 0.05,
-        util::fmt(gain2 * 100, 1) + "%");
-  const auto mix4 = sim::table3_workloads(4, "MIX");
-  const GroupStats hfm4 = group_mean(exp, mix4, "HF-RF");
-  const GroupStats mlm4 = group_mean(exp, mix4, "ME-LREQ");
-  check("MIX gains smaller than MEM gains (4 cores)",
-        (mlm4.smt / hfm4.smt - 1.0) < gain4,
-        "MIX " + pct_str(mlm4.smt, hfm4.smt) + " vs MEM " + pct_str(ml4.smt, hf4.smt));
-
-  // --- Figure 4 ---
-  std::printf("Figure 4 — read latency:\n");
-  check("ME-LREQ mean read latency below HF-RF (4MEM)", ml4.latency < hf4.latency,
-        util::fmt(ml4.latency, 0) + " vs " + util::fmt(hf4.latency, 0) + " cycles");
-  const sim::WorkloadRun me_4mem5 = exp.run(sim::workload_by_name("4MEM-5"), "ME");
-  const sim::WorkloadRun hf_4mem5 = exp.run(sim::workload_by_name("4MEM-5"), "HF-RF");
-  const auto spread = [](const std::vector<double>& lat) {
-    const auto [mn, mx] = std::minmax_element(lat.begin(), lat.end());
-    return *mx / *mn;
-  };
-  check("ME spreads per-core latency more than HF-RF (4MEM-5)",
-        spread(me_4mem5.core_read_latency_cpu) > spread(hf_4mem5.core_read_latency_cpu),
-        util::fmt(spread(me_4mem5.core_read_latency_cpu), 2) + "x vs " +
-            util::fmt(spread(hf_4mem5.core_read_latency_cpu), 2) + "x");
-
-  // --- Figure 5 ---
-  std::printf("Figure 5 — fairness:\n");
-  check("ME-LREQ fairer than HF-RF (4MEM avg unfairness)",
-        ml4.unfairness < hf4.unfairness,
-        util::fmt(ml4.unfairness, 3) + " vs " + util::fmt(hf4.unfairness, 3));
-  const GroupStats me4 = group_mean(exp, mem4, "ME");
-  check("fixed ME less fair than ME-LREQ", me4.unfairness > ml4.unfairness,
-        util::fmt(me4.unfairness, 3) + " vs " + util::fmt(ml4.unfairness, 3));
-
-  // --- Figure 1 implementability ---
-  std::printf("Figure 1 — hardware priority table:\n");
-  const GroupStats hw4 = group_mean(exp, mem4, "ME-LREQ-HW");
-  check("10-bit table within 2% of exact division",
-        std::abs(hw4.smt / ml4.smt - 1.0) < 0.02, pct_str(hw4.smt, ml4.smt));
-
-  // --- summary ---
-  int failed = 0;
-  for (const auto& v : g_verdicts) failed += !v.pass;
-  std::printf("\n%zu criteria, %d failed.\n", g_verdicts.size(), failed);
-
-  if (const std::string path = cli.get_string("json", ""); !path.empty()) {
-    util::Json doc = util::Json::object();
-    doc["eval_insts"] = cfg.eval_insts;
-    doc["repeats"] = cfg.eval_repeats;
-    util::Json arr = util::Json::array();
-    for (const auto& v : g_verdicts) {
-      util::Json j = util::Json::object();
-      j["criterion"] = v.criterion;
-      j["detail"] = v.detail;
-      j["pass"] = v.pass;
-      arr.push_back(std::move(j));
+  return memsched::harness::guarded_main("memsched_report", [&] {
+    util::Config cli;
+    if (auto err = cli.parse_args(argc, argv)) {
+      std::fprintf(stderr, "%s\nusage: memsched_report [key=value...]\n", err->c_str());
+      throw std::invalid_argument("bad command line");
     }
-    doc["verdicts"] = std::move(arr);
-    doc.write_file(path);
-  }
+    if (const auto err = cli.check_known(
+            {"insts", "repeats", "profile_insts", "seed", "json"}))
+      throw std::invalid_argument(*err);
+    sim::ExperimentConfig cfg;
+    cfg.eval_insts = cli.get_uint("insts", 300'000);
+    cfg.eval_repeats = static_cast<std::uint32_t>(cli.get_uint("repeats", 3));
+    cfg.profile_insts = cli.get_uint("profile_insts", 1'000'000);
+    cfg.eval_seed = cli.get_uint("seed", 2002);
+    sim::Experiment exp(cfg);
+
+    std::printf("memsched reproduction report (eval %llu insts x %u, profile %llu)\n\n",
+                static_cast<unsigned long long>(cfg.eval_insts), cfg.eval_repeats,
+                static_cast<unsigned long long>(cfg.profile_insts));
+
+    // --- Table 2 ---
+    std::printf("Table 2 — memory efficiency:\n");
+    const double rho = spearman_vs_table2(exp);
+    check("ME ordering matches Table 2 (Spearman > 0.95)", rho > 0.95,
+          "rho = " + util::fmt(rho, 3));
+
+    // --- Figure 2 ---
+    std::printf("Figure 2 — SMT speedup:\n");
+    const auto mem4 = sim::table3_workloads(4, "MEM");
+    const auto mem8 = sim::table3_workloads(8, "MEM");
+    const auto mem2 = sim::table3_workloads(2, "MEM");
+    const GroupStats hf4 = group_mean(exp, mem4, "HF-RF");
+    const GroupStats ml4 = group_mean(exp, mem4, "ME-LREQ");
+    const GroupStats hf8 = group_mean(exp, mem8, "HF-RF");
+    const GroupStats lreq8 = group_mean(exp, mem8, "LREQ");
+    const GroupStats rr8 = group_mean(exp, mem8, "RR");
+    const GroupStats ml8 = group_mean(exp, mem8, "ME-LREQ");
+    const GroupStats hf2 = group_mean(exp, mem2, "HF-RF");
+    const GroupStats ml2 = group_mean(exp, mem2, "ME-LREQ");
+
+    check("ME-LREQ beats HF-RF on 4-core MEM (avg)", ml4.smt > hf4.smt,
+          pct_str(ml4.smt, hf4.smt));
+    check("ME-LREQ beats HF-RF on 8-core MEM (avg)", ml8.smt > hf8.smt,
+          pct_str(ml8.smt, hf8.smt));
+    check("ME-LREQ beats LREQ on 8-core MEM", ml8.smt > lreq8.smt,
+          pct_str(ml8.smt, lreq8.smt));
+    // The LREQ-over-RR gap is only resolvable where memory pressure is high;
+    // at 4 cores the two schemes tie within noise (paper: 4.0% vs ~1%).
+    check("LREQ beats RR on 8-core MEM", lreq8.smt > rr8.smt, pct_str(lreq8.smt, rr8.smt));
+    const double gain2 = ml2.smt / hf2.smt - 1.0;
+    const double gain4 = ml4.smt / hf4.smt - 1.0;
+    const double gain8 = ml8.smt / hf8.smt - 1.0;
+    check("gains grow with core count (2 < 4 < 8)", gain2 < gain4 && gain4 < gain8,
+          util::fmt(gain2 * 100, 1) + " < " + util::fmt(gain4 * 100, 1) + " < " +
+              util::fmt(gain8 * 100, 1) + " %");
+    check("2-core gains small (paper: insignificant)", std::abs(gain2) < 0.05,
+          util::fmt(gain2 * 100, 1) + "%");
+    const auto mix4 = sim::table3_workloads(4, "MIX");
+    const GroupStats hfm4 = group_mean(exp, mix4, "HF-RF");
+    const GroupStats mlm4 = group_mean(exp, mix4, "ME-LREQ");
+    check("MIX gains smaller than MEM gains (4 cores)",
+          (mlm4.smt / hfm4.smt - 1.0) < gain4,
+          "MIX " + pct_str(mlm4.smt, hfm4.smt) + " vs MEM " + pct_str(ml4.smt, hf4.smt));
+
+    // --- Figure 4 ---
+    std::printf("Figure 4 — read latency:\n");
+    check("ME-LREQ mean read latency below HF-RF (4MEM)", ml4.latency < hf4.latency,
+          util::fmt(ml4.latency, 0) + " vs " + util::fmt(hf4.latency, 0) + " cycles");
+    const sim::WorkloadRun me_4mem5 = exp.run(sim::workload_by_name("4MEM-5"), "ME");
+    const sim::WorkloadRun hf_4mem5 = exp.run(sim::workload_by_name("4MEM-5"), "HF-RF");
+    const auto spread = [](const std::vector<double>& lat) {
+      const auto [mn, mx] = std::minmax_element(lat.begin(), lat.end());
+      return *mx / *mn;
+    };
+    check("ME spreads per-core latency more than HF-RF (4MEM-5)",
+          spread(me_4mem5.core_read_latency_cpu) > spread(hf_4mem5.core_read_latency_cpu),
+          util::fmt(spread(me_4mem5.core_read_latency_cpu), 2) + "x vs " +
+              util::fmt(spread(hf_4mem5.core_read_latency_cpu), 2) + "x");
+
+    // --- Figure 5 ---
+    std::printf("Figure 5 — fairness:\n");
+    check("ME-LREQ fairer than HF-RF (4MEM avg unfairness)",
+          ml4.unfairness < hf4.unfairness,
+          util::fmt(ml4.unfairness, 3) + " vs " + util::fmt(hf4.unfairness, 3));
+    const GroupStats me4 = group_mean(exp, mem4, "ME");
+    check("fixed ME less fair than ME-LREQ", me4.unfairness > ml4.unfairness,
+          util::fmt(me4.unfairness, 3) + " vs " + util::fmt(ml4.unfairness, 3));
+
+    // --- Figure 1 implementability ---
+    std::printf("Figure 1 — hardware priority table:\n");
+    const GroupStats hw4 = group_mean(exp, mem4, "ME-LREQ-HW");
+    check("10-bit table within 2% of exact division",
+          std::abs(hw4.smt / ml4.smt - 1.0) < 0.02, pct_str(hw4.smt, ml4.smt));
+
+    // --- summary ---
+    int failed = 0;
+    for (const auto& v : g_verdicts) failed += !v.pass;
+    std::printf("\n%zu criteria, %d failed.\n", g_verdicts.size(), failed);
+
+    if (const std::string path = cli.get_string("json", ""); !path.empty()) {
+      util::Json doc = util::Json::object();
+      doc["eval_insts"] = cfg.eval_insts;
+      doc["repeats"] = cfg.eval_repeats;
+      util::Json arr = util::Json::array();
+      for (const auto& v : g_verdicts) {
+        util::Json j = util::Json::object();
+        j["criterion"] = v.criterion;
+        j["detail"] = v.detail;
+        j["pass"] = v.pass;
+        arr.push_back(std::move(j));
+      }
+      doc["verdicts"] = std::move(arr);
+      doc.write_file(path);
+    }
   return failed == 0 ? 0 : 1;
+  });
 }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/scheduler_factory.hpp"
+#include "harness/guarded_main.hpp"
 #include "sim/experiment.hpp"
 #include "sim/json_report.hpp"
 #include "sim/workloads.hpp"
@@ -22,7 +23,7 @@ using namespace memsched;
 
 namespace {
 
-int usage() {
+[[noreturn]] int usage() {
   std::fprintf(stderr,
                "usage: memsched_sim <run|profile|list> [key=value...]\n"
                "  run     workload=4MEM-1|codes:bcde scheme=ME-LREQ [insts=300000] [repeats=3]\n"
@@ -30,7 +31,17 @@ int usage() {
                "          [interleave=hybrid|line|page] [grade=DDR2-800] [json=path]\n"
                "  profile app=swim|all [insts=1000000] [seed=1001]\n"
                "  list\n");
-  return 1;
+  throw std::invalid_argument("bad command line (see usage above)");
+}
+
+// Shared simulation knobs accepted by both run and profile.
+const std::vector<std::string_view> kConfigKeys = {
+    "insts", "repeats", "warmup", "profile_insts", "seed",
+    "profile_seed", "interleave", "bank_xor", "grade"};
+
+std::vector<std::string_view> with_config_keys(std::vector<std::string_view> extra) {
+  extra.insert(extra.end(), kConfigKeys.begin(), kConfigKeys.end());
+  return extra;
 }
 
 sim::ExperimentConfig config_from(const util::Config& cli) {
@@ -53,9 +64,11 @@ sim::ExperimentConfig config_from(const util::Config& cli) {
 }
 
 int cmd_run(const util::Config& cli) {
+  if (const auto err = cli.check_known(with_config_keys({"workload", "scheme", "json"})))
+    throw std::invalid_argument(*err);
   const std::string wname = cli.get_string("workload", "");
   const std::string scheme = cli.get_string("scheme", "");
-  if (wname.empty() || scheme.empty()) return usage();
+  if (wname.empty() || scheme.empty()) usage();
 
   sim::Experiment exp(config_from(cli));
   const sim::Workload w = sim::resolve_workload(wname);
@@ -88,8 +101,10 @@ int cmd_run(const util::Config& cli) {
 }
 
 int cmd_profile(const util::Config& cli) {
+  if (const auto err = cli.check_known(with_config_keys({"app"})))
+    throw std::invalid_argument(*err);
   const std::string app = cli.get_string("app", "");
-  if (app.empty()) return usage();
+  if (app.empty()) usage();
   sim::Experiment exp(config_from(cli));
   std::printf("%-10s %8s %10s %12s\n", "app", "IPC", "BW(GB/s)", "ME (Eq. 1)");
   const auto print_one = [&](const std::string& name) {
@@ -119,20 +134,17 @@ int cmd_list() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  util::Config cli;
-  if (auto err = cli.parse_args(argc - 1, argv + 1)) {
-    std::fprintf(stderr, "%s\n", err->c_str());
-    return usage();
-  }
-  try {
+  return harness::guarded_main("memsched_sim", [&] {
+    if (argc < 2) usage();
+    const std::string cmd = argv[1];
+    util::Config cli;
+    if (auto err = cli.parse_args(argc - 1, argv + 1)) {
+      std::fprintf(stderr, "%s\n", err->c_str());
+      usage();
+    }
     if (cmd == "run") return cmd_run(cli);
     if (cmd == "profile") return cmd_profile(cli);
     if (cmd == "list") return cmd_list();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  return usage();
+    usage();
+  });
 }

@@ -1,0 +1,260 @@
+// memsched_sweep — fault-tolerant experiment sweep orchestrator.
+//
+//   memsched_sweep grid [workloads=2MEM-1,4MEM-1] [schemes=HF-RF,ME-LREQ]
+//                  [insts=N] [repeats=N] [seed=N] [manifest=path] [report=path]
+//                  [timeout=SECONDS] [attempts=N] [fault=0|1] [fault.*=...]
+//       Run every (workload, scheme) point as an isolated forked child under
+//       a wall-clock watchdog; checkpoint the manifest after every point.
+//   memsched_sweep benches [bindir=build/bench] [manifest=path] [report=path]
+//       Run every registered paper-figure bench binary the same way.
+//
+// A killed sweep resumes from its manifest: completed points are replayed,
+// the interrupted point re-runs, and the final report is byte-identical to
+// an uninterrupted run. Failed points (bad config, livelock, budget, crash,
+// timeout) are recorded, retried up to attempts=, then skipped — the rest of
+// the sweep still completes and the report marks the gaps.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/bench_registry.hpp"
+#include "harness/guarded_main.hpp"
+#include "harness/orchestrator.hpp"
+#include "sim/experiment.hpp"
+#include "sim/json_report.hpp"
+#include "sim/workloads.hpp"
+#include "util/config.hpp"
+
+using namespace memsched;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: memsched_sweep <grid|benches> [key=value...]\n"
+      "  grid     workloads=A,B,... schemes=S1,S2,... [insts=N] [repeats=N]\n"
+      "           [warmup=N] [profile_insts=N] [seed=N] [profile_seed=N]\n"
+      "           [interleave=hybrid|line|page] [verify=0|1] [progress_window=N]\n"
+      "           [fault=0|1] [fault.seed=N] [fault.drop_read=P] [fault.drop_write=P]\n"
+      "           [fault.dup=P] [fault.delay=P] [fault.delay_max=N] [fault.stall=P]\n"
+      "           [fault.stall_ticks=N] [fault.points=name1,name2,...]\n"
+      "  benches  [bindir=build/bench]\n"
+      "  common   [manifest=path] [report=path] [timeout=seconds] [attempts=N]\n"
+      "           [backoff=seconds] [isolate=0|1] [stop_after=N] [strict=0|1]\n"
+      "           [quiet=0|1]\n");
+  throw std::invalid_argument("bad sweep command line");
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t end = csv.find(',', begin);
+    const std::string item =
+        csv.substr(begin, end == std::string::npos ? std::string::npos : end - begin);
+    if (!item.empty()) out.push_back(item);
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+mc::FaultConfig fault_from(const util::Config& cli) {
+  mc::FaultConfig f;
+  f.enabled = cli.get_bool("fault", false);
+  f.seed = cli.get_uint("fault.seed", f.seed);
+  f.drop_read_prob = cli.get_double("fault.drop_read", 0.0);
+  f.drop_write_prob = cli.get_double("fault.drop_write", 0.0);
+  f.dup_prob = cli.get_double("fault.dup", 0.0);
+  f.delay_prob = cli.get_double("fault.delay", 0.0);
+  f.delay_ticks_max =
+      static_cast<std::uint32_t>(cli.get_uint("fault.delay_max", f.delay_ticks_max));
+  f.stall_prob = cli.get_double("fault.stall", 0.0);
+  f.stall_ticks =
+      static_cast<std::uint32_t>(cli.get_uint("fault.stall_ticks", f.stall_ticks));
+  if (const std::string err = f.validate(); !err.empty())
+    throw std::invalid_argument("fault config: " + err);
+  return f;
+}
+
+harness::OrchestratorConfig orchestrator_from(const util::Config& cli,
+                                              const std::string& fingerprint) {
+  harness::OrchestratorConfig oc;
+  oc.manifest_path = cli.get_string("manifest", "");
+  oc.fingerprint = fingerprint;
+  oc.timeout_seconds = cli.get_double("timeout", 300.0);
+  oc.max_attempts = static_cast<std::uint32_t>(cli.get_uint("attempts", 1));
+  oc.backoff_seconds = cli.get_double("backoff", 0.0);
+  oc.isolate = cli.get_bool("isolate", true);
+  oc.stop_after = static_cast<std::uint32_t>(cli.get_uint("stop_after", 0));
+  oc.verbose = !cli.get_bool("quiet", false);
+  return oc;
+}
+
+int finish(const util::Config& cli, harness::Orchestrator& orch,
+           const harness::SweepSummary& s) {
+  if (const std::string path = cli.get_string("report", ""); !path.empty()) {
+    orch.report().write_file(path);
+    std::printf("report: %s\n", path.c_str());
+  }
+  std::printf("sweep: %zu points, %zu ok (%zu resumed), %zu failed%s\n", s.total, s.ok,
+              s.resumed, s.failed, s.abandoned ? " [abandoned by stop_after]" : "");
+  for (const harness::PointRecord& r : orch.manifest().records()) {
+    if (!r.ok()) {
+      std::printf("  gap: %s (%s) %s\n", r.name.c_str(), r.status.c_str(),
+                  r.error.c_str());
+    }
+  }
+  // Graceful degradation: recorded-and-skipped failures are a *successful*
+  // sweep unless strict= asks otherwise.
+  if (cli.get_bool("strict", false) && s.failed > 0) return 1;
+  return 0;
+}
+
+int cmd_grid(const util::Config& cli) {
+  if (const auto err = cli.check_known(
+          {"workloads", "schemes", "insts", "repeats", "warmup", "profile_insts",
+           "seed", "profile_seed", "interleave", "verify", "progress_window",
+           "fault", "manifest", "report", "timeout", "attempts", "backoff",
+           "isolate", "stop_after", "strict", "quiet"},
+          {"fault."})) {
+    throw std::invalid_argument(*err);
+  }
+
+  sim::ExperimentConfig cfg;
+  cfg.eval_insts = cli.get_uint("insts", 30'000);
+  cfg.eval_repeats = static_cast<std::uint32_t>(cli.get_uint("repeats", 1));
+  cfg.warmup_insts = cli.get_uint("warmup", cfg.warmup_insts);
+  cfg.profile_insts = cli.get_uint("profile_insts", 80'000);
+  cfg.eval_seed = cli.get_uint("seed", cfg.eval_seed);
+  cfg.profile_seed = cli.get_uint("profile_seed", cfg.profile_seed);
+  const std::string il = cli.get_string("interleave", "hybrid");
+  if (il == "line") cfg.base.interleave = dram::Interleave::kLineInterleave;
+  else if (il == "page") cfg.base.interleave = dram::Interleave::kPageInterleave;
+  else if (il == "hybrid") cfg.base.interleave = dram::Interleave::kHybrid;
+  else throw std::invalid_argument("unknown interleave '" + il + "'");
+  cfg.base.audit.enabled = cli.get_bool("verify", cfg.base.audit.enabled);
+  cfg.base.progress_window_ticks =
+      cli.get_uint("progress_window", cfg.base.progress_window_ticks);
+
+  const mc::FaultConfig fault = fault_from(cli);
+  const std::vector<std::string> fault_points =
+      split_list(cli.get_string("fault.points", ""));
+  const auto fault_targets = [&](const std::string& point_name) {
+    if (!fault.enabled) return false;
+    if (fault_points.empty()) return true;
+    for (const std::string& p : fault_points) {
+      if (p == point_name) return true;
+    }
+    return false;
+  };
+
+  const std::vector<std::string> workloads =
+      split_list(cli.get_string("workloads", "2MEM-1"));
+  const std::vector<std::string> schemes =
+      split_list(cli.get_string("schemes", "HF-RF,ME-LREQ"));
+  if (workloads.empty() || schemes.empty()) return usage();
+
+  // The fingerprint ties a manifest to the sweep definition; every knob that
+  // changes a point's *result* belongs in it.
+  std::string fp = "grid|w=" + cli.get_string("workloads", "2MEM-1") +
+                   "|s=" + cli.get_string("schemes", "HF-RF,ME-LREQ") +
+                   "|insts=" + std::to_string(cfg.eval_insts) +
+                   "|repeats=" + std::to_string(cfg.eval_repeats) +
+                   "|seed=" + std::to_string(cfg.eval_seed) +
+                   "|profile=" + std::to_string(cfg.profile_insts) + "," +
+                   std::to_string(cfg.profile_seed) + "|il=" + il +
+                   "|verify=" + (cfg.base.audit.enabled ? "1" : "0");
+  if (fault.enabled) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "|fault=seed:%llu,dr:%g,dw:%g,dup:%g,dl:%g/%u,st:%g/%u,pts:%s",
+                  static_cast<unsigned long long>(fault.seed), fault.drop_read_prob,
+                  fault.drop_write_prob, fault.dup_prob, fault.delay_prob,
+                  fault.delay_ticks_max, fault.stall_prob, fault.stall_ticks,
+                  cli.get_string("fault.points", "").c_str());
+    fp += buf;
+  }
+
+  std::vector<harness::PointSpec> points;
+  for (const std::string& wname : workloads) {
+    for (const std::string& scheme : schemes) {
+      harness::PointSpec p;
+      p.name = wname + "/" + scheme;
+      const bool chaos = fault_targets(p.name);
+      p.body = [cfg, wname, scheme, fault, chaos]() {
+        sim::ExperimentConfig point_cfg = cfg;
+        if (chaos) {
+          point_cfg.base.fault = fault;
+          // Record-mode audit: induced corruption should be *counted* by the
+          // verification layer, not abort the child before the watchdogs get
+          // to demonstrate containment.
+          point_cfg.base.audit.abort_on_violation = false;
+        }
+        sim::Experiment exp(point_cfg);
+        const sim::Workload w = sim::resolve_workload(wname);
+        const sim::WorkloadRun r = exp.run(w, scheme);
+        util::Json payload = util::Json::object();
+        payload["workload"] = w.name;
+        payload["scheme"] = r.scheme;
+        payload["fault_injected"] = chaos;
+        payload["smt_speedup"] = r.smt_speedup;
+        payload["unfairness"] = r.unfairness;
+        payload["avg_read_latency_cpu"] = r.avg_read_latency_cpu;
+        payload["row_hit_rate"] = r.row_hit_rate;
+        payload["bus_utilization"] = r.bus_utilization;
+        return payload;
+      };
+      points.push_back(std::move(p));
+    }
+  }
+
+  harness::Orchestrator orch(orchestrator_from(cli, fp));
+  const harness::SweepSummary s = orch.run(points);
+  return finish(cli, orch, s);
+}
+
+int cmd_benches(const util::Config& cli) {
+  if (const auto err = cli.check_known({"bindir", "manifest", "report", "timeout",
+                                        "attempts", "backoff", "isolate",
+                                        "stop_after", "strict", "quiet"})) {
+    throw std::invalid_argument(*err);
+  }
+  const std::string bindir = cli.get_string("bindir", "build/bench");
+
+  std::vector<harness::PointSpec> points;
+  std::string fp = "benches";
+  for (const harness::BenchEntry& b : harness::bench_registry()) {
+    harness::PointSpec p;
+    p.name = b.name;
+    p.argv.push_back(bindir + "/" + b.name);
+    for (const std::string& a : b.smoke_args) p.argv.push_back(a);
+    points.push_back(std::move(p));
+    fp += "|" + b.name;
+  }
+
+  harness::Orchestrator orch(orchestrator_from(cli, fp));
+  const harness::SweepSummary s = orch.run(points);
+  return finish(cli, orch, s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("memsched_sweep", [&] {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    util::Config cli;
+    // parse_args skips argv[0]; shifting by one makes the subcommand play
+    // that role, leaving only key=value tokens.
+    if (auto err = cli.parse_args(argc - 1, argv + 1)) {
+      std::fprintf(stderr, "%s\n", err->c_str());
+      return usage();
+    }
+    if (cmd == "grid") return cmd_grid(cli);
+    if (cmd == "benches") return cmd_benches(cli);
+    return usage();
+  });
+}

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "dram/address_map.hpp"
+#include "harness/guarded_main.hpp"
 #include "trace/app_profile.hpp"
 #include "trace/generator.hpp"
 #include "trace/trace_file.hpp"
@@ -32,7 +33,7 @@ using namespace memsched;
 
 namespace {
 
-int usage() {
+[[noreturn]] int usage() {
   std::fprintf(stderr,
                "usage: memsched_trace <gen|convert|info|apps> [key=value...]\n"
                "  gen     app=swim insts=1000000 seed=1 out=swim.bin [format=bin|txt]\n"
@@ -40,7 +41,7 @@ int usage() {
                "  info    in=trace.bin\n"
                "  analyze in=trace.bin [interleave=hybrid|line|page] [bank_xor=0|1]\n"
                "  apps\n");
-  return 1;
+  throw std::invalid_argument("bad command line (see usage above)");
 }
 
 std::vector<trace::InstRecord> load_any(const std::string& path) {
@@ -58,9 +59,12 @@ bool wants_binary(const std::string& path, const std::string& format) {
 }
 
 int cmd_gen(const util::Config& cli) {
+  if (const auto err =
+          cli.check_known({"app", "insts", "seed", "out", "base", "format"}))
+    throw std::invalid_argument(*err);
   const std::string app_name = cli.get_string("app", "");
   const std::string out = cli.get_string("out", "");
-  if (app_name.empty() || out.empty()) return usage();
+  if (app_name.empty() || out.empty()) usage();
   const auto& app = trace::spec2000_by_name(app_name);
   const std::uint64_t insts = cli.get_uint("insts", 1'000'000);
   const std::uint64_t seed = cli.get_uint("seed", 1);
@@ -82,9 +86,11 @@ int cmd_gen(const util::Config& cli) {
 }
 
 int cmd_convert(const util::Config& cli) {
+  if (const auto err = cli.check_known({"in", "out", "format"}))
+    throw std::invalid_argument(*err);
   const std::string in = cli.get_string("in", "");
   const std::string out = cli.get_string("out", "");
-  if (in.empty() || out.empty()) return usage();
+  if (in.empty() || out.empty()) usage();
   const auto recs = load_any(in);
   if (wants_binary(out, cli.get_string("format", "")))
     trace::write_binary_trace(out, recs);
@@ -95,8 +101,9 @@ int cmd_convert(const util::Config& cli) {
 }
 
 int cmd_info(const util::Config& cli) {
+  if (const auto err = cli.check_known({"in"})) throw std::invalid_argument(*err);
   const std::string in = cli.get_string("in", "");
-  if (in.empty()) return usage();
+  if (in.empty()) usage();
   const auto recs = load_any(in);
 
   std::uint64_t loads = 0, stores = 0, deps = 0;
@@ -131,8 +138,10 @@ int cmd_info(const util::Config& cli) {
 }
 
 int cmd_analyze(const util::Config& cli) {
+  if (const auto err = cli.check_known({"in", "interleave", "bank_xor"}))
+    throw std::invalid_argument(*err);
   const std::string in = cli.get_string("in", "");
-  if (in.empty()) return usage();
+  if (in.empty()) usage();
   const std::string il = cli.get_string("interleave", "hybrid");
   dram::Interleave scheme = dram::Interleave::kHybrid;
   if (il == "line") scheme = dram::Interleave::kLineInterleave;
@@ -200,22 +209,19 @@ int cmd_apps() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  util::Config cli;
-  if (auto err = cli.parse_args(argc - 1, argv + 1)) {
-    std::fprintf(stderr, "%s\n", err->c_str());
-    return usage();
-  }
-  try {
+  return harness::guarded_main("memsched_trace", [&] {
+    if (argc < 2) usage();
+    const std::string cmd = argv[1];
+    util::Config cli;
+    if (auto err = cli.parse_args(argc - 1, argv + 1)) {
+      std::fprintf(stderr, "%s\n", err->c_str());
+      usage();
+    }
     if (cmd == "gen") return cmd_gen(cli);
     if (cmd == "convert") return cmd_convert(cli);
     if (cmd == "info") return cmd_info(cli);
     if (cmd == "analyze") return cmd_analyze(cli);
     if (cmd == "apps") return cmd_apps();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  return usage();
+    usage();
+  });
 }
