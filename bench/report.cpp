@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "sim/engine.hpp"
+
 namespace memsched::bench {
 
 BenchSetup BenchSetup::parse(int argc, char** argv,
@@ -13,7 +15,7 @@ BenchSetup BenchSetup::parse(int argc, char** argv,
     std::fprintf(stderr,
                  "usage: %s [insts=N] [repeats=N] [warmup=N] [profile_insts=N]\n"
                  "          [seed=N] [profile_seed=N] [interleave=line|page|hybrid]\n"
-                 "          [refresh=0|1] [verify=0|1] [csv=path]\n",
+                 "          [refresh=0|1] [verify=0|1] [engine=skip|cycle] [csv=path]\n",
                  argv[0]);
     throw std::invalid_argument(msg);
   };
@@ -22,7 +24,8 @@ BenchSetup BenchSetup::parse(int argc, char** argv,
   // default configuration.
   std::vector<std::string_view> known = {"insts",        "repeats",    "warmup",
                                          "profile_insts", "seed",      "profile_seed",
-                                         "interleave",    "refresh",   "verify", "csv"};
+                                         "interleave",    "refresh",   "verify",
+                                         "engine",        "csv"};
   known.insert(known.end(), extra_keys.begin(), extra_keys.end());
   if (auto err = out.cli.check_known(known)) fail(*err);
   sim::ExperimentConfig& e = out.experiment;
@@ -40,6 +43,10 @@ BenchSetup BenchSetup::parse(int argc, char** argv,
   e.base.timing.refresh_enabled = out.cli.get_bool("refresh", false);
   // Default comes from the MEMSCHED_VERIFY environment flag; verify= overrides.
   e.base.audit.enabled = out.cli.get_bool("verify", e.base.audit.enabled);
+  const std::string eng = out.cli.get_string("engine", "skip");
+  if (eng == "skip") e.base.engine = sim::Engine::kSkip;
+  else if (eng == "cycle") e.base.engine = sim::Engine::kCycle;
+  else fail("unknown engine '" + eng + "'");
   out.csv_path = out.cli.get_string("csv", "");
   return out;
 }
@@ -60,12 +67,13 @@ void print_header(const BenchSetup& setup, const char* artefact,
       dram::AddressMap::scheme_name(e.base.interleave).c_str(),
       e.base.controller.drain_high, e.base.controller.drain_low);
   std::printf("run: eval %llu insts x %u slices (seed %llu), profile %llu insts "
-              "(seed %llu), warmup %llu\n\n",
+              "(seed %llu), warmup %llu, %s engine\n\n",
               static_cast<unsigned long long>(e.eval_insts), e.eval_repeats,
               static_cast<unsigned long long>(e.eval_seed),
               static_cast<unsigned long long>(e.profile_insts),
               static_cast<unsigned long long>(e.profile_seed),
-              static_cast<unsigned long long>(e.warmup_insts));
+              static_cast<unsigned long long>(e.warmup_insts),
+              sim::engine_name(e.base.engine));
 }
 
 CsvSink::CsvSink(const std::string& path) {

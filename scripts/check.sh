@@ -34,6 +34,11 @@ echo "  fig2_smt_speedup ok"
 ./build/bench/micro_components --benchmark_min_time=0.01 > /dev/null
 echo "  micro_components ok"
 
+echo "== engine throughput gate (cycle vs skip, see docs/performance.md) =="
+./build/bench/sim_throughput out=/tmp/check_throughput.json > /dev/null
+python3 scripts/check_throughput.py /tmp/check_throughput.json
+rm -f /tmp/check_throughput.json
+
 echo "== tool smoke =="
 ./build/tools/memsched_sim run workload=2MEM-1 scheme=ME-LREQ insts=20000 \
     profile_insts=60000 repeats=1 > /dev/null
@@ -45,5 +50,14 @@ echo "  tools ok"
 echo "== chaos smoke (fault injection + kill/resume, see docs/robustness.md) =="
 scripts/chaos_smoke.sh build > /dev/null
 echo "  chaos smoke ok"
+
+# Soft line-coverage floor for src/ (enforced by the CI coverage job via
+# scripts/coverage.sh). Not run here by default — it rebuilds the whole tree
+# instrumented; opt in with MEMSCHED_CHECK_COVERAGE=1.
+MEMSCHED_COVERAGE_FLOOR=80
+if [ "${MEMSCHED_CHECK_COVERAGE:-0}" = 1 ]; then
+  echo "== coverage (soft floor ${MEMSCHED_COVERAGE_FLOOR}%) =="
+  scripts/coverage.sh "$MEMSCHED_COVERAGE_FLOOR"
+fi
 
 echo "ALL CHECKS PASSED"

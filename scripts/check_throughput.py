@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Regression gate for the simulation-engine throughput bench.
+
+Compares a fresh BENCH_sim_throughput.json (from bench/sim_throughput)
+against the checked-in baseline and fails on:
+
+  * any case where the two engines did not produce identical results
+    (equivalence is checked inside the bench itself);
+  * a skip-engine speedup more than 10% below the baseline speedup for the
+    same case (wall-clock regression of the fast-forward path); idle-heavy
+    cases are exempt from this relative check — their skip-engine walls are
+    a few milliseconds, so the ratio of two tiny timings is too noisy for a
+    10% band, and they are covered by the absolute 3x floor instead;
+  * a visited-tick share more than 10% above baseline on closed-loop cases
+    (a deterministic signal that the engine stopped skipping spans it used
+    to skip, independent of machine speed);
+  * any idle-heavy open-loop case below the 3x speedup floor the engine is
+    required to deliver on low-MLP workloads.
+
+Usage: check_throughput.py <BENCH_sim_throughput.json> [baseline.json]
+"""
+import json
+import sys
+
+SPEEDUP_TOLERANCE = 0.90      # >10% regression fails
+VISITED_TOLERANCE = 1.10      # >10% more visited ticks fails
+IDLE_HEAVY_FLOOR = 3.0        # required speedup on idle-heavy cases
+
+
+def key(entry):
+    return (entry.get("workload") or "load=%.3f" % entry["load"], entry["scheme"])
+
+
+def index(doc, section):
+    return {key(e): e for e in doc.get(section, [])}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    bench_path = argv[1]
+    base_path = argv[2] if len(argv) > 2 else "bench/baselines/sim_throughput_baseline.json"
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+
+    failures = []
+
+    if not bench.get("all_results_identical", False):
+        failures.append("engine results diverged (all_results_identical is false)")
+
+    for section in ("closed_loop", "open_loop"):
+        fresh = index(bench, section)
+        ref = index(base, section)
+        for k, b in ref.items():
+            e = fresh.get(k)
+            if e is None:
+                failures.append(f"{section} {k}: case missing from bench output")
+                continue
+            if not e.get("results_identical", False):
+                failures.append(f"{section} {k}: engines disagreed")
+            floor = b["speedup"] * SPEEDUP_TOLERANCE
+            if not e.get("idle_heavy") and e["speedup"] < floor:
+                failures.append(
+                    f"{section} {k}: speedup {e['speedup']:.2f}x regressed >10% "
+                    f"below baseline {b['speedup']:.2f}x")
+            if "visited_share" in b and "visited_share" in e:
+                if e["visited_share"] > b["visited_share"] * VISITED_TOLERANCE:
+                    failures.append(
+                        f"{section} {k}: visited share {e['visited_share']:.3f} "
+                        f"grew >10% over baseline {b['visited_share']:.3f}")
+            if e.get("idle_heavy") and e["speedup"] < IDLE_HEAVY_FLOOR:
+                failures.append(
+                    f"{section} {k}: idle-heavy speedup {e['speedup']:.2f}x "
+                    f"below the {IDLE_HEAVY_FLOOR:.1f}x floor")
+
+    if failures:
+        print("THROUGHPUT GATE: FAIL")
+        for f in failures:
+            print("  -", f)
+        return 1
+    print(f"THROUGHPUT GATE: OK ({bench_path} vs {base_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

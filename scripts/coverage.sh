@@ -1,0 +1,32 @@
+#!/bin/sh
+# Line-coverage report for src/: instrumented build (MEMSCHED_COVERAGE=ON),
+# full test suite, then a gcov-based per-file summary.
+#
+# Usage: scripts/coverage.sh [floor-percent]
+#   floor-percent  fail (exit 1) when total src/ line coverage is below this;
+#                  default 0 = report only. scripts/check.sh records the
+#                  project's soft floor.
+#
+# Uses gcov's JSON intermediate format + python3 (both in the base toolchain);
+# no gcovr/lcov required.
+set -eu
+
+cd "$(dirname "$0")/.."
+FLOOR="${1:-0}"
+
+cmake -B build-cov -S . -DMEMSCHED_COVERAGE=ON
+cmake --build build-cov -j "$(nproc)"
+timeout 3600 ctest --test-dir build-cov --output-on-failure -j "$(nproc)"
+
+REPORT_DIR=build-cov/coverage-report
+rm -rf "$REPORT_DIR"
+mkdir -p "$REPORT_DIR"
+# Only the library objects under build-cov/src carry src/ counters; test and
+# bench objects would just re-report the same headers.
+(
+  cd "$REPORT_DIR"
+  find ../src -name '*.gcda' -print | while read -r gcda; do
+    gcov --json-format "$gcda" > /dev/null
+  done
+)
+python3 scripts/coverage_summary.py "$REPORT_DIR" --floor "$FLOOR"

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Aggregate gcov JSON intermediate files into a src/ line-coverage summary.
+
+Reads every *.gcov.json.gz in the given directory (as produced by
+`gcov --json-format`), merges the per-line execution counts of all source
+files under src/ (a line is covered if any object executed it), and prints a
+per-file table plus the total. With --floor N, exits 1 when the total falls
+below N percent.
+
+Usage: coverage_summary.py <dir-with-gcov-json> [--floor N]
+"""
+import glob
+import gzip
+import json
+import os
+import sys
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    report_dir = argv[1]
+    floor = 0.0
+    if "--floor" in argv:
+        floor = float(argv[argv.index("--floor") + 1])
+
+    # (file -> line -> max count) across all translation units.
+    lines = {}
+    inputs = glob.glob(os.path.join(report_dir, "*.gcov.json.gz"))
+    if not inputs:
+        print(f"coverage: no gcov JSON files found in {report_dir}", file=sys.stderr)
+        return 2
+    for path in inputs:
+        with gzip.open(path, "rt") as f:
+            doc = json.load(f)
+        for entry in doc.get("files", []):
+            name = entry["file"]
+            # Normalize compile-dir-relative paths and keep only src/.
+            norm = os.path.normpath(name)
+            marker = norm.find("src" + os.sep)
+            if marker < 0:
+                continue
+            rel = norm[marker:]
+            per_file = lines.setdefault(rel, {})
+            for ln in entry.get("lines", []):
+                n = ln["line_number"]
+                per_file[n] = max(per_file.get(n, 0), ln["count"])
+
+    total_lines = total_hit = 0
+    print(f"{'file':<44} {'lines':>6} {'hit':>6} {'cover':>7}")
+    for rel in sorted(lines):
+        per_file = lines[rel]
+        n = len(per_file)
+        if n == 0:  # header with no executable lines in any TU
+            continue
+        hit = sum(1 for c in per_file.values() if c > 0)
+        total_lines += n
+        total_hit += hit
+        print(f"{rel:<44} {n:>6} {hit:>6} {100.0 * hit / n:>6.1f}%")
+    if total_lines == 0:
+        print("coverage: no src/ lines instrumented", file=sys.stderr)
+        return 2
+    pct = 100.0 * total_hit / total_lines
+    print(f"{'TOTAL src/':<44} {total_lines:>6} {total_hit:>6} {pct:>6.1f}%")
+    if pct < floor:
+        print(f"COVERAGE GATE: FAIL ({pct:.1f}% < soft floor {floor:.1f}%)")
+        return 1
+    if floor > 0:
+        print(f"COVERAGE GATE: OK ({pct:.1f}% >= soft floor {floor:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

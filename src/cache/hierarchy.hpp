@@ -90,6 +90,14 @@ class CacheHierarchy {
   /// into the memory controller (both are back-pressured by its buffer).
   void tick(Tick now);
 
+  /// Earliest tick > now at which tick() could do anything: now + 1 while
+  /// undispatched MSHR entries or queued writebacks retry against the
+  /// controller each cycle, kNeverTick otherwise (dispatched fills complete
+  /// through the controller's completion path, not through tick()).
+  [[nodiscard]] Tick next_activity_tick(Tick now) const {
+    return l2_mshr_.any_undispatched() || !writeback_q_.empty() ? now + 1 : kNeverTick;
+  }
+
   /// Number of L2-MSHR fills currently in flight.
   [[nodiscard]] std::uint32_t fills_in_flight() const { return l2_mshr_.in_use(); }
   [[nodiscard]] std::size_t writeback_queue_depth() const { return writeback_q_.size(); }

@@ -48,6 +48,14 @@ class MshrFile {
   /// Entries not yet dispatched to the controller (back-pressure retry set).
   void for_each_undispatched(const std::function<void(MshrEntry&)>& fn);
 
+  /// True when some entry still awaits dispatch (the retry set is non-empty).
+  [[nodiscard]] bool any_undispatched() const {
+    for (const MshrEntry& e : entries_) {
+      if (e.valid && !e.dispatched) return true;
+    }
+    return false;
+  }
+
   void reset();
 
   // Statistics.

@@ -60,6 +60,7 @@ bool CoreModel::try_issue_one() {
   // ROB occupancy limit.
   if (issue_num_ - commit_num_ >= cfg_.rob_entries) {
     ++stats_.stall_rob;
+    last_stall_ = StallKind::kRob;
     return false;
   }
   if (!have_pending_rec_) {
@@ -75,18 +76,24 @@ bool CoreModel::try_issue_one() {
     case trace::InstClass::kLoad: {
       if (rec.dep_on_prev && !last_load_complete()) {
         ++stats_.stall_dep;
+        last_stall_ = StallKind::kDep;
         return false;
       }
       const auto limit = std::min(cfg_.lq_entries, cfg_.l1d_mshr);
       if (outstanding_.size() >= limit) {
         ++stats_.stall_mshr;
+        last_stall_ = StallKind::kMshr;
         return false;
       }
-      const std::uint64_t token = make_token(id_, next_token_seq_++, /*ifetch=*/false);
+      // The token sequence number is consumed only when the access goes
+      // through: a back-pressured attempt is repeated a different number of
+      // times under different stepping windows, and must stay a pure no-op.
+      const std::uint64_t token = make_token(id_, next_token_seq_, /*ifetch=*/false);
       const cache::AccessReply reply = hierarchy_.load(id_, rec.addr, cycle_, token);
       switch (reply.outcome) {
         case AccessOutcome::kRetry:
           ++stats_.stall_backpressure;
+          last_stall_ = StallKind::kBackpressure;
           return false;
         case AccessOutcome::kHitL1:
           // Completes within the pipeline; never blocks commit in practice.
@@ -106,6 +113,7 @@ bool CoreModel::try_issue_one() {
           last_load_tracked_ = true;
           break;
       }
+      ++next_token_seq_;
       ++stats_.loads;
       break;
     }
@@ -113,6 +121,7 @@ bool CoreModel::try_issue_one() {
     case trace::InstClass::kStore: {
       if (store_q_used_ >= cfg_.sq_entries) {
         ++stats_.stall_sq;
+        last_stall_ = StallKind::kSq;
         return false;
       }
       // An L1 hit retires instantly; a miss occupies a store-queue entry
@@ -120,12 +129,14 @@ bool CoreModel::try_issue_one() {
       const Addr line = line_base(rec.addr);
       const bool will_miss = !hierarchy_.l1d(id_).probe(line);
       const std::uint64_t token =
-          will_miss ? make_token(id_, next_token_seq_++, false, /*store=*/true)
+          will_miss ? make_token(id_, next_token_seq_, false, /*store=*/true)
                     : cache::CacheHierarchy::kNoWaiterToken;
       if (!hierarchy_.store(id_, rec.addr, token)) {
         ++stats_.stall_backpressure;
+        last_stall_ = StallKind::kBackpressure;
         return false;
       }
+      if (will_miss) ++next_token_seq_;
       if (will_miss && hierarchy_.l2_mshr().find(line) != nullptr) {
         // The fill is genuinely in flight and our token is registered.
         ++store_q_used_;
@@ -141,7 +152,35 @@ bool CoreModel::try_issue_one() {
   return true;
 }
 
+void CoreModel::account_stall_span(CpuCycle span) {
+  if (span == 0 || last_stall_ == StallKind::kNone) return;
+  switch (last_stall_) {
+    case StallKind::kRob: stats_.stall_rob += span; break;
+    case StallKind::kDep: stats_.stall_dep += span; break;
+    case StallKind::kMshr: stats_.stall_mshr += span; break;
+    case StallKind::kSq: stats_.stall_sq += span; break;
+    case StallKind::kBackpressure: stats_.stall_backpressure += span; break;
+    case StallKind::kFrontend: stats_.stall_frontend += span; break;
+    case StallKind::kNone: break;
+  }
+  if (last_stall_ == StallKind::kFrontend) return;
+  // Replicate the per-cycle accrual `budget_ = min(budget_ + ipc, width)`
+  // for each skipped cycle — the cap is a fixed point, so stop there. The
+  // add-per-cycle loop (not one fused multiply) keeps the floating-point
+  // value bit-identical to unit stepping.
+  const auto width = static_cast<double>(cfg_.issue_width);
+  for (CpuCycle i = 0; i < span; ++i) {
+    const double next = budget_ + dispatch_ipc_;
+    if (next >= width) {
+      budget_ = width;
+      break;
+    }
+    budget_ = next;
+  }
+}
+
 void CoreModel::step_to(CpuCycle target_cpu) {
+  self_wake_ = target_cpu;  // active unless the window ends provably blocked
   while (cycle_ < target_cpu) {
     // Retire loads whose data has arrived (front of the program-order list).
     while (!outstanding_.empty() && outstanding_.front().done != kPending &&
@@ -159,6 +198,7 @@ void CoreModel::step_to(CpuCycle target_cpu) {
     bool issue_blocked = false;
     if (frontend_ready_ == kPending || frontend_ready_ > cycle_) {
       ++stats_.stall_frontend;
+      last_stall_ = StallKind::kFrontend;
       issue_blocked = true;
     } else {
       budget_ = std::min(budget_ + dispatch_ipc_, static_cast<double>(cfg_.issue_width));
@@ -176,17 +216,27 @@ void CoreModel::step_to(CpuCycle target_cpu) {
 
     // Fast-forward: if commit is blocked on an incomplete load AND issue is
     // blocked, nothing changes until the next known completion (or the end
-    // of this stepping window — fills arrive only at tick boundaries).
+    // of this stepping window — fills arrive only at tick boundaries). The
+    // skipped cycles still owe their per-cycle stall/budget accounting.
     const bool commit_blocked =
         !outstanding_.empty() && commit_num_ == outstanding_.front().inst_num;
     if (issue_blocked && commit_blocked) {
-      CpuCycle next_event = target_cpu;
+      CpuCycle next_event = kIdle;
+      // A stale completion (done <= cycle_) can unblock a dependence next
+      // cycle, so it pins next_event at/below cycle_ and forbids the jump.
       for (const OutstandingLoad& o : outstanding_) {
         if (o.done != kPending) next_event = std::min(next_event, o.done);
       }
       if (frontend_ready_ != kPending && frontend_ready_ > cycle_)
         next_event = std::min(next_event, frontend_ready_);
-      if (next_event > cycle_) cycle_ = std::min(next_event, target_cpu);
+      if (next_event > cycle_) {
+        const CpuCycle to = std::min(next_event, target_cpu);
+        account_stall_span(to - cycle_);
+        cycle_ = to;
+      }
+      // Blocked through the window end: the stepping kernel may sleep until
+      // the next known event (or an external fill) instead of re-stepping.
+      if (next_event > target_cpu) self_wake_ = next_event;
     }
   }
 }
@@ -196,19 +246,23 @@ void CoreModel::on_fill(std::uint64_t token, CpuCycle done_cpu) {
     // Frontend fill.
     if (frontend_ready_ == kPending && token == frontend_token_) {
       frontend_ready_ = std::max(done_cpu, cycle_);
+      self_wake_ = std::min(self_wake_, frontend_ready_);
     }
     return;
   }
   if ((token >> 62) & 1) {
-    // Store-queue entry retires with its fill.
+    // Store-queue entry retires with its fill; a stalled store could issue
+    // right away.
     MEMSCHED_ASSERT(store_q_used_ > 0, "store queue accounting underflow");
     --store_q_used_;
+    self_wake_ = std::min(self_wake_, cycle_);
     return;
   }
   for (OutstandingLoad& o : outstanding_) {
     if (o.token == token) {
       MEMSCHED_ASSERT(o.done == kPending, "double fill for one load");
       o.done = std::max(done_cpu, cycle_);
+      self_wake_ = std::min(self_wake_, o.done);
       return;
     }
   }

@@ -66,6 +66,16 @@ class CoreModel {
   /// Fill delivery for a waiter token this core registered.
   void on_fill(std::uint64_t token, CpuCycle done_cpu);
 
+  /// Sentinel for next_activity_cycle(): progress needs an external fill.
+  static constexpr CpuCycle kIdle = ~CpuCycle{0};
+
+  /// Earliest CPU cycle at which this core can make progress on its own:
+  /// the last stepping-window end while the core was actively issuing or
+  /// committing, the earliest known completion / frontend-ready cycle while
+  /// blocked, or kIdle when only an external fill can unblock it. May be
+  /// conservatively early, never late; refreshed by step_to and on_fill.
+  [[nodiscard]] CpuCycle next_activity_cycle() const { return self_wake_; }
+
   [[nodiscard]] CoreId id() const { return id_; }
   [[nodiscard]] std::uint64_t committed() const { return commit_num_; }
   [[nodiscard]] CpuCycle cycle() const { return cycle_; }
@@ -99,10 +109,23 @@ class CoreModel {
     std::uint64_t token;
   };
 
-  /// Try to issue one instruction; returns false when blocked this cycle.
+  /// Why the last failed issue attempt was blocked — which stall counter a
+  /// fast-forwarded span belongs to.
+  enum class StallKind : std::uint8_t {
+    kNone, kRob, kDep, kMshr, kSq, kBackpressure, kFrontend
+  };
+
+  /// Try to issue one instruction; returns false when blocked this cycle
+  /// (side-effect free on failure, and records the reason in last_stall_).
   bool try_issue_one();
   void do_ifetch_accounting();
   [[nodiscard]] bool last_load_complete() const;
+
+  /// Per-cycle accounting for `span` fast-forwarded blocked cycles: each
+  /// would have bumped the last_stall_ counter once and (for issue-path
+  /// stalls) accrued dispatch budget, exactly as unit stepping does — so
+  /// stall counters and budget are invariant under window partitioning.
+  void account_stall_span(CpuCycle span);
 
   CoreId id_;
   CoreConfig cfg_;
@@ -114,6 +137,8 @@ class CoreModel {
   std::uint64_t issue_num_ = 0;   ///< instructions dispatched
   std::uint64_t commit_num_ = 0;  ///< instructions committed (in order)
   double budget_ = 0.0;
+  StallKind last_stall_ = StallKind::kNone;
+  CpuCycle self_wake_ = 0;  ///< see next_activity_cycle()
 
   std::deque<OutstandingLoad> outstanding_;  ///< issue-order, L1-missing loads
   std::uint64_t next_token_seq_ = 0;

@@ -6,6 +6,7 @@
 // tCCD, turnaround) live in Channel, which owns the banks.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "dram/timing.hpp"
@@ -35,6 +36,21 @@ class Bank {
   [[nodiscard]] Tick earliest_activate() const { return earliest_act_; }
   [[nodiscard]] Tick earliest_cas() const { return earliest_cas_; }
   [[nodiscard]] Tick earliest_precharge() const { return earliest_pre_; }
+
+  // --- next-event queries (fast-forward engine) ---
+  // Earliest tick >= now at which the command becomes legal under the
+  // bank-local constraints, assuming no intervening command, or kNeverTick
+  // when the row state forbids it outright (an ACT needs the row closed, a
+  // CAS/PRE needs it open — only another command can change that).
+  [[nodiscard]] Tick next_activate_tick(Tick now) const {
+    return row_open_ ? kNeverTick : std::max(now, earliest_act_);
+  }
+  [[nodiscard]] Tick next_cas_tick(Tick now) const {
+    return row_open_ ? std::max(now, earliest_cas_) : kNeverTick;
+  }
+  [[nodiscard]] Tick next_precharge_tick(Tick now) const {
+    return row_open_ ? std::max(now, earliest_pre_) : kNeverTick;
+  }
 
   // --- command issue (callers must have checked legality) ---
   void issue_activate(Tick now, std::uint64_t row);

@@ -79,6 +79,54 @@ bool Channel::can_refresh(Tick now) const {
   return true;
 }
 
+namespace {
+/// Earliest tick satisfying `now + lead >= end` without unsigned underflow.
+constexpr Tick after_lead(Tick end, Tick lead) { return end > lead ? end - lead : 0; }
+}  // namespace
+
+Tick Channel::next_activate_tick(std::uint32_t bank, Tick now) const {
+  const Bank& b = banks_[bank];
+  Tick t = b.next_activate_tick(now);
+  if (t == kNeverTick) return kNeverTick;
+  t = std::max(t, next_command_bus_tick(now));
+  if (any_act_) t = std::max(t, last_act_tick_ + timing_->tRRD);
+  if (act_window_fill_ >= 4) t = std::max(t, act_window_[act_window_pos_] + timing_->tFAW);
+  return t;
+}
+
+Tick Channel::next_read_tick(std::uint32_t bank, Tick now) const {
+  const Bank& b = banks_[bank];
+  Tick t = b.next_cas_tick(now);
+  if (t == kNeverTick) return kNeverTick;
+  t = std::max(t, next_command_bus_tick(now));
+  if (any_cas_) t = std::max(t, last_cas_tick_ + timing_->tCCD);
+  if (any_cas_ && banks_per_rank_ != 0 && bank / banks_per_rank_ != last_cas_rank_)
+    t = std::max(t, after_lead(data_busy_until_ + timing_->tRTRS, timing_->tCL));
+  if (write_data_end_ != 0) t = std::max(t, write_data_end_ + timing_->tWTR);
+  t = std::max(t, after_lead(data_busy_until_, timing_->tCL));
+  return t;
+}
+
+Tick Channel::next_write_tick(std::uint32_t bank, Tick now) const {
+  const Bank& b = banks_[bank];
+  Tick t = b.next_cas_tick(now);
+  if (t == kNeverTick) return kNeverTick;
+  t = std::max(t, next_command_bus_tick(now));
+  if (any_cas_) t = std::max(t, last_cas_tick_ + timing_->tCCD);
+  if (any_cas_ && banks_per_rank_ != 0 && bank / banks_per_rank_ != last_cas_rank_)
+    t = std::max(t, after_lead(data_busy_until_ + timing_->tRTRS, timing_->tWL));
+  if (read_data_end_ != 0)
+    t = std::max(t, after_lead(read_data_end_ + timing_->tRTW, timing_->tWL));
+  t = std::max(t, after_lead(data_busy_until_, timing_->tWL));
+  return t;
+}
+
+Tick Channel::next_precharge_tick(std::uint32_t bank, Tick now) const {
+  const Tick t = banks_[bank].next_precharge_tick(now);
+  if (t == kNeverTick) return kNeverTick;
+  return std::max(t, next_command_bus_tick(now));
+}
+
 void Channel::issue_activate(std::uint32_t bank, std::uint64_t row, Tick now) {
   MEMSCHED_ASSERTF(can_activate(bank, now),
                    "illegal ACT: ch%u bank %u row %llu tick %llu", channel_id_,

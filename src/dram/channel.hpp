@@ -7,6 +7,7 @@
 // turnaround between reads and writes.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -36,12 +37,29 @@ class Channel {
   /// One command slot per bus cycle.
   [[nodiscard]] bool command_bus_free(Tick now) const { return now > last_cmd_tick_ || !cmd_issued_; }
 
+  /// Earliest tick >= now with a free command-bus slot.
+  [[nodiscard]] Tick next_command_bus_tick(Tick now) const {
+    return cmd_issued_ ? std::max(now, last_cmd_tick_ + 1) : now;
+  }
+
   // --- combined legality (bank-local + channel-level constraints) ---
   [[nodiscard]] bool can_activate(std::uint32_t bank, Tick now) const;
   [[nodiscard]] bool can_read(std::uint32_t bank, Tick now) const;
   [[nodiscard]] bool can_write(std::uint32_t bank, Tick now) const;
   [[nodiscard]] bool can_precharge(std::uint32_t bank, Tick now) const;
   [[nodiscard]] bool can_refresh(Tick now) const;
+
+  // --- next-event queries (fast-forward engine) ---
+  // Exact mirror of the can_* predicates: every constraint is a monotone
+  // "now >= threshold" form, so the earliest legal tick is the max of the
+  // thresholds. Returns the smallest T >= now with can_*(bank, T) true
+  // assuming no intervening command, or kNeverTick when only another
+  // command can make it legal (wrong row state).
+  // tests/test_engine_equiv.cpp checks these against brute force.
+  [[nodiscard]] Tick next_activate_tick(std::uint32_t bank, Tick now) const;
+  [[nodiscard]] Tick next_read_tick(std::uint32_t bank, Tick now) const;
+  [[nodiscard]] Tick next_write_tick(std::uint32_t bank, Tick now) const;
+  [[nodiscard]] Tick next_precharge_tick(std::uint32_t bank, Tick now) const;
 
   // --- issue; each consumes the command-bus slot at `now` ---
   void issue_activate(std::uint32_t bank, std::uint64_t row, Tick now);

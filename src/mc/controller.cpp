@@ -521,6 +521,59 @@ void MemoryController::tick(Tick now) {
   }
 }
 
+Tick MemoryController::next_activity_tick(Tick now) const {
+  if (fault_ != nullptr) return now + 1;
+  Tick nxt = kNeverTick;
+  const auto consider = [&nxt](Tick t) { nxt = std::min(nxt, t); };
+
+  if (!completions_.empty()) {
+    // Sorted by done tick; the front is the earliest delivery.
+    if (completions_.front().done <= now + 1) return now + 1;
+    consider(completions_.front().done);
+  }
+
+  // Queued requests: a visible request with a free bank slot could be
+  // scheduled next tick (one transaction starts per channel per tick, and
+  // the bounded-window discipline may also hold it back — both resolve
+  // tick by tick, so the conservative answer is now + 1). A request still
+  // inside its overhead window becomes schedulable at visible_tick.
+  const auto scan_queue = [&](const std::vector<Request>& q) {
+    bool eligible = false;
+    for (const Request& r : q) {
+      if (r.visible_tick > now) consider(r.visible_tick);
+      else if (!slots_[slot_index(r.dram.channel, r.dram.bank)].valid) eligible = true;
+    }
+    return eligible;
+  };
+  if (scan_queue(read_q_) || scan_queue(write_q_)) return now + 1;
+
+  for (std::uint32_t ch = 0; ch < dram_.channel_count(); ++ch) {
+    const dram::Channel& channel = dram_.channel(ch);
+    if (!next_refresh_.empty()) {
+      if (now >= next_refresh_[ch]) return now + 1;  // refresh machinery engaged
+      consider(next_refresh_[ch]);
+    }
+    for (std::uint32_t b = 0; b < channel.bank_count(); ++b) {
+      const InFlight& slot = slots_[slot_index(ch, b)];
+      if (!slot.valid) continue;
+      switch (slot.phase) {
+        case Phase::kNeedPrecharge:
+          consider(channel.next_precharge_tick(b, now));
+          break;
+        case Phase::kNeedActivate:
+          consider(channel.next_activate_tick(b, now));
+          break;
+        case Phase::kNeedCas:
+          consider(slot.req.is_write ? channel.next_write_tick(b, now)
+                                     : channel.next_read_tick(b, now));
+          break;
+      }
+      if (nxt <= now + 1) return now + 1;  // can't get any earlier
+    }
+  }
+  return nxt == kNeverTick ? kNeverTick : std::max(nxt, now + 1);
+}
+
 void MemoryController::reset_stats() {
   stats_ = ControllerStats{};
   stats_.core_read_latency_cpu.resize(core_count_);

@@ -117,6 +117,16 @@ class MemoryController {
   /// via the scheduler, deliver completions.
   void tick(Tick now);
 
+  /// Earliest tick > now at which tick() could do anything — deliver a
+  /// completion, issue a DRAM command, start a transaction, or refresh — or
+  /// kNeverTick when no queued or in-flight work exists. Every tick in
+  /// (now, next_activity_tick(now)) is a provable no-op, which is what lets
+  /// the fast-forward engine (sim::Engine::kSkip) jump over it. The value
+  /// may be conservatively early (a wasted visit), never late. With a fault
+  /// injector attached the answer is always now + 1: the stall fault draws
+  /// RNG per channel per tick, so skipping would change the stream.
+  [[nodiscard]] Tick next_activity_tick(Tick now) const;
+
   /// Drain state and queue occupancy (for tests and back-pressure probes).
   [[nodiscard]] bool drain_mode() const { return drain_mode_; }
   [[nodiscard]] std::uint32_t queued_reads() const { return static_cast<std::uint32_t>(read_q_.size()); }

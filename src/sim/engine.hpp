@@ -1,0 +1,42 @@
+// Simulation engine selection.
+//
+// The simulator has two time-advancement strategies that produce
+// byte-identical results:
+//
+//   * kCycle — the reference oracle: every bus tick is visited and every
+//     component's tick() runs, whether or not anything can happen. Simple,
+//     obviously correct, slow when the system is idle.
+//   * kSkip — next-event fast-forward: after a visited tick, each component
+//     reports the earliest tick at which its state can change
+//     (next_activity_tick) and the kernel jumps straight there. Skipped
+//     ticks are provably no-ops, so statistics, latencies, power and even
+//     RNG streams match the oracle bit for bit; tests/test_engine_equiv.cpp
+//     enforces this differentially.
+//
+// The skip engine never jumps past a watchdog poll boundary or an epoch
+// boundary, so watchdogs and scheduler on_epoch feeds fire at exactly the
+// same ticks as under the oracle.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace memsched::sim {
+
+enum class Engine {
+  kCycle,  ///< per-cycle reference oracle
+  kSkip,   ///< next-event fast-forward (default)
+};
+
+[[nodiscard]] inline const char* engine_name(Engine e) {
+  return e == Engine::kCycle ? "cycle" : "skip";
+}
+
+/// Parses "cycle" / "skip"; throws std::invalid_argument otherwise.
+[[nodiscard]] inline Engine engine_from_string(const std::string& s) {
+  if (s == "cycle") return Engine::kCycle;
+  if (s == "skip") return Engine::kSkip;
+  throw std::invalid_argument("unknown engine '" + s + "' (expected cycle|skip)");
+}
+
+}  // namespace memsched::sim

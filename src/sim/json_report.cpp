@@ -80,6 +80,7 @@ util::Json to_json(const SystemConfig& config) {
   j["cores"] = config.cores;
   j["cpu_ghz"] = config.cpu_ghz;
   j["cpu_ratio"] = config.cpu_ratio;
+  j["engine"] = engine_name(config.engine);
   j["channels"] = config.org.channels;
   j["banks_per_channel"] = config.org.banks_per_channel();
   j["interleave"] = dram::AddressMap::scheme_name(config.interleave);

@@ -72,6 +72,21 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg, sched::Scheduler& schedu
         watchdog.poll(now, mcu.served_total(), !mcu.idle())) {
       watchdog.raise("open-loop run", mcu, scheduler, now);
     }
+    if (cfg.engine != Engine::kSkip) continue;
+    // Fast-forward over ticks where the controller provably does nothing
+    // and no injection fires. The accumulator still advances one add per
+    // skipped tick (same float op sequence as unit stepping), and the loop
+    // stops just before the add that would cross 1.0, at the warmup
+    // boundary, at the next poll boundary, and at the controller's next
+    // event — so visited ticks and RNG draws match the cycle oracle.
+    if (carry + cfg.inject_per_tick >= 1.0) continue;  // injecting next tick
+    Tick limit = std::min(mcu.next_activity_tick(now), total);
+    if (!measuring) limit = std::min(limit, cfg.warmup_ticks);
+    if (watchdog.enabled()) limit = std::min(limit, (now | 1023) + 1);
+    while (now + 1 < limit && carry + cfg.inject_per_tick < 1.0) {
+      carry += cfg.inject_per_tick;
+      ++now;
+    }
   }
   if (auditor) auditor->finalize(total);
 

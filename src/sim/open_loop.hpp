@@ -8,6 +8,7 @@
 
 #include "mc/controller.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
 #include "verif/invariant_auditor.hpp"
@@ -15,6 +16,11 @@
 namespace memsched::sim {
 
 struct OpenLoopConfig {
+  /// Time-advancement strategy; byte-identical results either way (the skip
+  /// engine advances the injection accumulator per skipped tick and stops at
+  /// every injection, poll boundary and controller event).
+  Engine engine = Engine::kSkip;
+
   std::uint32_t cores = 4;
   double inject_per_tick = 0.2;  ///< aggregate offered load, requests/tick
   double write_share = 0.3;

@@ -1,5 +1,6 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "sim/watchdog.hpp"
@@ -131,13 +132,16 @@ RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_
   // One forward-progress watchdog per core: a single starved core must be
   // caught even while its neighbours keep committing. Polled sparsely — the
   // counters are monotonic, so coarse sampling only delays detection by at
-  // most one poll interval.
+  // most one poll interval. The skip engine never jumps over a poll
+  // boundary, so both engines poll at the same ticks with the same state.
   constexpr Tick kWatchdogPollMask = 1023;
   std::vector<ProgressWatchdog> watchdogs(n, ProgressWatchdog(config_.progress_window_ticks));
 
   Tick t = 0;
   Tick t_measure_start = 0;
-  for (; t < max_ticks; ++t) {
+  Tick visited = 0;
+  while (t < max_ticks) {
+    ++visited;
     hierarchy_->tick(t);
     controller_->tick(t);
     const CpuCycle window_end = (t + 1) * config_.cpu_ratio;
@@ -186,12 +190,35 @@ RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_
         epoch_bytes[c] = 0;
       }
     }
+    if (config_.engine == Engine::kCycle) {
+      ++t;
+      continue;
+    }
+    // Next-event fast-forward: every tick in (t, jump) is a provable no-op
+    // for the hierarchy, the controller and every core, and the jump never
+    // crosses a watchdog poll or epoch boundary — so visited ticks, and
+    // therefore all statistics and RNG draws, match the cycle oracle.
+    // Cheapest sources first, and stop as soon as t + 1 is inevitable — the
+    // jump can never land before t + 1, so further scanning buys nothing.
+    Tick jump = kNeverTick;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const CpuCycle wake = cores_[c]->next_activity_cycle();
+      if (wake != cpu::CoreModel::kIdle)
+        jump = std::min(jump, std::max(wake / config_.cpu_ratio, t + 1));
+    }
+    if (jump > t + 1) jump = std::min(jump, hierarchy_->next_activity_tick(t));
+    if (jump > t + 1) jump = std::min(jump, controller_->next_activity_tick(t));
+    jump = std::min(jump, next_epoch);
+    if (watchdogs[0].enabled())
+      jump = std::min(jump, (t | kWatchdogPollMask) + 1);  // next poll boundary
+    t = std::min(std::max(jump, t + 1), max_ticks);
   }
 
   if (auditor_) auditor_->finalize(t);
 
   RunResult result;
   result.ticks = t;
+  result.visited_ticks = visited;
   result.hit_tick_limit = done_count < n || !measuring;
   result.controller_stats = controller_->stats();
   result.avg_read_latency_cpu = result.controller_stats.read_latency_cpu.mean();

@@ -34,6 +34,10 @@ struct CoreResult {
 struct RunResult {
   std::vector<CoreResult> cores;
   Tick ticks = 0;                    ///< bus cycles simulated
+  /// Ticks actually visited by the engine (== ticks under kCycle, fewer
+  /// under kSkip). Engine metadata — deliberately NOT serialized, so both
+  /// engines produce byte-identical JSON records.
+  Tick visited_ticks = 0;
   double avg_read_latency_cpu = 0.0; ///< all cores
   double row_hit_rate = 0.0;
   double data_bus_utilization = 0.0;

@@ -11,6 +11,7 @@
 #include "dram/timing.hpp"
 #include "mc/controller.hpp"
 #include "mc/fault_injector.hpp"
+#include "sim/engine.hpp"
 #include "util/types.hpp"
 #include "verif/invariant_auditor.hpp"
 
@@ -20,6 +21,12 @@ struct SystemConfig {
   std::uint32_t cores = 4;       ///< Table 1: 1/2/4/8 cores
   double cpu_ghz = 3.2;
   std::uint32_t cpu_ratio = 8;   ///< 3.2 GHz CPU / 400 MHz bus
+
+  /// Time-advancement strategy. Results are byte-identical either way (see
+  /// sim/engine.hpp and docs/performance.md); kSkip fast-forwards through
+  /// provably idle spans, kCycle is the per-tick oracle the differential
+  /// tests compare against.
+  Engine engine = Engine::kSkip;
 
   cpu::CoreConfig core{};
   cache::HierarchyConfig hierarchy{};

@@ -1,0 +1,430 @@
+// Differential-equivalence tests for the cycle-skipping engine.
+//
+// The contract (sim/engine.hpp): Engine::kSkip must produce *byte-identical*
+// results to the per-cycle oracle Engine::kCycle — every statistic, latency
+// histogram, power figure and RNG draw. These tests enforce the contract by
+// serializing full RunResults to JSON and comparing the strings, across
+//   - every factory scheduler x a grid of paper workloads,
+//   - verification (invariant auditor) on and off,
+//   - fault injection on,
+//   - the open-loop queueing driver across offered loads,
+//   - randomized SystemConfigs (fuzzing timing edges such as tFAW == tRRD,
+//     drain-hysteresis boundaries, page policies, refresh, interleaves).
+// Plus exactness property tests for the Channel next_*_tick queries that the
+// fast-forward jump computation is built on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/scheduler_factory.hpp"
+#include "dram/channel.hpp"
+#include "dram/timing.hpp"
+#include "sim/json_report.hpp"
+#include "sim/open_loop.hpp"
+#include "sim/system.hpp"
+#include "sim/workloads.hpp"
+#include "trace/app_profile.hpp"
+#include "util/rng.hpp"
+
+namespace memsched {
+namespace {
+
+// Synthetic-but-plausible profiling inputs: distinct descending ME values and
+// positive alone-IPCs, enough for every scheme (ME*, STFM, FIX-*) to exercise
+// its real decision logic.
+sched::SchedulerPtr make_sched(const std::string& name, std::uint32_t cores) {
+  core::SchedulerArgs args;
+  args.core_count = cores;
+  std::vector<double> me, ipc;
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    me.push_back(9.0 / (1.0 + static_cast<double>(c)));
+    ipc.push_back(2.0 / (1.0 + 0.2 * static_cast<double>(c)));
+  }
+  args.me = core::MeTable(me);
+  args.ipc_single = ipc;
+  return core::make_scheduler(name, args);
+}
+
+std::string run_closed(sim::SystemConfig cfg, const sim::Workload& w,
+                       const std::string& scheme, sim::Engine engine,
+                       std::uint64_t target, std::uint64_t warmup,
+                       std::uint64_t seed = 42) {
+  cfg.cores = w.cores();
+  cfg.engine = engine;
+  const sched::SchedulerPtr s = make_sched(scheme, cfg.cores);
+  sim::MultiCoreSystem sys(cfg, w.apps(), *s, seed);
+  return sim::to_json(sys.run(target, warmup, Tick{1} << 32)).dump();
+}
+
+void expect_engines_agree(const sim::SystemConfig& cfg, const sim::Workload& w,
+                          const std::string& scheme, std::uint64_t target,
+                          std::uint64_t warmup, std::uint64_t seed = 42) {
+  const std::string cycle =
+      run_closed(cfg, w, scheme, sim::Engine::kCycle, target, warmup, seed);
+  const std::string skip =
+      run_closed(cfg, w, scheme, sim::Engine::kSkip, target, warmup, seed);
+  EXPECT_EQ(cycle, skip) << "engines diverged: " << w.name << " / " << scheme;
+}
+
+// ---------------------------------------------------------------------------
+// Every scheduler policy x a workload grid (MEMSCHED_VERIFY=1 is set by the
+// test harness, so the invariant auditor also runs in both engines).
+// ---------------------------------------------------------------------------
+
+using SchemeWorkload = std::tuple<std::string, std::string>;
+
+class EveryScheme : public ::testing::TestWithParam<SchemeWorkload> {};
+
+TEST_P(EveryScheme, ByteIdenticalJson) {
+  const auto& [scheme, workload] = GetParam();
+  sim::SystemConfig cfg;
+  expect_engines_agree(cfg, sim::workload_by_name(workload), scheme, 25'000, 5'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EveryScheme,
+    ::testing::Combine(::testing::ValuesIn(core::known_schedulers()),
+                       ::testing::Values("2MEM-2", "4MIX-1")),
+    [](const auto& pi) {
+      std::string n = std::get<0>(pi.param) + "_" + std::get<1>(pi.param);
+      for (char& c : n)
+        if (c == '-' || c == '/') c = '_';
+      return n;
+    });
+
+// Wider workload sweep with representative schemes (one per family).
+class MoreWorkloads : public ::testing::TestWithParam<SchemeWorkload> {};
+
+TEST_P(MoreWorkloads, ByteIdenticalJson) {
+  const auto& [scheme, workload] = GetParam();
+  sim::SystemConfig cfg;
+  expect_engines_agree(cfg, sim::workload_by_name(workload), scheme, 20'000, 4'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MoreWorkloads,
+    ::testing::Combine(::testing::Values("FCFS", "HF-RF", "PAR-BS", "ME-LREQ"),
+                       ::testing::Values("2MIX-2", "4MEM-3", "8MEM-1")),
+    [](const auto& pi) {
+      std::string n = std::get<0>(pi.param) + "_" + std::get<1>(pi.param);
+      for (char& c : n)
+        if (c == '-' || c == '/') c = '_';
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Auditor off + watchdog off: the skip engine then has no poll-boundary
+// clamp, so jumps run all the way to the next component event.
+// ---------------------------------------------------------------------------
+
+TEST(EngineEquiv, NoAuditNoWatchdog) {
+  sim::SystemConfig cfg;
+  cfg.audit.enabled = false;
+  cfg.progress_window_ticks = 0;
+  expect_engines_agree(cfg, sim::workload_by_name("2MEM-1"), "HF-RF", 25'000, 5'000);
+  expect_engines_agree(cfg, sim::workload_by_name("4MEM-1"), "ME-LREQ", 25'000, 5'000);
+}
+
+TEST(EngineEquiv, SingleCore) {
+  sim::SystemConfig cfg;
+  expect_engines_agree(cfg, sim::make_workload("solo", "b"), "FCFS", 30'000, 5'000);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the injector's RNG stream is part of the simulated state,
+// so both engines must drive it identically (the controller reports now + 1
+// while a fault injector is attached, disabling jumps around it).
+// ---------------------------------------------------------------------------
+
+TEST(EngineEquiv, FaultInjectionEnabled) {
+  sim::SystemConfig cfg;
+  // Non-lossy faults only: a dropped request livelocks the waiting core by
+  // design (the watchdog catches it), which is its own test elsewhere. The
+  // lifecycle auditor must be off — injected delays violate its visible-tick
+  // invariant on purpose (that detection is test_verif's subject).
+  cfg.audit.enabled = false;
+  cfg.fault.enabled = true;
+  cfg.fault.seed = 7;
+  cfg.fault.dup_prob = 0.01;
+  cfg.fault.delay_prob = 0.03;
+  cfg.fault.stall_prob = 0.0005;
+  expect_engines_agree(cfg, sim::workload_by_name("2MEM-2"), "HF-RF", 20'000, 4'000);
+  expect_engines_agree(cfg, sim::workload_by_name("4MIX-1"), "PAR-BS", 20'000, 4'000);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop driver: the injection accumulator (a float summed once per tick)
+// and the arrival RNG are part of the state the skip engine must reproduce.
+// ---------------------------------------------------------------------------
+
+sim::OpenLoopResult run_open(sim::OpenLoopConfig cfg, const std::string& scheme,
+                             sim::Engine engine) {
+  cfg.engine = engine;
+  const sched::SchedulerPtr s = make_sched(scheme, cfg.cores);
+  return sim::run_open_loop(cfg, *s);
+}
+
+void expect_open_equal(const sim::OpenLoopConfig& cfg, const std::string& scheme) {
+  const sim::OpenLoopResult a = run_open(cfg, scheme, sim::Engine::kCycle);
+  const sim::OpenLoopResult b = run_open(cfg, scheme, sim::Engine::kSkip);
+  // Exact equality, not almost-equal: the engines run the same float ops.
+  EXPECT_EQ(a.offered_per_tick, b.offered_per_tick);
+  EXPECT_EQ(a.accepted_per_tick, b.accepted_per_tick);
+  EXPECT_EQ(a.rejected_share, b.rejected_share);
+  EXPECT_EQ(a.avg_read_latency_ticks, b.avg_read_latency_ticks);
+  EXPECT_EQ(a.p50_ticks, b.p50_ticks);
+  EXPECT_EQ(a.p90_ticks, b.p90_ticks);
+  EXPECT_EQ(a.p99_ticks, b.p99_ticks);
+  EXPECT_EQ(a.row_hit_rate, b.row_hit_rate);
+  EXPECT_EQ(a.data_bus_utilization, b.data_bus_utilization);
+}
+
+using LoadScheme = std::tuple<double, std::string>;
+
+class OpenLoopEquiv : public ::testing::TestWithParam<LoadScheme> {};
+
+TEST_P(OpenLoopEquiv, ExactResultMatch) {
+  const auto& [load, scheme] = GetParam();
+  sim::OpenLoopConfig cfg;
+  cfg.inject_per_tick = load;
+  cfg.warmup_ticks = 3'000;
+  cfg.measure_ticks = 25'000;
+  expect_open_equal(cfg, scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, OpenLoopEquiv,
+    ::testing::Combine(::testing::Values(0.01, 0.08, 0.35),
+                       ::testing::Values("FCFS", "HF-RF", "ME-LREQ")),
+    [](const auto& pi) {
+      std::string n = "load" + std::to_string(static_cast<int>(std::get<0>(pi.param) * 100)) +
+                      "_" + std::get<1>(pi.param);
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(OpenLoopEquivExtra, NoWatchdogAndFaults) {
+  sim::OpenLoopConfig cfg;
+  cfg.inject_per_tick = 0.02;
+  cfg.warmup_ticks = 2'000;
+  cfg.measure_ticks = 20'000;
+  cfg.progress_window_ticks = 0;  // no poll clamp on the jump
+  expect_open_equal(cfg, "HF-RF");
+
+  cfg.progress_window_ticks = 200'000;
+  cfg.audit.enabled = false;  // injected delays trip the auditor by design
+  cfg.fault.enabled = true;
+  cfg.fault.seed = 3;
+  cfg.fault.delay_prob = 0.02;
+  cfg.fault.stall_prob = 0.001;
+  expect_open_equal(cfg, "FCFS");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized SystemConfig fuzzing: timing values within validated ranges
+// (including the tFAW == tRRD edge), drain hysteresis boundaries, page
+// policies, interleaves, refresh on/off, bank XOR, cpu_ratio — all must keep
+// the two engines byte-identical.
+// ---------------------------------------------------------------------------
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, RandomConfigMatches) {
+  util::Xoshiro256 rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+
+  sim::SystemConfig cfg;
+  dram::Timing& t = cfg.timing;
+  t.tCL = 3 + static_cast<std::uint32_t>(rng.below(4));
+  t.tRCD = 3 + static_cast<std::uint32_t>(rng.below(4));
+  t.tRP = 3 + static_cast<std::uint32_t>(rng.below(4));
+  t.tRAS = t.tRCD + 8 + static_cast<std::uint32_t>(rng.below(8));
+  t.tWL = t.tCL - static_cast<std::uint32_t>(rng.below(2));  // DDR2: tWL <= tCL
+  t.tWR = 4 + static_cast<std::uint32_t>(rng.below(4));
+  t.tWTR = 2 + static_cast<std::uint32_t>(rng.below(3));
+  t.tRTW = 1 + static_cast<std::uint32_t>(rng.below(3));
+  t.tRTP = 2 + static_cast<std::uint32_t>(rng.below(3));
+  t.tRRD = 2 + static_cast<std::uint32_t>(rng.below(3));
+  // Edge coverage: tFAW collapsed onto tRRD (no four-activate slack) through
+  // a wide window that actually throttles bursts of activates.
+  t.tFAW = t.tRRD + static_cast<std::uint32_t>(rng.below(13));
+  t.tCCD = 1 + static_cast<std::uint32_t>(rng.below(2));
+  t.burst_cycles = 1U << rng.below(3);
+  t.refresh_enabled = rng.chance(0.3);
+
+  cfg.org.channels = 1U << rng.below(2);
+  cfg.org.dimms_per_channel = 1U << rng.below(2);
+  cfg.org.banks_per_dimm = 2U << rng.below(2);
+
+  cfg.cpu_ratio = 4U << rng.below(2);
+  cfg.hierarchy.cpu_ratio = cfg.cpu_ratio;
+  cfg.controller.cpu_ratio = cfg.cpu_ratio;
+
+  mc::ControllerConfig& mcc = cfg.controller;
+  mcc.buffer_entries = 16U << rng.below(3);
+  // Drain hysteresis incl. the tight drain_low == drain_high - 1 boundary.
+  mcc.drain_high = mcc.buffer_entries / 2 + static_cast<std::uint32_t>(rng.below(4));
+  mcc.drain_low = rng.chance(0.5) ? mcc.drain_high - 1
+                                  : mcc.drain_high / 2;
+  mcc.forward_writes = rng.chance(0.8);
+  mcc.combine_writes = rng.chance(0.8);
+  const mc::PagePolicy policies[] = {mc::PagePolicy::kClosePage,
+                                     mc::PagePolicy::kOpenPage,
+                                     mc::PagePolicy::kAdaptive};
+  mcc.page_policy = policies[rng.below(3)];
+
+  const dram::Interleave il[] = {dram::Interleave::kLineInterleave,
+                                 dram::Interleave::kPageInterleave,
+                                 dram::Interleave::kHybrid};
+  cfg.interleave = il[rng.below(3)];
+  cfg.bank_xor = rng.chance(0.5);
+  cfg.epoch_ticks = 1024ULL << rng.below(4);
+  cfg.progress_window_ticks = rng.chance(0.25) ? 0 : 200'000;
+  cfg.audit.enabled = rng.chance(0.5);
+
+  ASSERT_EQ(cfg.validate(), "");
+
+  static const char* kApps[] = {"gzip",  "wupwise", "mgrid", "applu",
+                                "swim",  "equake",  "mesa",  "apsi"};
+  const std::uint32_t cores = 1U << rng.below(3);  // 1, 2 or 4
+  std::vector<trace::AppProfile> apps;
+  for (std::uint32_t c = 0; c < cores; ++c)
+    apps.push_back(trace::spec2000_by_name(kApps[rng.below(8)]));
+
+  const std::string scheme =
+      core::known_schedulers()[rng.below(core::known_schedulers().size())];
+  const std::uint64_t seed = rng.next();
+
+  const auto run = [&](sim::Engine engine) {
+    sim::SystemConfig c = cfg;
+    c.cores = cores;
+    c.engine = engine;
+    const sched::SchedulerPtr s = make_sched(scheme, cores);
+    sim::MultiCoreSystem sys(c, apps, *s, seed);
+    return sim::to_json(sys.run(8'000, 1'500, Tick{1} << 32)).dump();
+  };
+  EXPECT_EQ(run(sim::Engine::kCycle), run(sim::Engine::kSkip))
+      << "engines diverged for fuzz seed " << GetParam() << " scheme " << scheme;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Channel next_*_tick exactness: the fast-forward jump is built on these
+// queries, which claim to return the *smallest* legal issue tick. Drive a
+// random-but-legal command sequence and check each query against the can_*
+// predicates: false just below the returned tick, true at it, and false at
+// every tick in between (full scan when the gap is small, samples otherwise).
+// ---------------------------------------------------------------------------
+
+struct NextTickCase {
+  const char* name;
+  dram::Timing timing;
+};
+
+std::vector<NextTickCase> next_tick_cases() {
+  std::vector<NextTickCase> cases;
+  cases.push_back({"default", dram::Timing{}});
+  dram::Timing faw_edge;
+  faw_edge.tFAW = faw_edge.tRRD;  // collapsed four-activate window
+  cases.push_back({"tFAW_eq_tRRD", faw_edge});
+  dram::Timing faw_wide;
+  faw_wide.tFAW = 4 * faw_wide.tRRD + 9;  // window genuinely throttles
+  cases.push_back({"tFAW_wide", faw_wide});
+  dram::Timing fast;
+  fast.tCL = 3; fast.tRCD = 3; fast.tRP = 3; fast.tRAS = 9; fast.tWL = 2;
+  fast.tCCD = 1; fast.burst_cycles = 4;
+  cases.push_back({"fast_long_burst", fast});
+  return cases;
+}
+
+class ChannelNextTick : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelNextTick, MatchesCanPredicates) {
+  const NextTickCase c = next_tick_cases()[GetParam()];
+  ASSERT_EQ(c.timing.validate(), "");
+  constexpr std::uint32_t kBanks = 4;
+  dram::Channel ch(c.timing, kBanks, /*banks_per_rank=*/2);
+  util::Xoshiro256 rng(0xabcdefULL + GetParam());
+
+  enum class Op { kActivate, kRead, kWrite, kPrecharge };
+  const auto can = [&](Op op, std::uint32_t b, Tick now) {
+    switch (op) {
+      case Op::kActivate: return ch.can_activate(b, now);
+      case Op::kRead: return ch.can_read(b, now);
+      case Op::kWrite: return ch.can_write(b, now);
+      case Op::kPrecharge: return ch.can_precharge(b, now);
+    }
+    return false;
+  };
+  const auto next = [&](Op op, std::uint32_t b, Tick now) {
+    switch (op) {
+      case Op::kActivate: return ch.next_activate_tick(b, now);
+      case Op::kRead: return ch.next_read_tick(b, now);
+      case Op::kWrite: return ch.next_write_tick(b, now);
+      case Op::kPrecharge: return ch.next_precharge_tick(b, now);
+    }
+    return kNeverTick;
+  };
+
+  Tick now = 0;
+  for (int step = 0; step < 1500; ++step) {
+    const auto b = static_cast<std::uint32_t>(rng.below(kBanks));
+    const bool open = ch.bank(b).row_open();
+
+    // Exactness check for *every* query against the current state.
+    for (Op op : {Op::kActivate, Op::kRead, Op::kWrite, Op::kPrecharge}) {
+      const Tick n = next(op, b, now);
+      if (n == kNeverTick) {
+        // Wrong row state: no amount of waiting makes it legal.
+        for (Tick probe = now; probe < now + 64; probe += 7)
+          ASSERT_FALSE(can(op, b, probe)) << c.name << " op " << static_cast<int>(op);
+        continue;
+      }
+      ASSERT_GE(n, now);
+      ASSERT_TRUE(can(op, b, n)) << c.name << " step " << step;
+      if (n > now) {
+        ASSERT_FALSE(can(op, b, n - 1)) << c.name << " step " << step;
+      }
+      if (n - now <= 256) {
+        for (Tick probe = now; probe < n; ++probe)
+          ASSERT_FALSE(can(op, b, probe)) << c.name << " step " << step;
+      } else {
+        for (int k = 0; k < 8; ++k) {
+          const Tick probe = now + rng.below(n - now);
+          ASSERT_FALSE(can(op, b, probe)) << c.name << " step " << step;
+        }
+      }
+    }
+
+    // Advance the state with a legal command (issue exactly at its earliest
+    // legal tick, occasionally with extra slack — legality is monotone).
+    const Op op = !open ? Op::kActivate
+                        : (rng.chance(0.25)
+                               ? Op::kPrecharge
+                               : (rng.chance(0.5) ? Op::kRead : Op::kWrite));
+    const Tick at = next(op, b, now) + (rng.chance(0.3) ? rng.below(4) : 0);
+    ASSERT_NE(at, kNeverTick);
+    ASSERT_TRUE(can(op, b, at));
+    const bool auto_pre = rng.chance(0.3);
+    switch (op) {
+      case Op::kActivate: ch.issue_activate(b, rng.below(64), at); break;
+      case Op::kRead: ch.issue_read(b, at, auto_pre); break;
+      case Op::kWrite: ch.issue_write(b, at, auto_pre); break;
+      case Op::kPrecharge: ch.issue_precharge(b, at); break;
+    }
+    now = at + rng.below(3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Timings, ChannelNextTick,
+                         ::testing::Range<std::size_t>(0, 4),
+                         [](const auto& pi) {
+                           return std::string(next_tick_cases()[pi.param].name);
+                         });
+
+}  // namespace
+}  // namespace memsched

@@ -14,6 +14,7 @@
 
 #include "core/scheduler_factory.hpp"
 #include "harness/guarded_main.hpp"
+#include "sim/engine.hpp"
 #include "sim/experiment.hpp"
 #include "sim/json_report.hpp"
 #include "sim/workloads.hpp"
@@ -29,6 +30,7 @@ namespace {
                "  run     workload=4MEM-1|codes:bcde scheme=ME-LREQ [insts=300000] [repeats=3]\n"
                "          [seed=2002] [profile_insts=1000000] [warmup=20000]\n"
                "          [interleave=hybrid|line|page] [grade=DDR2-800] [json=path]\n"
+               "          [engine=skip|cycle]   (time advancement; results identical)\n"
                "  profile app=swim|all [insts=1000000] [seed=1001]\n"
                "  list\n");
   throw std::invalid_argument("bad command line (see usage above)");
@@ -37,7 +39,7 @@ namespace {
 // Shared simulation knobs accepted by both run and profile.
 const std::vector<std::string_view> kConfigKeys = {
     "insts", "repeats", "warmup", "profile_insts", "seed",
-    "profile_seed", "interleave", "bank_xor", "grade"};
+    "profile_seed", "interleave", "bank_xor", "grade", "engine"};
 
 std::vector<std::string_view> with_config_keys(std::vector<std::string_view> extra) {
   extra.insert(extra.end(), kConfigKeys.begin(), kConfigKeys.end());
@@ -57,6 +59,7 @@ sim::ExperimentConfig config_from(const util::Config& cli) {
   else if (il == "page") cfg.base.interleave = dram::Interleave::kPageInterleave;
   else cfg.base.interleave = dram::Interleave::kHybrid;
   cfg.base.bank_xor = cli.get_bool("bank_xor", false);
+  cfg.base.engine = sim::engine_from_string(cli.get_string("engine", "skip"));
   if (cli.has("grade")) {
     cfg.base.apply_speed_grade(dram::SpeedGrade::by_name(cli.get_string("grade", "")));
   }
