@@ -51,6 +51,10 @@ echo "== chaos smoke (fault injection + kill/resume, see docs/robustness.md) =="
 scripts/chaos_smoke.sh build > /dev/null
 echo "  chaos smoke ok"
 
+echo "== ckpt smoke (SIGKILL/SIGTERM + snapshot resume, see docs/robustness.md) =="
+scripts/ckpt_smoke.sh build > /dev/null
+echo "  ckpt smoke ok"
+
 # Soft line-coverage floor for src/ (enforced by the CI coverage job via
 # scripts/coverage.sh). Not run here by default — it rebuilds the whole tree
 # instrumented; opt in with MEMSCHED_CHECK_COVERAGE=1.

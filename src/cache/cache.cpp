@@ -1,5 +1,6 @@
 #include "cache/cache.hpp"
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
 
@@ -140,6 +141,41 @@ void SetAssocCache::reset() {
   for (Line& line : lines_) line = Line{};
   lru_clock_ = 0;
   stats_ = CacheStats{};
+}
+
+void SetAssocCache::save_state(ckpt::Writer& w) const {
+  w.put_u64(lines_.size());
+  for (const Line& l : lines_) {
+    w.put_u64(l.tag);
+    w.put_bool(l.valid);
+    w.put_bool(l.dirty);
+    w.put_bool(l.prefetched);
+    w.put_u64(l.lru);
+  }
+  w.put_u64(lru_clock_);
+  w.put_u64(stats_.hits);
+  w.put_u64(stats_.misses);
+  w.put_u64(stats_.evictions);
+  w.put_u64(stats_.writebacks);
+}
+
+void SetAssocCache::load_state(ckpt::Reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n != lines_.size()) {
+    throw ckpt::SnapshotError("snapshot: cache geometry mismatch");
+  }
+  for (Line& l : lines_) {
+    l.tag = r.get_u64();
+    l.valid = r.get_bool();
+    l.dirty = r.get_bool();
+    l.prefetched = r.get_bool();
+    l.lru = r.get_u64();
+  }
+  lru_clock_ = r.get_u64();
+  stats_.hits = r.get_u64();
+  stats_.misses = r.get_u64();
+  stats_.evictions = r.get_u64();
+  stats_.writebacks = r.get_u64();
 }
 
 }  // namespace memsched::cache

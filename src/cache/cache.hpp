@@ -13,6 +13,11 @@
 
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::cache {
 
 struct CacheConfig {
@@ -77,6 +82,10 @@ class SetAssocCache {
 
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  // --- checkpoint/restore (tags, dirtiness, LRU, stats) ---
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   struct Line {

@@ -1,5 +1,6 @@
 #include "cache/hierarchy.hpp"
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -219,6 +220,45 @@ void CacheHierarchy::reset() {
   l2_mshr_.reset();
   writeback_q_.clear();
   wb_enqueued_ = 0;
+}
+
+void CacheHierarchy::save_state(ckpt::Writer& w) const {
+  w.put_u64(l1i_.size());
+  for (const SetAssocCache& c : l1i_) c.save_state(w);
+  for (const SetAssocCache& c : l1d_) c.save_state(w);
+  l2_.save_state(w);
+  l2_mshr_.save_state(w);
+  prefetcher_.save_state(w);
+  w.put_u64(pf_issued_);
+  w.put_u64(pf_useful_);
+  w.put_u64(writeback_q_.size());
+  for (const auto& [core, line] : writeback_q_) {
+    w.put_u32(core);
+    w.put_u64(line);
+  }
+  w.put_u64(wb_enqueued_);
+}
+
+void CacheHierarchy::load_state(ckpt::Reader& r) {
+  const std::uint64_t ncores = r.get_u64();
+  if (ncores != l1i_.size()) {
+    throw ckpt::SnapshotError("snapshot: hierarchy core count mismatch");
+  }
+  for (SetAssocCache& c : l1i_) c.load_state(r);
+  for (SetAssocCache& c : l1d_) c.load_state(r);
+  l2_.load_state(r);
+  l2_mshr_.load_state(r);
+  prefetcher_.load_state(r);
+  pf_issued_ = r.get_u64();
+  pf_useful_ = r.get_u64();
+  writeback_q_.clear();
+  const std::uint64_t nwb = r.get_u64();
+  for (std::uint64_t i = 0; i < nwb; ++i) {
+    const CoreId core = r.get_u32();
+    const Addr line = r.get_u64();
+    writeback_q_.emplace_back(core, line);
+  }
+  wb_enqueued_ = r.get_u64();
 }
 
 }  // namespace memsched::cache

@@ -19,6 +19,11 @@
 #include "mc/controller.hpp"
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::cache {
 
 /// Per-core region description for checkpoint-style cache warming: the
@@ -119,6 +124,10 @@ class CacheHierarchy {
 
   /// Zero all statistics (cache hit/miss counters) without touching state.
   void reset_stats();
+
+  // --- checkpoint/restore (caches, MSHRs, prefetcher, writeback queue) ---
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   /// Shared L2 leg of a miss from either L1. Returns the reply; registers

@@ -1,5 +1,6 @@
 #include "cache/mshr.hpp"
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::cache {
@@ -62,6 +63,39 @@ void MshrFile::reset() {
   used_ = 0;
   allocations_ = 0;
   merges_ = 0;
+}
+
+void MshrFile::save_state(ckpt::Writer& w) const {
+  w.put_u64(entries_.size());
+  for (const MshrEntry& e : entries_) {
+    w.put_u64(e.line_addr);
+    w.put_bool(e.valid);
+    w.put_bool(e.dispatched);
+    w.put_bool(e.prefetch);
+    w.put_u32(e.requester);
+    w.put_u64_vec(e.waiters);
+  }
+  w.put_u32(used_);
+  w.put_u64(allocations_);
+  w.put_u64(merges_);
+}
+
+void MshrFile::load_state(ckpt::Reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n != entries_.size()) {
+    throw ckpt::SnapshotError("snapshot: MSHR capacity mismatch");
+  }
+  for (MshrEntry& e : entries_) {
+    e.line_addr = r.get_u64();
+    e.valid = r.get_bool();
+    e.dispatched = r.get_bool();
+    e.prefetch = r.get_bool();
+    e.requester = r.get_u32();
+    e.waiters = r.get_u64_vec();
+  }
+  used_ = r.get_u32();
+  allocations_ = r.get_u64();
+  merges_ = r.get_u64();
 }
 
 }  // namespace memsched::cache

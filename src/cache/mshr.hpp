@@ -11,6 +11,11 @@
 
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::cache {
 
 struct MshrEntry {
@@ -62,6 +67,10 @@ class MshrFile {
   [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
   [[nodiscard]] std::uint64_t merges() const { return merges_; }
   void count_merge() { ++merges_; }
+
+  // --- checkpoint/restore ---
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   std::vector<MshrEntry> entries_;

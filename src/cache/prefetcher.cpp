@@ -1,5 +1,6 @@
 #include "cache/prefetcher.hpp"
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::cache {
@@ -54,6 +55,42 @@ void StreamPrefetcher::reset() {
   }
   lru_clock_ = 0;
   triggers_ = 0;
+}
+
+void StreamPrefetcher::save_state(ckpt::Writer& w) const {
+  w.put_u64(table_.size());
+  for (const auto& per_core : table_) {
+    w.put_u64(per_core.size());
+    for (const StreamEntry& e : per_core) {
+      w.put_u64(e.next_line);
+      w.put_u32(e.confidence);
+      w.put_u64(e.lru);
+      w.put_bool(e.valid);
+    }
+  }
+  w.put_u64(lru_clock_);
+  w.put_u64(triggers_);
+}
+
+void StreamPrefetcher::load_state(ckpt::Reader& r) {
+  const std::uint64_t ncores = r.get_u64();
+  if (ncores != table_.size()) {
+    throw ckpt::SnapshotError("snapshot: prefetcher table mismatch");
+  }
+  for (auto& per_core : table_) {
+    const std::uint64_t nent = r.get_u64();
+    if (nent != per_core.size()) {
+      throw ckpt::SnapshotError("snapshot: prefetcher table mismatch");
+    }
+    for (StreamEntry& e : per_core) {
+      e.next_line = r.get_u64();
+      e.confidence = r.get_u32();
+      e.lru = r.get_u64();
+      e.valid = r.get_bool();
+    }
+  }
+  lru_clock_ = r.get_u64();
+  triggers_ = r.get_u64();
 }
 
 }  // namespace memsched::cache

@@ -14,6 +14,11 @@
 
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::cache {
 
 struct PrefetchConfig {
@@ -35,6 +40,10 @@ class StreamPrefetcher {
 
   [[nodiscard]] const PrefetchConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t triggers() const { return triggers_; }
+
+  // --- checkpoint/restore ---
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   struct StreamEntry {

@@ -1,0 +1,123 @@
+// Versioned binary snapshot format for simulator checkpoint/restore.
+//
+// Layout (host-endian, little-endian assumed as everywhere in this codebase):
+//
+//   magic     u64   "MEMSCKP1" — format identity
+//   version   u32   schema version; bumped whenever any component changes
+//                   what it serializes (old snapshots are then discarded)
+//   fp_len    u32   fingerprint byte length
+//   fp        bytes configuration fingerprint (seed, SystemConfig, run
+//                   parameters) — a snapshot only resumes the exact run that
+//                   wrote it
+//   nsections u32
+//   per section:
+//     name_len u32, name bytes, payload_len u64, crc32 u32, payload bytes
+//
+// Every section carries its own CRC32 so corruption (truncation, bit flips)
+// is detected before any byte is interpreted; a reader failure is always a
+// SnapshotError, never UB, and callers fall back to a from-scratch run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace memsched::ckpt {
+
+inline constexpr std::uint64_t kMagic = 0x3150'4b43'534d'454dULL;  // "MEMSCKP1"
+inline constexpr std::uint32_t kVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Any structural problem with a snapshot: bad magic, version or fingerprint
+/// mismatch, CRC failure, truncation, or a section read past its end.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Serializes named sections of plain scalars and saves them atomically.
+/// Components append to the section the caller opened; the writer owns
+/// framing, CRCs and the atomic tmp+fsync+rename publish.
+class Writer {
+ public:
+  /// Starts a new section; subsequent put_* calls append to it. Section
+  /// names must be unique within one snapshot.
+  void begin_section(const std::string& name);
+
+  void put_u8(std::uint8_t v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  /// Doubles round-trip bit-exactly (bit_cast through u64) — required for
+  /// the byte-identical-report guarantee.
+  void put_f64(double v);
+  void put_str(const std::string& s);
+  void put_u64_vec(const std::vector<std::uint64_t>& v);
+
+  void put_rng(const util::Xoshiro256& rng);
+  void put_stat(const util::RunningStat& st);
+  void put_hist(const util::Histogram& h);
+
+  /// Writes the snapshot to `path` via util::atomic_write_file. Throws on
+  /// I/O failure; an existing snapshot at `path` is then left untouched.
+  void save(const std::string& path, const std::string& fingerprint) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Parses and validates a snapshot, then hands out typed reads per section.
+/// Construction validates magic, version, fingerprint and every section CRC
+/// up front; afterwards reads can only fail on logical over-reads (which are
+/// still SnapshotError, never UB).
+class Reader {
+ public:
+  /// Loads `path`, throwing SnapshotError unless the file is a complete,
+  /// CRC-clean snapshot whose fingerprint equals `expected_fingerprint`.
+  Reader(const std::string& path, const std::string& expected_fingerprint);
+
+  [[nodiscard]] bool has_section(const std::string& name) const;
+
+  /// Positions the read cursor at the start of section `name`.
+  void open_section(const std::string& name);
+
+  std::uint8_t get_u8();
+  bool get_bool() { return get_u8() != 0; }
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  double get_f64();
+  std::string get_str();
+  std::vector<std::uint64_t> get_u64_vec();
+
+  void get_rng(util::Xoshiro256& rng);
+  void get_stat(util::RunningStat& st);
+  void get_hist(util::Histogram& h);
+
+  /// Asserts the open section was consumed exactly — a length mismatch means
+  /// writer and reader disagree about the schema, which must not pass
+  /// silently.
+  void close_section();
+
+ private:
+  const std::uint8_t* need(std::size_t n);
+
+  std::map<std::string, std::vector<std::uint8_t>> sections_;
+  const std::vector<std::uint8_t>* cur_ = nullptr;
+  std::string cur_name_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace memsched::ckpt

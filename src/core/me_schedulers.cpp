@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::core {
@@ -63,6 +64,25 @@ double OnlineMeLreqScheduler::core_priority(CoreId core) const {
 void OnlineMeLreqScheduler::reset() {
   std::fill(me_est_.begin(), me_est_.end(), 0.0);
   std::fill(seeded_.begin(), seeded_.end(), false);
+}
+
+void OnlineMeLreqScheduler::save_state(ckpt::Writer& w) const {
+  w.put_u64(me_est_.size());
+  for (std::size_t i = 0; i < me_est_.size(); ++i) {
+    w.put_f64(me_est_[i]);
+    w.put_bool(seeded_[i]);
+  }
+}
+
+void OnlineMeLreqScheduler::load_state(ckpt::Reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n != me_est_.size()) {
+    throw ckpt::SnapshotError("snapshot: online-ME core count mismatch");
+  }
+  for (std::size_t i = 0; i < me_est_.size(); ++i) {
+    me_est_[i] = r.get_f64();
+    seeded_[i] = r.get_bool();
+  }
 }
 
 }  // namespace memsched::core

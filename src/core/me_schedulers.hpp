@@ -136,6 +136,9 @@ class OnlineMeLreqScheduler final : public sched::Scheduler {
   /// Current estimate (for tests/diagnostics); 0 until the first sample.
   [[nodiscard]] double estimated_me(CoreId core) const { return me_est_.at(core); }
 
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
+
  private:
   double alpha_;
   double cpu_hz_;

@@ -28,6 +28,11 @@
 #include "trace/inst_stream.hpp"
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::cpu {
 
 struct CoreConfig {
@@ -99,6 +104,12 @@ class CoreModel {
   static CoreId token_core(std::uint64_t token) {
     return static_cast<CoreId>((token >> 48) & 0x3fff);
   }
+
+  /// Checkpoint/restore: pipeline occupancy, outstanding loads, frontend
+  /// state, dispatch budget and stall counters. The instruction stream is
+  /// saved separately by the caller (the system snapshot).
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   static constexpr CpuCycle kPending = ~CpuCycle{0};

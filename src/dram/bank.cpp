@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::dram {
@@ -66,6 +67,30 @@ void Bank::issue_write(Tick now, bool auto_precharge) {
     earliest_act_ = std::max(act_tick_ + timing_->tRC(), pre_start + timing_->tRP);
     ++precharges_;
   }
+}
+
+void Bank::save_state(ckpt::Writer& w) const {
+  w.put_bool(row_open_);
+  w.put_u64(open_row_);
+  w.put_u64(act_tick_);
+  w.put_u64(earliest_act_);
+  w.put_u64(earliest_cas_);
+  w.put_u64(earliest_pre_);
+  w.put_u64(activates_);
+  w.put_u64(precharges_);
+  w.put_u64(active_ticks_);
+}
+
+void Bank::load_state(ckpt::Reader& r) {
+  row_open_ = r.get_bool();
+  open_row_ = r.get_u64();
+  act_tick_ = r.get_u64();
+  earliest_act_ = r.get_u64();
+  earliest_cas_ = r.get_u64();
+  earliest_pre_ = r.get_u64();
+  activates_ = r.get_u64();
+  precharges_ = r.get_u64();
+  active_ticks_ = r.get_u64();
 }
 
 void Bank::issue_refresh(Tick now) {

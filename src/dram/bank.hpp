@@ -12,6 +12,11 @@
 #include "dram/timing.hpp"
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::dram {
 
 class Bank {
@@ -75,6 +80,10 @@ class Bank {
   [[nodiscard]] Tick active_ticks(Tick now) const {
     return active_ticks_ + (row_open_ ? now - act_tick_ : 0);
   }
+
+  // --- checkpoint/restore ---
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   const Timing* timing_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::dram {
@@ -192,6 +193,46 @@ void Channel::issue_refresh(Tick now) {
   consume_command_slot(now);
   notify(CommandType::kRefresh, 0, 0, now);
   for (Bank& b : banks_) b.issue_refresh(now);
+}
+
+void Channel::save_state(ckpt::Writer& w) const {
+  for (const Bank& b : banks_) b.save_state(w);
+  w.put_bool(cmd_issued_);
+  w.put_u64(last_cmd_tick_);
+  w.put_u64(data_busy_until_);
+  w.put_u64(read_data_end_);
+  w.put_u64(write_data_end_);
+  w.put_u64(last_cas_tick_);
+  w.put_bool(any_cas_);
+  w.put_u32(last_cas_rank_);
+  w.put_u64(last_act_tick_);
+  w.put_bool(any_act_);
+  for (Tick t : act_window_) w.put_u64(t);
+  w.put_u32(act_window_pos_);
+  w.put_u32(act_window_fill_);
+  w.put_u64(commands_);
+  w.put_u64(data_busy_cycles_);
+  w.put_u64(bursts_);
+}
+
+void Channel::load_state(ckpt::Reader& r) {
+  for (Bank& b : banks_) b.load_state(r);
+  cmd_issued_ = r.get_bool();
+  last_cmd_tick_ = r.get_u64();
+  data_busy_until_ = r.get_u64();
+  read_data_end_ = r.get_u64();
+  write_data_end_ = r.get_u64();
+  last_cas_tick_ = r.get_u64();
+  any_cas_ = r.get_bool();
+  last_cas_rank_ = r.get_u32();
+  last_act_tick_ = r.get_u64();
+  any_act_ = r.get_bool();
+  for (Tick& t : act_window_) t = r.get_u64();
+  act_window_pos_ = r.get_u32();
+  act_window_fill_ = r.get_u32();
+  commands_ = r.get_u64();
+  data_busy_cycles_ = r.get_u64();
+  bursts_ = r.get_u64();
 }
 
 }  // namespace memsched::dram

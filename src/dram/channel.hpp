@@ -17,6 +17,11 @@
 #include "dram/timing.hpp"
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::dram {
 
 class Channel {
@@ -81,6 +86,10 @@ class Channel {
     observer_ = observer;
     channel_id_ = channel_id;
   }
+
+  // --- checkpoint/restore (banks included) ---
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   void consume_command_slot(Tick now);

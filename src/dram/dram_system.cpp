@@ -1,5 +1,6 @@
 #include "dram/dram_system.hpp"
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::dram {
@@ -28,6 +29,14 @@ std::uint64_t DramSystem::total_bursts() const {
   std::uint64_t n = 0;
   for (const Channel& c : channels_) n += c.bursts();
   return n;
+}
+
+void DramSystem::save_state(ckpt::Writer& w) const {
+  for (const Channel& c : channels_) c.save_state(w);
+}
+
+void DramSystem::load_state(ckpt::Reader& r) {
+  for (Channel& c : channels_) c.load_state(r);
 }
 
 void DramSystem::set_command_observer(CommandObserver* observer) {

@@ -40,6 +40,10 @@ class DramSystem {
   /// detaches). Channels report with their index as CommandRecord::channel.
   void set_command_observer(CommandObserver* observer);
 
+  // --- checkpoint/restore (all channels and banks) ---
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   Timing timing_;
   Organization org_;

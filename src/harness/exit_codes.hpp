@@ -17,10 +17,14 @@ enum ExitCode : int {
   kExitLivelock = 3,  ///< sim::LivelockError — progress watchdog fired
   kExitBudget = 4,    ///< sim::CycleBudgetError — max_ticks exhausted
   kExitInternal = 5,  ///< any other uncaught std::exception
+  /// ckpt::CheckpointStop — SIGTERM/SIGINT parked the run's state in a
+  /// snapshot for a later resume. Not a failure: the orchestrator re-runs
+  /// the point and it picks up where it stopped.
+  kExitInterrupted = 6,
 };
 
 /// Stable category string for an exit code ("ok", "usage", "livelock",
-/// "budget", "internal"); unknown codes map to "internal".
+/// "budget", "internal", "interrupted"); unknown codes map to "internal".
 [[nodiscard]] const char* exit_category(int code);
 
 }  // namespace memsched::harness

@@ -4,6 +4,7 @@
 #include <exception>
 #include <stdexcept>
 
+#include "ckpt/policy.hpp"
 #include "sim/watchdog.hpp"
 #include "util/json.hpp"
 
@@ -15,6 +16,7 @@ const char* exit_category(int code) {
     case kExitUsage: return "usage";
     case kExitLivelock: return "livelock";
     case kExitBudget: return "budget";
+    case kExitInterrupted: return "interrupted";
     default: return "internal";
   }
 }
@@ -29,6 +31,10 @@ ErrorInfo classify_current_exception() {
   } catch (const sim::CycleBudgetError& e) {
     info.exit_code = kExitBudget;
     info.what = e.what();
+  } catch (const ckpt::CheckpointStop& e) {
+    info.exit_code = kExitInterrupted;
+    info.what = std::string(e.what()) +
+                (e.snapshot_path().empty() ? "" : " (snapshot: " + e.snapshot_path() + ")");
   } catch (const std::invalid_argument& e) {
     info.exit_code = kExitUsage;
     info.what = e.what();

@@ -18,7 +18,7 @@ namespace memsched::harness {
 /// How an exception maps onto the exit-code contract.
 struct ErrorInfo {
   int exit_code = kExitInternal;
-  std::string category;  ///< "usage" | "livelock" | "budget" | "internal"
+  std::string category;  ///< "usage" | "livelock" | "budget" | "internal" | "interrupted"
   std::string what;
 };
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 
 namespace memsched::harness {
@@ -114,13 +115,11 @@ void Manifest::save() const {
   }
   doc["points"] = std::move(points);
 
-  // Atomic checkpoint: a crash mid-write must never corrupt the manifest —
-  // the previous checkpoint survives until rename() commits the new one.
-  const std::string tmp = path_ + ".tmp";
-  doc.write_file(tmp, -1);
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    throw std::runtime_error("manifest: cannot rename " + tmp + " to " + path_);
-  }
+  // Atomic, durable checkpoint: a crash (or power cut) mid-write must never
+  // corrupt the manifest — the tmp + fsync + rename in atomic_write_file
+  // guarantees the previous checkpoint survives until the new one is fully
+  // on stable storage.
+  util::atomic_write_file(path_, doc.dump(-1) + "\n");
 }
 
 }  // namespace memsched::harness

@@ -10,6 +10,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 
 #include "harness/guarded_main.hpp"
@@ -54,6 +55,13 @@ std::string format_seconds(double seconds) {
   return buf;
 }
 
+/// Best-effort recursive delete (per-point checkpoint dirs after success);
+/// a leftover directory is harmless, so failures are ignored.
+void remove_tree(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+}
+
 }  // namespace
 
 Orchestrator::Orchestrator(OrchestratorConfig cfg) : cfg_(std::move(cfg)) {
@@ -77,6 +85,10 @@ SweepSummary Orchestrator::run(const std::vector<PointSpec>& points) {
 
   for (std::size_t i = 0; i < points.size(); ++i) {
     const PointSpec& point = points[i];
+    if (cfg_.stop != nullptr && *cfg_.stop != 0) {
+      summary.interrupted = true;
+      break;
+    }
     if (const PointRecord* prev = manifest_.find(point.name);
         prev != nullptr && prev->ok()) {
       ++summary.resumed;
@@ -93,6 +105,17 @@ SweepSummary Orchestrator::run(const std::vector<PointSpec>& points) {
     }
 
     PointRecord rec = execute_point(point, i);
+    if (rec.status == "interrupted") {
+      // Graceful stop mid-point: the child parked its state in the per-point
+      // snapshot. Deliberately NOT recorded — the next invocation re-runs
+      // this point and it resumes from the snapshot.
+      summary.interrupted = true;
+      if (cfg_.verbose) {
+        std::fprintf(stderr, "[sweep] %zu/%zu %s: interrupted (state checkpointed)\n",
+                     i + 1, points.size(), point.name.c_str());
+      }
+      break;
+    }
     manifest_.record(rec);  // checkpoint after *every* point
     ++summary.executed;
     if (rec.ok()) {
@@ -116,7 +139,7 @@ PointRecord Orchestrator::execute_point(const PointSpec& point, std::size_t inde
     rec = run_attempt(point, index);
     rec.name = point.name;
     rec.attempts = attempt;
-    if (rec.ok()) break;
+    if (rec.ok() || rec.status == "interrupted") break;
     if (attempt < cfg_.max_attempts) {
       if (cfg_.verbose) {
         std::fprintf(stderr, "[sweep] %s: attempt %u %s (%s); retrying\n",
@@ -131,20 +154,35 @@ PointRecord Orchestrator::execute_point(const PointSpec& point, std::size_t inde
 
 PointRecord Orchestrator::run_attempt(const PointSpec& point, std::size_t index) {
   return cfg_.isolate || !point.argv.empty() ? run_forked(point, index)
-                                             : run_inline(point);
+                                             : run_inline(point, index);
 }
 
-PointRecord Orchestrator::run_inline(const PointSpec& point) {
+std::string Orchestrator::ckpt_dir_for(std::size_t index) const {
+  return cfg_.work_dir + "/point-" + std::to_string(index) + ".ckpt.d";
+}
+
+PointRecord Orchestrator::run_inline(const PointSpec& point, std::size_t index) {
   PointRecord rec;
   const auto start = Clock::now();
+  std::string ckpt_dir;
+  if (point.body_ckpt) {
+    ckpt_dir = ckpt_dir_for(index);
+    ::mkdir(ckpt_dir.c_str(), 0755);  // EEXIST expected across retries
+  }
   try {
-    if (!point.body) throw std::runtime_error("point has no body");
-    rec.payload = point.body().dump(-1);
+    if (point.body_ckpt) {
+      rec.payload = point.body_ckpt(ckpt_dir).dump(-1);
+    } else if (point.body) {
+      rec.payload = point.body().dump(-1);
+    } else {
+      throw std::runtime_error("point has no body");
+    }
     rec.status = "ok";
     rec.category = "ok";
+    if (!ckpt_dir.empty()) remove_tree(ckpt_dir);
   } catch (...) {
     const ErrorInfo info = classify_current_exception();
-    rec.status = "failed";
+    rec.status = info.exit_code == kExitInterrupted ? "interrupted" : "failed";
     rec.category = info.category;
     rec.exit_code = info.exit_code;
     rec.error = info.what;
@@ -160,6 +198,11 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
   const std::string stderr_path = stem + ".stderr";
   const std::string stdout_path = stem + ".stdout";
   std::remove(result_path.c_str());
+  std::string ckpt_dir;
+  if (point.body_ckpt) {
+    ckpt_dir = ckpt_dir_for(index);
+    ::mkdir(ckpt_dir.c_str(), 0755);  // EEXIST expected across retries
+  }
 
   // Flush before fork so buffered output is not emitted twice.
   std::fflush(stdout);
@@ -192,8 +235,13 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
       ::_exit(kExitInternal);
     }
     try {
-      if (!point.body) throw std::runtime_error("point has no body");
-      point.body().write_file(result_path, -1);
+      if (point.body_ckpt) {
+        point.body_ckpt(ckpt_dir).write_file(result_path, -1);
+      } else if (point.body) {
+        point.body().write_file(result_path, -1);
+      } else {
+        throw std::runtime_error("point has no body");
+      }
       std::fflush(nullptr);
       ::_exit(kExitOk);
     } catch (...) {
@@ -211,6 +259,7 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
       start + std::chrono::duration_cast<Clock::duration>(
                   std::chrono::duration<double>(cfg_.timeout_seconds));
   bool timed_out = false;
+  bool stop_forwarded = false;
   int status = 0;
   for (;;) {
     const pid_t r = ::waitpid(pid, &status, WNOHANG);
@@ -222,6 +271,13 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
       rec.error = std::string("waitpid failed: ") + std::strerror(errno);
       rec.wall_ms = ms_since(start);
       return rec;
+    }
+    // Graceful stop: forward SIGTERM once so the child checkpoints and
+    // exits "interrupted"; the hard wall-clock deadline still applies as
+    // the backstop if it wedges on the way out.
+    if (!stop_forwarded && cfg_.stop != nullptr && *cfg_.stop != 0) {
+      ::kill(pid, SIGTERM);
+      stop_forwarded = true;
     }
     if (cfg_.timeout_seconds > 0.0 && Clock::now() >= deadline) {
       ::kill(pid, SIGKILL);
@@ -243,6 +299,15 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
   }
   if (WIFSIGNALED(status)) {
     const int sig = WTERMSIG(status);
+    if (stop_forwarded && sig == SIGTERM) {
+      // Child without a SIGTERM handler (e.g. an exec'd bench) died to the
+      // forwarded graceful stop — that is an interruption, not a crash.
+      rec.status = "interrupted";
+      rec.category = exit_category(kExitInterrupted);
+      rec.exit_code = kExitInterrupted;
+      rec.term_signal = sig;
+      return rec;
+    }
     rec.status = "crash";
     rec.category = "crash";
     rec.term_signal = sig;
@@ -254,6 +319,12 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
 
   const int code = WIFEXITED(status) ? WEXITSTATUS(status) : kExitInternal;
   rec.exit_code = code;
+  if (code == kExitInterrupted) {
+    rec.status = "interrupted";
+    rec.category = exit_category(code);
+    rec.error = child_error(stderr_path);
+    return rec;
+  }
   if (code != kExitOk) {
     rec.status = "failed";
     rec.category = exit_category(code);
@@ -284,6 +355,7 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
   }
   rec.status = "ok";
   rec.category = "ok";
+  if (!ckpt_dir.empty()) remove_tree(ckpt_dir);
   return rec;
 }
 

@@ -11,6 +11,7 @@
 // byte-identical report.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -24,9 +25,16 @@ namespace memsched::harness {
 /// One experiment point. Either an in-process body returning the point's
 /// JSON result (run inside a forked child when isolation is on), or an
 /// external command in `argv` (fork + exec; takes precedence when set).
+///
+/// `body_ckpt`, when set, is preferred over `body`: it receives a per-point
+/// checkpoint directory (work_dir/point-<i>.ckpt.d) that survives watchdog
+/// kills and retries, so a re-attempted point resumes from its latest valid
+/// snapshot instead of starting over. The directory is deleted once the
+/// point succeeds.
 struct PointSpec {
   std::string name;
   std::function<util::Json()> body;
+  std::function<util::Json(const std::string& ckpt_dir)> body_ckpt;
   std::vector<std::string> argv;
 };
 
@@ -45,6 +53,13 @@ struct OrchestratorConfig {
   /// Test hook: abandon the sweep after this many *executed* (not resumed)
   /// points — simulates a mid-sweep kill without the signal plumbing.
   std::uint32_t stop_after = 0;
+
+  /// Cooperative graceful-stop flag (typically ckpt::stop_flag(), set by the
+  /// SIGTERM/SIGINT handler). When it fires, the running child is forwarded
+  /// SIGTERM — it checkpoints and exits "interrupted" — and the sweep stops
+  /// WITHOUT recording that point, so the next invocation resumes it from
+  /// its snapshot.
+  const volatile std::sig_atomic_t* stop = nullptr;
 };
 
 struct SweepSummary {
@@ -54,8 +69,11 @@ struct SweepSummary {
   std::size_t resumed = 0;   ///< replayed from the manifest, not re-run
   std::size_t executed = 0;  ///< actually run this invocation
   bool abandoned = false;    ///< stop_after hook tripped
+  bool interrupted = false;  ///< graceful stop (SIGTERM/SIGINT) ended the sweep
 
-  [[nodiscard]] bool complete() const { return !abandoned && ok + failed == total; }
+  [[nodiscard]] bool complete() const {
+    return !abandoned && !interrupted && ok + failed == total;
+  }
 };
 
 class Orchestrator {
@@ -78,7 +96,11 @@ class Orchestrator {
   PointRecord execute_point(const PointSpec& point, std::size_t index);
   PointRecord run_attempt(const PointSpec& point, std::size_t index);
   PointRecord run_forked(const PointSpec& point, std::size_t index);
-  PointRecord run_inline(const PointSpec& point);
+  PointRecord run_inline(const PointSpec& point, std::size_t index);
+
+  /// Per-point checkpoint directory (created on demand for body_ckpt
+  /// points); kept across retries, removed once the point succeeds.
+  [[nodiscard]] std::string ckpt_dir_for(std::size_t index) const;
   [[nodiscard]] std::string child_error(const std::string& stderr_path) const;
 
   OrchestratorConfig cfg_;

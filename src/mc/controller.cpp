@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::mc {
@@ -584,6 +585,155 @@ void MemoryController::reset_stats() {
 bool MemoryController::idle() const {
   return read_q_.empty() && write_q_.empty() && inflight_count_ == 0 &&
          completions_.empty();
+}
+
+namespace {
+
+void put_request(ckpt::Writer& w, const Request& r) {
+  w.put_u64(r.id);
+  w.put_u32(r.core);
+  w.put_u64(r.line_addr);
+  w.put_bool(r.is_write);
+  w.put_bool(r.is_prefetch);
+  w.put_u32(r.dram.channel);
+  w.put_u32(r.dram.bank);
+  w.put_u64(r.dram.row);
+  w.put_u64(r.dram.col_line);
+  w.put_u64(r.enqueue_tick);
+  w.put_u64(r.visible_tick);
+  w.put_u64(r.order);
+}
+
+Request get_request(ckpt::Reader& r) {
+  Request q;
+  q.id = r.get_u64();
+  q.core = r.get_u32();
+  q.line_addr = r.get_u64();
+  q.is_write = r.get_bool();
+  q.is_prefetch = r.get_bool();
+  q.dram.channel = r.get_u32();
+  q.dram.bank = r.get_u32();
+  q.dram.row = r.get_u64();
+  q.dram.col_line = r.get_u64();
+  q.enqueue_tick = r.get_u64();
+  q.visible_tick = r.get_u64();
+  q.order = r.get_u64();
+  return q;
+}
+
+}  // namespace
+
+void MemoryController::save_state(ckpt::Writer& w) const {
+  w.put_rng(rng_);
+  w.put_u64(read_q_.size());
+  for (const Request& q : read_q_) put_request(w, q);
+  w.put_u64(write_q_.size());
+  for (const Request& q : write_q_) put_request(w, q);
+  w.put_u64(slots_.size());
+  for (const InFlight& s : slots_) {
+    w.put_bool(s.valid);
+    w.put_u8(static_cast<std::uint8_t>(s.phase));
+    if (s.valid) put_request(w, s.req);
+  }
+  w.put_u64(completions_.size());
+  for (const Completion& c : completions_) {
+    w.put_u64(c.done);
+    put_request(w, c.req);
+  }
+  w.put_u64(pending_reads_.size());
+  for (std::uint32_t v : pending_reads_) w.put_u32(v);
+  for (std::uint32_t v : pending_writes_) w.put_u32(v);
+  w.put_u64(open_predictor_.size());
+  for (std::uint8_t v : open_predictor_) w.put_u8(v);
+  w.put_u64(next_refresh_.size());
+  for (Tick t : next_refresh_) w.put_u64(t);
+  w.put_u32(occupied_);
+  w.put_u32(inflight_count_);
+  w.put_bool(drain_mode_);
+  w.put_u64(next_id_);
+  w.put_u64(next_order_);
+  // Statistics (measurement may already be under way when we checkpoint).
+  w.put_u64(stats_.reads_served);
+  w.put_u64(stats_.writes_served);
+  w.put_u64(stats_.prefetch_reads);
+  w.put_u64(stats_.read_forwards);
+  w.put_u64(stats_.write_merges);
+  w.put_u64(stats_.row_hits);
+  w.put_u64(stats_.row_closed);
+  w.put_u64(stats_.row_conflicts);
+  w.put_u64(stats_.drain_entries);
+  w.put_u64(stats_.sched_rounds);
+  w.put_stat(stats_.read_latency_cpu);
+  w.put_hist(stats_.read_latency_hist);
+  w.put_u64(stats_.core_read_latency_cpu.size());
+  for (const auto& st : stats_.core_read_latency_cpu) w.put_stat(st);
+  w.put_u64_vec(stats_.core_reads);
+  w.put_u64_vec(stats_.core_writes);
+}
+
+void MemoryController::load_state(ckpt::Reader& r) {
+  r.get_rng(rng_);
+  read_q_.clear();
+  const std::uint64_t nreads = r.get_u64();
+  for (std::uint64_t i = 0; i < nreads; ++i) read_q_.push_back(get_request(r));
+  write_q_.clear();
+  const std::uint64_t nwrites = r.get_u64();
+  for (std::uint64_t i = 0; i < nwrites; ++i) write_q_.push_back(get_request(r));
+  const std::uint64_t nslots = r.get_u64();
+  if (nslots != slots_.size()) {
+    throw ckpt::SnapshotError("snapshot: controller slot count mismatch");
+  }
+  for (InFlight& s : slots_) {
+    s.valid = r.get_bool();
+    s.phase = static_cast<Phase>(r.get_u8());
+    s.req = s.valid ? get_request(r) : Request{};
+  }
+  completions_.clear();
+  const std::uint64_t ncomp = r.get_u64();
+  for (std::uint64_t i = 0; i < ncomp; ++i) {
+    Completion c;
+    c.done = r.get_u64();
+    c.req = get_request(r);
+    completions_.push_back(c);
+  }
+  const std::uint64_t ncores = r.get_u64();
+  if (ncores != pending_reads_.size()) {
+    throw ckpt::SnapshotError("snapshot: controller core count mismatch");
+  }
+  for (auto& v : pending_reads_) v = r.get_u32();
+  for (auto& v : pending_writes_) v = r.get_u32();
+  const std::uint64_t npred = r.get_u64();
+  if (npred != open_predictor_.size()) {
+    throw ckpt::SnapshotError("snapshot: controller predictor size mismatch");
+  }
+  for (auto& v : open_predictor_) v = r.get_u8();
+  const std::uint64_t nref = r.get_u64();
+  if (nref != next_refresh_.size()) {
+    throw ckpt::SnapshotError("snapshot: controller refresh vector mismatch");
+  }
+  for (Tick& t : next_refresh_) t = r.get_u64();
+  occupied_ = r.get_u32();
+  inflight_count_ = r.get_u32();
+  drain_mode_ = r.get_bool();
+  next_id_ = r.get_u64();
+  next_order_ = r.get_u64();
+  stats_.reads_served = r.get_u64();
+  stats_.writes_served = r.get_u64();
+  stats_.prefetch_reads = r.get_u64();
+  stats_.read_forwards = r.get_u64();
+  stats_.write_merges = r.get_u64();
+  stats_.row_hits = r.get_u64();
+  stats_.row_closed = r.get_u64();
+  stats_.row_conflicts = r.get_u64();
+  stats_.drain_entries = r.get_u64();
+  stats_.sched_rounds = r.get_u64();
+  r.get_stat(stats_.read_latency_cpu);
+  r.get_hist(stats_.read_latency_hist);
+  const std::uint64_t nstat = r.get_u64();
+  stats_.core_read_latency_cpu.assign(static_cast<std::size_t>(nstat), {});
+  for (auto& st : stats_.core_read_latency_cpu) r.get_stat(st);
+  stats_.core_reads = r.get_u64_vec();
+  stats_.core_writes = r.get_u64_vec();
 }
 
 std::string MemoryController::dump_state(Tick now) const {

@@ -32,6 +32,11 @@
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::mc {
 
 /// Row-buffer management policy.
@@ -155,6 +160,12 @@ class MemoryController {
   void reset_stats();
   [[nodiscard]] dram::DramSystem& dram() { return dram_; }
   [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+
+  /// Checkpoint/restore: queues, in-flight slots, pending completions, drain
+  /// state, RNG and statistics. Owned DRAM state is NOT included — the
+  /// system-level snapshot saves it through its own section.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   enum class Phase : std::uint8_t { kNeedPrecharge, kNeedActivate, kNeedCas };

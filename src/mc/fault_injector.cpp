@@ -1,5 +1,6 @@
 #include "mc/fault_injector.hpp"
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::mc {
@@ -57,6 +58,26 @@ bool FaultInjector::stall_command(std::uint32_t channel, Tick now) {
     return true;
   }
   return false;
+}
+
+void FaultInjector::save_state(ckpt::Writer& w) const {
+  w.put_rng(rng_);
+  w.put_u64(stats_.dropped_reads);
+  w.put_u64(stats_.dropped_writes);
+  w.put_u64(stats_.duplicated);
+  w.put_u64(stats_.delayed);
+  w.put_u64(stats_.stalls);
+  w.put_u64_vec(stall_until_);
+}
+
+void FaultInjector::load_state(ckpt::Reader& r) {
+  r.get_rng(rng_);
+  stats_.dropped_reads = r.get_u64();
+  stats_.dropped_writes = r.get_u64();
+  stats_.duplicated = r.get_u64();
+  stats_.delayed = r.get_u64();
+  stats_.stalls = r.get_u64();
+  stall_until_ = r.get_u64_vec();
 }
 
 }  // namespace memsched::mc

@@ -26,6 +26,11 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::mc {
 
 struct FaultConfig {
@@ -72,6 +77,10 @@ class FaultInjector {
 
   [[nodiscard]] const FaultConfig& config() const { return cfg_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  // --- checkpoint/restore (RNG, stats, active stall windows) ---
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   FaultConfig cfg_;

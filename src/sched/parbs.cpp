@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::sched {
@@ -44,6 +45,27 @@ void ParbsScheduler::reset() {
   std::fill(quota_.begin(), quota_.end(), 0);
   std::fill(batch_size_.begin(), batch_size_.end(), 0);
   batches_ = 0;
+}
+
+void ParbsScheduler::save_state(ckpt::Writer& w) const {
+  w.put_u64(quota_.size());
+  for (std::size_t i = 0; i < quota_.size(); ++i) {
+    w.put_u32(quota_[i]);
+    w.put_u32(batch_size_[i]);
+  }
+  w.put_u64(batches_);
+}
+
+void ParbsScheduler::load_state(ckpt::Reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n != quota_.size()) {
+    throw ckpt::SnapshotError("snapshot: PAR-BS core count mismatch");
+  }
+  for (std::size_t i = 0; i < quota_.size(); ++i) {
+    quota_[i] = r.get_u32();
+    batch_size_[i] = r.get_u32();
+  }
+  batches_ = r.get_u64();
 }
 
 }  // namespace memsched::sched

@@ -42,6 +42,9 @@ class ParbsScheduler final : public Scheduler {
   [[nodiscard]] std::uint32_t quota(CoreId core) const { return quota_[core]; }
   [[nodiscard]] std::uint64_t batches_formed() const { return batches_; }
 
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
+
  private:
   std::uint32_t batch_cap_;
   std::vector<std::uint32_t> quota_;       ///< marked requests left per core

@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::sched {
+
+void RoundRobinScheduler::save_state(ckpt::Writer& w) const {
+  w.put_u32(last_served_);
+}
+
+void RoundRobinScheduler::load_state(ckpt::Reader& r) {
+  last_served_ = r.get_u32();
+}
+
+void FairQueueScheduler::save_state(ckpt::Writer& w) const {
+  // now_ is transient (refreshed by prepare() each round); only the virtual
+  // finish times persist.
+  w.put_u64(vft_.size());
+  for (double v : vft_) w.put_f64(v);
+}
+
+void FairQueueScheduler::load_state(ckpt::Reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n != vft_.size()) {
+    throw ckpt::SnapshotError("snapshot: FQ core count mismatch");
+  }
+  for (double& v : vft_) v = r.get_f64();
+}
 
 FixOrderScheduler::FixOrderScheduler(std::vector<CoreId> order)
     : order_(std::move(order)) {

@@ -79,6 +79,8 @@ class ThreadOverHit final : public Scheduler {
     inner_->on_epoch(core, insts, bytes);
   }
   void reset() override { inner_->reset(); }
+  void save_state(ckpt::Writer& w) const override { inner_->save_state(w); }
+  void load_state(ckpt::Reader& r) override { inner_->load_state(r); }
 
  private:
   SchedulerPtr inner_;
@@ -103,6 +105,8 @@ class RoundRobinScheduler final : public Scheduler {
 
   void on_served(const mc::Request& req) override { last_served_ = req.core; }
   void reset() override { last_served_ = 0; }
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
 
  private:
   std::uint32_t core_count_;
@@ -163,6 +167,8 @@ class FairQueueScheduler final : public Scheduler {
   [[nodiscard]] bool random_core_tie_break() const override { return true; }
 
   void reset() override { std::fill(vft_.begin(), vft_.end(), 0.0); }
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
 
  private:
   std::uint32_t core_count_;

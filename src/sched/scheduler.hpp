@@ -28,6 +28,11 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::sched {
 
 /// Controller state a policy may consult when ranking cores. Counts cover
@@ -108,6 +113,14 @@ class Scheduler {
 
   /// Reset any internal state between runs.
   virtual void reset() {}
+
+  /// Checkpoint/restore of policy-internal state. Defaults are no-ops —
+  /// correct for the stateless schemes (FCFS family, LREQ, ME variants read
+  /// the live queue snapshot each round); stateful schemes (round-robin
+  /// token, virtual finish times, STFM/PAR-BS/online-ME accumulators)
+  /// override both.
+  virtual void save_state(ckpt::Writer& w) const { (void)w; }
+  virtual void load_state(ckpt::Reader& r) { (void)r; }
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::sched {
@@ -60,6 +61,29 @@ void StfmScheduler::reset() {
   std::fill(seeded_.begin(), seeded_.end(), false);
   std::fill(slowdown_.begin(), slowdown_.end(), 1.0);
   intervening_ = false;
+}
+
+void StfmScheduler::save_state(ckpt::Writer& w) const {
+  w.put_u64(ipc_est_.size());
+  for (std::size_t i = 0; i < ipc_est_.size(); ++i) {
+    w.put_f64(ipc_est_[i]);
+    w.put_bool(seeded_[i]);
+    w.put_f64(slowdown_[i]);
+  }
+  w.put_bool(intervening_);
+}
+
+void StfmScheduler::load_state(ckpt::Reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n != ipc_est_.size()) {
+    throw ckpt::SnapshotError("snapshot: STFM core count mismatch");
+  }
+  for (std::size_t i = 0; i < ipc_est_.size(); ++i) {
+    ipc_est_[i] = r.get_f64();
+    seeded_[i] = r.get_bool();
+    slowdown_[i] = r.get_f64();
+  }
+  intervening_ = r.get_bool();
 }
 
 }  // namespace memsched::sched

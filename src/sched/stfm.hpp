@@ -44,6 +44,9 @@ class StfmScheduler final : public Scheduler {
   /// Whether the fairness rule is currently engaged.
   [[nodiscard]] bool intervening() const { return intervening_; }
 
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
+
  private:
   std::vector<double> ipc_single_;
   double epoch_cpu_cycles_;

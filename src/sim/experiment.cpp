@@ -1,15 +1,53 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/scheduler_factory.hpp"
 #include "sched/policies.hpp"
 #include "sim/watchdog.hpp"
 #include "util/assert.hpp"
+#include "util/json.hpp"
 
 namespace memsched::sim {
 
+namespace {
+
+/// Structured stderr diagnostic for a rejected snapshot: the run still
+/// completes (from cycle zero), but the fallback is observable — the sweep
+/// orchestrator and CI harvest MEMSCHED_ERROR lines.
+void report_snapshot_fallback(const std::string& context, const ckpt::ResumeInfo& info) {
+  if (!info.attempted || info.resumed) return;
+  util::Json line = util::Json::object();
+  line["binary"] = "experiment";
+  line["category"] = "snapshot_fallback";
+  line["context"] = context;
+  line["what"] = info.error;
+  std::fprintf(stderr, "MEMSCHED_ERROR %s\n", line.dump(-1).c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace
+
 Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {}
+
+ckpt::CheckpointPolicy Experiment::policy_for(const std::string& context,
+                                              ckpt::ResumeInfo* info) const {
+  ckpt::CheckpointPolicy p;
+  // Degrade to off under audit: the auditor's shadow state is not
+  // serialized, and MultiCoreSystem::run rejects the combination outright.
+  if (cfg_.ckpt_dir.empty() || cfg_.base.audit.enabled) return p;
+  std::string stem = context;
+  for (char& ch : stem) {
+    if (ch == '/' || ch == ' ') ch = '_';
+  }
+  p.path = cfg_.ckpt_dir + "/" + stem + ".ckpt";
+  p.interval_ticks = cfg_.ckpt_interval;
+  p.stop = cfg_.ckpt_stop;
+  p.context = context;
+  p.resume_info = info;
+  return p;
+}
 
 SystemConfig Experiment::config_for(std::uint32_t cores) const {
   SystemConfig sc = cfg_.base;
@@ -25,7 +63,11 @@ const core::MeProfile& Experiment::profile(const std::string& app_name) {
   const trace::AppProfile& app = trace::spec2000_by_name(app_name);
   sched::HitFirstReadFirstScheduler sched;
   MultiCoreSystem sys(config_for(1), {app}, sched, cfg_.profile_seed);
-  const RunResult r = sys.run(cfg_.profile_insts, cfg_.warmup_insts, cfg_.max_ticks);
+  const std::string ctx = "profile-" + app_name;
+  ckpt::ResumeInfo info;
+  const RunResult r =
+      sys.run(cfg_.profile_insts, cfg_.warmup_insts, cfg_.max_ticks, policy_for(ctx, &info));
+  report_snapshot_fallback(ctx, info);
   if (r.hit_tick_limit) {
     throw CycleBudgetError("profiling run for '" + app_name + "' hit the " +
                                std::to_string(cfg_.max_ticks) + "-tick budget",
@@ -46,7 +88,11 @@ double Experiment::single_ipc(const std::string& app_name, std::uint64_t seed) {
   const trace::AppProfile& app = trace::spec2000_by_name(app_name);
   sched::HitFirstReadFirstScheduler sched;
   MultiCoreSystem sys(config_for(1), {app}, sched, seed);
-  const RunResult r = sys.run(cfg_.eval_insts, cfg_.warmup_insts, cfg_.max_ticks);
+  const std::string ctx = "single-" + app_name + "-" + std::to_string(seed);
+  ckpt::ResumeInfo info;
+  const RunResult r =
+      sys.run(cfg_.eval_insts, cfg_.warmup_insts, cfg_.max_ticks, policy_for(ctx, &info));
+  report_snapshot_fallback(ctx, info);
   if (r.hit_tick_limit) {
     throw CycleBudgetError("single-core reference for '" + app_name + "' hit the " +
                                std::to_string(cfg_.max_ticks) + "-tick budget",
@@ -94,7 +140,12 @@ WorkloadRun Experiment::run(const Workload& w, const std::string& scheme_name) {
     out.scheme = scheduler->name();
 
     MultiCoreSystem sys(config_for(n), apps, *scheduler, seed);
-    RunResult r = sys.run(cfg_.eval_insts, cfg_.warmup_insts, cfg_.max_ticks);
+    const std::string ctx =
+        "eval-" + w.name + "-" + scheme_name + "-rep" + std::to_string(rep);
+    ckpt::ResumeInfo info;
+    RunResult r =
+        sys.run(cfg_.eval_insts, cfg_.warmup_insts, cfg_.max_ticks, policy_for(ctx, &info));
+    report_snapshot_fallback(ctx, info);
     if (r.hit_tick_limit) {
       throw CycleBudgetError("evaluation run " + w.name + "/" + scheme_name +
                                  " (slice " + std::to_string(rep) + ") hit the " +

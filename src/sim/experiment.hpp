@@ -10,6 +10,7 @@
 // to compute SMT speedup and unfairness.
 #pragma once
 
+#include <csignal>
 #include <map>
 #include <mutex>
 #include <string>
@@ -47,6 +48,18 @@ struct ExperimentConfig {
   unsigned table_bits = 10;
 
   Tick max_ticks = Tick{1} << 40;
+
+  /// Checkpoint/restore (docs/robustness.md). When `ckpt_dir` is non-empty,
+  /// every sub-run (profiling, single-core reference, evaluation slice)
+  /// saves periodic snapshots under it and resumes from a valid one — a
+  /// killed-and-restarted experiment reproduces byte-identical results.
+  /// Silently degraded to OFF while the invariant auditor is enabled (the
+  /// auditor's shadow state is not serialized). `ckpt_stop` is the
+  /// cooperative stop flag (typically ckpt::stop_flag()): when it fires the
+  /// active sub-run parks its state and throws ckpt::CheckpointStop.
+  std::string ckpt_dir;
+  Tick ckpt_interval = 1'000'000;
+  const volatile std::sig_atomic_t* ckpt_stop = nullptr;
 };
 
 /// One workload x scheme evaluation, averaged over eval_repeats slices.
@@ -89,6 +102,13 @@ class Experiment {
   [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
 
  private:
+  /// Checkpoint policy for one named sub-run; inert when ckpt_dir is empty
+  /// or the auditor is enabled. `context` becomes both the snapshot file
+  /// stem and part of the fingerprint, so snapshots from different sub-runs
+  /// can never be confused.
+  [[nodiscard]] ckpt::CheckpointPolicy policy_for(const std::string& context,
+                                                  ckpt::ResumeInfo* info) const;
+
   ExperimentConfig cfg_;
   std::mutex mu_;
   std::map<std::string, core::MeProfile> profiles_;

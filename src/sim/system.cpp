@@ -1,8 +1,11 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "ckpt/snapshot.hpp"
 #include "sim/watchdog.hpp"
 #include "trace/generator.hpp"
 #include "util/assert.hpp"
@@ -70,6 +73,8 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig& config,
 void MultiCoreSystem::wire(sched::Scheduler& scheduler,
                            const std::vector<double>& dispatch_ipc, std::uint64_t seed) {
   scheduler_ = &scheduler;
+  seed_ = seed;
+  dispatch_ipc_ = dispatch_ipc;
   dram_ = std::make_unique<dram::DramSystem>(config_.timing, config_.org,
                                              config_.interleave, config_.bank_xor);
   controller_ = std::make_unique<mc::MemoryController>(
@@ -95,10 +100,31 @@ void MultiCoreSystem::wire(sched::Scheduler& scheduler,
   });
 }
 
+std::string MultiCoreSystem::run_fingerprint(std::uint64_t target_insts,
+                                             std::uint64_t warmup_insts, Tick max_ticks,
+                                             const std::string& context) const {
+  std::ostringstream os;
+  os.precision(17);
+  os << config_.fingerprint() << "|sched=" << scheduler_->name() << "|seed=" << seed_
+     << "|ipc=";
+  for (std::size_t i = 0; i < dispatch_ipc_.size(); ++i) {
+    if (i) os << ',';
+    os << dispatch_ipc_[i];
+  }
+  os << "|target=" << target_insts << "|warmup=" << warmup_insts
+     << "|max_ticks=" << max_ticks << "|ctx=" << context;
+  return os.str();
+}
+
 RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_insts,
-                               Tick max_ticks) {
+                               Tick max_ticks, const ckpt::CheckpointPolicy& policy) {
   MEMSCHED_ASSERT(target_insts > 0, "target instruction count must be positive");
   const std::uint32_t n = config_.cores;
+  if (policy.enabled() && auditor_) {
+    throw std::invalid_argument(
+        "checkpointing requires audit off: the auditor's shadow state is not "
+        "serialized, so a resumed run could not keep verifying (disable one)");
+  }
 
   std::vector<std::uint64_t> goal(n, 0);     ///< committed count that ends the phase
   std::vector<CpuCycle> base_cycle(n, 0);    ///< measurement start per core
@@ -140,7 +166,159 @@ RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_
   Tick t = 0;
   Tick t_measure_start = 0;
   Tick visited = 0;
-  while (t < max_ticks) {
+  bool finished = false;  ///< loop ran to completion (restored or live)
+
+  // --- checkpoint plumbing -------------------------------------------------
+  // A snapshot is taken at the top of a loop iteration, before tick t is
+  // processed: every component is self-consistent and the resumed run
+  // re-enters the loop at the same t, replaying the exact tick stream (and
+  // RNG draws) of the uninterrupted run. The post-loop snapshot sets
+  // `finished`; resuming it skips the loop and recomputes the RunResult from
+  // the restored state, which is deterministic — so a killed-and-resumed run
+  // produces a byte-identical report.
+  const std::string fp = policy.enabled()
+                             ? run_fingerprint(target_insts, warmup_insts, max_ticks,
+                                               policy.context)
+                             : std::string{};
+
+  auto save_snapshot = [&] {
+    ckpt::Writer w;
+    w.begin_section("loop");
+    w.put_bool(finished);
+    w.put_u64(t);
+    w.put_u64(visited);
+    w.put_u64(t_measure_start);
+    w.put_bool(measuring);
+    w.put_u32(done_count);
+    w.put_u64(next_epoch);
+    w.put_u64_vec(goal);
+    w.put_u64_vec(base_cycle);
+    w.put_u64_vec(finish_cycle);
+    for (std::uint32_t c = 0; c < n; ++c) w.put_bool(done[c]);
+    w.put_u64_vec(epoch_insts);
+    w.put_u64_vec(epoch_bytes);
+    w.begin_section("sched");
+    scheduler_->save_state(w);
+    w.begin_section("cores");
+    for (std::uint32_t c = 0; c < n; ++c) {
+      cores_[c]->save_state(w);
+      streams_[c]->save_state(w);
+    }
+    w.begin_section("cache");
+    hierarchy_->save_state(w);
+    w.begin_section("mc");
+    controller_->save_state(w);
+    w.begin_section("dram");
+    dram_->save_state(w);
+    if (fault_) {
+      w.begin_section("fault");
+      fault_->save_state(w);
+    }
+    w.begin_section("watchdogs");
+    for (std::uint32_t c = 0; c < n; ++c) watchdogs[c].save_state(w);
+    w.save(policy.path, fp);
+  };
+
+  if (policy.enabled() && policy.resume &&
+      std::ifstream(policy.path, std::ios::binary).good()) {
+    if (policy.resume_info) *policy.resume_info = {};
+    bool mutated = false;  // components touched: a failure now is NOT recoverable
+    try {
+      ckpt::Reader r(policy.path, fp);
+      r.open_section("loop");
+      const bool was_finished = r.get_bool();
+      const Tick r_t = r.get_u64();
+      const Tick r_visited = r.get_u64();
+      const Tick r_tms = r.get_u64();
+      const bool r_measuring = r.get_bool();
+      const std::uint32_t r_done_count = r.get_u32();
+      const Tick r_next_epoch = r.get_u64();
+      const auto r_goal = r.get_u64_vec();
+      const auto r_base = r.get_u64_vec();
+      const auto r_finish = r.get_u64_vec();
+      if (r_goal.size() != n || r_base.size() != n || r_finish.size() != n) {
+        throw ckpt::SnapshotError("snapshot: loop-section core count mismatch");
+      }
+      std::vector<bool> r_done(n, false);
+      for (std::uint32_t c = 0; c < n; ++c) r_done[c] = r.get_bool();
+      auto r_epoch_insts = r.get_u64_vec();
+      auto r_epoch_bytes = r.get_u64_vec();
+      if (r_epoch_insts.size() != n || r_epoch_bytes.size() != n) {
+        throw ckpt::SnapshotError("snapshot: loop-section core count mismatch");
+      }
+      r.close_section();
+      mutated = true;
+      r.open_section("sched");
+      scheduler_->load_state(r);
+      r.close_section();
+      r.open_section("cores");
+      for (std::uint32_t c = 0; c < n; ++c) {
+        cores_[c]->load_state(r);
+        streams_[c]->load_state(r);
+      }
+      r.close_section();
+      r.open_section("cache");
+      hierarchy_->load_state(r);
+      r.close_section();
+      r.open_section("mc");
+      controller_->load_state(r);
+      r.close_section();
+      r.open_section("dram");
+      dram_->load_state(r);
+      r.close_section();
+      if (fault_) {
+        r.open_section("fault");
+        fault_->load_state(r);
+        r.close_section();
+      }
+      r.open_section("watchdogs");
+      for (std::uint32_t c = 0; c < n; ++c) watchdogs[c].load_state(r);
+      r.close_section();
+      finished = was_finished;
+      t = r_t;
+      visited = r_visited;
+      t_measure_start = r_tms;
+      measuring = r_measuring;
+      done_count = r_done_count;
+      next_epoch = r_next_epoch;
+      goal = r_goal;
+      base_cycle = r_base;
+      finish_cycle = r_finish;
+      done = r_done;
+      epoch_insts = std::move(r_epoch_insts);
+      epoch_bytes = std::move(r_epoch_bytes);
+      if (policy.resume_info) {
+        policy.resume_info->attempted = true;
+        policy.resume_info->resumed = true;
+      }
+    } catch (const ckpt::SnapshotError& e) {
+      if (mutated) throw;  // half-restored state cannot fall back cleanly
+      if (policy.resume_info) {
+        policy.resume_info->attempted = true;
+        policy.resume_info->resumed = false;
+        policy.resume_info->error = e.what();
+      }
+    }
+  }
+
+  Tick next_ckpt = kNeverTick;
+  if (policy.enabled() && policy.interval_ticks != 0) {
+    next_ckpt = (t / policy.interval_ticks + 1) * policy.interval_ticks;
+  }
+
+  while (!finished && t < max_ticks) {
+    if (policy.enabled()) {
+      const bool stop_now = (policy.stop != nullptr && *policy.stop != 0) ||
+                            (policy.stop_at_tick != 0 && t >= policy.stop_at_tick);
+      if (stop_now) {
+        if (policy.save_on_stop) save_snapshot();
+        throw ckpt::CheckpointStop(policy.path);
+      }
+      if (t >= next_ckpt) {
+        save_snapshot();
+        next_ckpt = (t / policy.interval_ticks + 1) * policy.interval_ticks;
+      }
+    }
     ++visited;
     hierarchy_->tick(t);
     controller_->tick(t);
@@ -212,6 +390,14 @@ RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_
     if (watchdogs[0].enabled())
       jump = std::min(jump, (t | kWatchdogPollMask) + 1);  // next poll boundary
     t = std::min(std::max(jump, t + 1), max_ticks);
+  }
+
+  if (!finished && policy.enabled()) {
+    // Park the completed state: a later invocation (e.g. an orchestrator
+    // retry of an already-finished point) resumes it and recomputes the
+    // identical result without re-simulating.
+    finished = true;
+    save_snapshot();
   }
 
   if (auditor_) auditor_->finalize(t);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "ckpt/policy.hpp"
 #include "cpu/core_model.hpp"
 #include "dram/dram_system.hpp"
 #include "mc/controller.hpp"
@@ -78,8 +79,18 @@ class MultiCoreSystem {
   ///      core's IPC is measured over exactly its target instructions, and
   ///      early finishers keep running (§4.1).
   /// `max_ticks` bounds the total run (RunResult::hit_tick_limit reports it).
+  ///
+  /// `policy` (optional) enables checkpoint/restore: the loop saves periodic
+  /// snapshots of the complete system state, attempts to resume from
+  /// `policy.path` on entry, and parks its state + throws ckpt::CheckpointStop
+  /// when the cooperative stop flag fires. A resumed run replays the exact
+  /// tick stream of the uninterrupted run — the final RunResult (and any JSON
+  /// serialization of it) is byte-identical. Checkpointing is rejected while
+  /// the invariant auditor is attached (its shadow state is not serialized,
+  /// so a resumed run could not keep verifying).
   RunResult run(std::uint64_t target_insts, std::uint64_t warmup_insts = 20'000,
-                Tick max_ticks = ~Tick{0} >> 1);
+                Tick max_ticks = ~Tick{0} >> 1,
+                const ckpt::CheckpointPolicy& policy = {});
 
   [[nodiscard]] const mc::MemoryController& controller() const { return *controller_; }
   [[nodiscard]] const cache::CacheHierarchy& hierarchy() const { return *hierarchy_; }
@@ -98,6 +109,12 @@ class MultiCoreSystem {
   void wire(sched::Scheduler& scheduler, const std::vector<double>& dispatch_ipc,
             std::uint64_t seed);
 
+  /// Snapshot fingerprint for one run() invocation: config + scheduler +
+  /// seed + dispatch rates + run parameters + policy context.
+  [[nodiscard]] std::string run_fingerprint(std::uint64_t target_insts,
+                                            std::uint64_t warmup_insts, Tick max_ticks,
+                                            const std::string& context) const;
+
   SystemConfig config_;
   std::vector<std::unique_ptr<trace::InstStream>> streams_;
   std::unique_ptr<dram::DramSystem> dram_;
@@ -107,6 +124,8 @@ class MultiCoreSystem {
   std::unique_ptr<verif::InvariantAuditor> auditor_;
   std::unique_ptr<mc::FaultInjector> fault_;
   sched::Scheduler* scheduler_ = nullptr;
+  std::uint64_t seed_ = 0;              ///< for the snapshot fingerprint
+  std::vector<double> dispatch_ipc_;    ///< ditto
 };
 
 }  // namespace memsched::sim

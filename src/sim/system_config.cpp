@@ -1,5 +1,7 @@
 #include "sim/system_config.hpp"
 
+#include <sstream>
+
 namespace memsched::sim {
 
 void SystemConfig::apply_speed_grade(const dram::SpeedGrade& grade) {
@@ -22,6 +24,53 @@ std::string SystemConfig::validate() const {
   if (epoch_ticks == 0) return "epoch_ticks must be nonzero";
   if (auto err = fault.validate(); !err.empty()) return err;
   return {};
+}
+
+std::string SystemConfig::fingerprint() const {
+  std::ostringstream os;
+  os.precision(17);  // doubles render losslessly
+  os << "cores=" << cores << ";cpu_ghz=" << cpu_ghz << ";cpu_ratio=" << cpu_ratio
+     << ";engine=" << engine_name(engine);
+  os << ";core=" << core.issue_width << ',' << core.rob_entries << ','
+     << core.lq_entries << ',' << core.sq_entries << ',' << core.l1d_mshr << ','
+     << core.l1i_mshr << ',' << (core.model_ifetch ? 1 : 0) << ','
+     << core.insts_per_fetch_line;
+  const auto cache_fp = [&os](const char* key, const cache::CacheConfig& c) {
+    os << ';' << key << '=' << c.size_bytes << ',' << c.ways << ',' << c.line_bytes
+       << ',' << c.hit_latency_cpu;
+  };
+  cache_fp("l1i", hierarchy.l1i);
+  cache_fp("l1d", hierarchy.l1d);
+  cache_fp("l2", hierarchy.l2);
+  os << ";hier=" << hierarchy.l2_mshr_entries << ',' << hierarchy.cpu_ratio << ','
+     << hierarchy.fill_return_cpu;
+  os << ";pf=" << (hierarchy.prefetch.enabled ? 1 : 0) << ','
+     << hierarchy.prefetch.degree << ',' << hierarchy.prefetch.table_entries << ','
+     << hierarchy.prefetch.min_confidence;
+  os << ";mc=" << controller.buffer_entries << ',' << controller.overhead_ticks << ','
+     << controller.drain_high << ',' << controller.drain_low << ','
+     << controller.cpu_ratio << ',' << (controller.forward_writes ? 1 : 0) << ','
+     << (controller.combine_writes ? 1 : 0) << ','
+     << static_cast<int>(controller.page_policy);
+  os << ";timing=" << timing.tCL << ',' << timing.tRCD << ',' << timing.tRP << ','
+     << timing.tRAS << ',' << timing.tWL << ',' << timing.tWR << ',' << timing.tWTR
+     << ',' << timing.tRTW << ',' << timing.tRTP << ',' << timing.tRRD << ','
+     << timing.tFAW << ',' << timing.tCCD << ',' << timing.tRTRS << ','
+     << timing.burst_cycles << ',' << (timing.refresh_enabled ? 1 : 0) << ','
+     << timing.tREFI << ',' << timing.tRFC;
+  os << ";org=" << org.channels << ',' << org.dimms_per_channel << ','
+     << org.banks_per_dimm << ',' << org.row_bytes << ',' << org.capacity_bytes;
+  os << ";map=" << static_cast<int>(interleave) << ',' << (bank_xor ? 1 : 0);
+  os << ";power=" << power.vdd << ',' << power.idd0 << ',' << power.idd2n << ','
+     << power.idd3n << ',' << power.idd4r << ',' << power.idd4w << ',' << power.idd5
+     << ',' << power.devices_per_rank << ',' << power.ranks_per_channel;
+  os << ";region=" << region_bytes_per_core << ";warm=" << (warm_caches ? 1 : 0)
+     << ";epoch=" << epoch_ticks << ";watchdog=" << progress_window_ticks;
+  os << ";fault=" << (fault.enabled ? 1 : 0) << ',' << fault.seed << ','
+     << fault.drop_read_prob << ',' << fault.drop_write_prob << ',' << fault.dup_prob
+     << ',' << fault.delay_prob << ',' << fault.delay_ticks_max << ','
+     << fault.stall_prob << ',' << fault.stall_ticks;
+  return os.str();
 }
 
 }  // namespace memsched::sim

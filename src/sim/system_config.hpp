@@ -76,6 +76,13 @@ struct SystemConfig {
 
   /// Consistency check; returns an error message or empty string.
   [[nodiscard]] std::string validate() const;
+
+  /// Canonical key=value rendering of every result-affecting field (engine
+  /// included — cycle and skip produce identical results, but a snapshot's
+  /// visited-tick counter differs, so cross-engine resume must invalidate).
+  /// Mixed into snapshot fingerprints; the audit block is deliberately
+  /// excluded (verification-only, and checkpointing requires audit off).
+  [[nodiscard]] std::string fingerprint() const;
 };
 
 }  // namespace memsched::sim

@@ -1,5 +1,6 @@
 #include "sim/watchdog.hpp"
 
+#include "ckpt/snapshot.hpp"
 #include "mc/controller.hpp"
 #include "sched/scheduler.hpp"
 
@@ -18,6 +19,16 @@ void ProgressWatchdog::raise(const std::string& context, const mc::MemoryControl
       std::to_string(window_) + " bus ticks (stalled since tick " +
       std::to_string(last_move_tick_) + ", scheduler " + scheduler.name() + ")";
   throw LivelockError(what, now, mc.dump_state(now));
+}
+
+void ProgressWatchdog::save_state(ckpt::Writer& w) const {
+  w.put_u64(last_move_tick_);
+  w.put_u64(last_progress_);
+}
+
+void ProgressWatchdog::load_state(ckpt::Reader& r) {
+  last_move_tick_ = r.get_u64();
+  last_progress_ = r.get_u64();
 }
 
 }  // namespace memsched::sim

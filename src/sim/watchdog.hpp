@@ -26,6 +26,10 @@ class MemoryController;
 namespace memsched::sched {
 class Scheduler;
 }
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
 
 namespace memsched::sim {
 
@@ -80,6 +84,11 @@ class ProgressWatchdog {
   /// Throws LivelockError with the controller state dump appended.
   [[noreturn]] void raise(const std::string& context, const mc::MemoryController& mc,
                           const sched::Scheduler& scheduler, Tick now) const;
+
+  // --- checkpoint/restore (progress cursor, so a resumed run's livelock
+  // window is measured exactly as the uninterrupted run would) ---
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   Tick window_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::trace {
@@ -153,6 +154,38 @@ InstRecord SyntheticStream::next() {
 
   if (gap_refs_remaining_ != ~std::uint64_t{0}) --gap_refs_remaining_;
   return hot_ref();
+}
+
+void SyntheticStream::save_state(ckpt::Writer& w) const {
+  w.put_rng(rng_);
+  w.put_bool(in_phase_);
+  w.put_u64(phase_lines_remaining_);
+  w.put_u64(gap_refs_remaining_);
+  w.put_u32(line_refs_remaining_);
+  w.put_u32(rotor_);
+  w.put_u64(current_line_);
+  w.put_bool(line_dirty_pending_);
+  w.put_u64_vec(stream_pos_);
+  w.put_u64(insts_);
+  w.put_u64(fresh_lines_);
+}
+
+void SyntheticStream::load_state(ckpt::Reader& r) {
+  r.get_rng(rng_);
+  in_phase_ = r.get_bool();
+  phase_lines_remaining_ = r.get_u64();
+  gap_refs_remaining_ = r.get_u64();
+  line_refs_remaining_ = r.get_u32();
+  rotor_ = r.get_u32();
+  current_line_ = r.get_u64();
+  line_dirty_pending_ = r.get_bool();
+  const auto pos = r.get_u64_vec();
+  if (pos.size() != stream_pos_.size()) {
+    throw ckpt::SnapshotError("snapshot: stream cursor count mismatch");
+  }
+  stream_pos_ = pos;
+  insts_ = r.get_u64();
+  fresh_lines_ = r.get_u64();
 }
 
 }  // namespace memsched::trace

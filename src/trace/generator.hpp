@@ -46,6 +46,10 @@ class SyntheticStream final : public InstStream {
   [[nodiscard]] std::uint64_t fresh_lines_emitted() const { return fresh_lines_; }
   [[nodiscard]] std::uint64_t insts_emitted() const { return insts_; }
 
+  // --- checkpoint/restore (RNG + phase state; profile/layout are config) ---
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
+
  private:
   void begin_phase();
   InstRecord stream_ref();

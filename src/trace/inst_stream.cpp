@@ -1,0 +1,17 @@
+#include "trace/inst_stream.hpp"
+
+#include "ckpt/snapshot.hpp"
+
+namespace memsched::trace {
+
+void InstStream::save_state(ckpt::Writer& /*w*/) const {
+  throw ckpt::SnapshotError("snapshot: this instruction stream type does not "
+                            "support checkpointing");
+}
+
+void InstStream::load_state(ckpt::Reader& /*r*/) {
+  throw ckpt::SnapshotError("snapshot: this instruction stream type does not "
+                            "support checkpointing");
+}
+
+}  // namespace memsched::trace

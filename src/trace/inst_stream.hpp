@@ -10,6 +10,11 @@
 
 #include "util/types.hpp"
 
+namespace memsched::ckpt {
+class Writer;
+class Reader;
+}  // namespace memsched::ckpt
+
 namespace memsched::trace {
 
 enum class InstClass : std::uint8_t {
@@ -41,6 +46,12 @@ class InstStream {
 
   /// Base address of the code region.
   [[nodiscard]] virtual Addr code_base() const { return 0; }
+
+  /// Checkpoint/restore of the stream's position. The defaults throw
+  /// ckpt::SnapshotError: a stream type must opt in explicitly, because a
+  /// silently-unsaved stream would desynchronize a resumed run.
+  virtual void save_state(ckpt::Writer& w) const;
+  virtual void load_state(ckpt::Reader& r);
 };
 
 }  // namespace memsched::trace

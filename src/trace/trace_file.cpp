@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "ckpt/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace memsched::trace {
@@ -202,6 +203,20 @@ InstRecord ReplayStream::next() {
 void ReplayStream::reset(std::uint64_t /*seed*/) {
   pos_ = 0;
   wraps_ = 0;
+}
+
+void ReplayStream::save_state(ckpt::Writer& w) const {
+  w.put_u64(pos_);
+  w.put_u64(wraps_);
+}
+
+void ReplayStream::load_state(ckpt::Reader& r) {
+  const std::uint64_t pos = r.get_u64();
+  if (pos >= records_.size()) {
+    throw ckpt::SnapshotError("snapshot: replay cursor out of range");
+  }
+  pos_ = static_cast<std::size_t>(pos);
+  wraps_ = r.get_u64();
 }
 
 }  // namespace memsched::trace

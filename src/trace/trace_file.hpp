@@ -41,6 +41,10 @@ class ReplayStream final : public InstStream {
   [[nodiscard]] std::size_t length() const { return records_.size(); }
   [[nodiscard]] std::uint64_t wraps() const { return wraps_; }
 
+  // --- checkpoint/restore (replay cursor) ---
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
+
  private:
   std::vector<InstRecord> records_;
   std::size_t pos_ = 0;

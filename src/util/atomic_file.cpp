@@ -1,0 +1,61 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace memsched::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("atomic_write_file: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const void* data, std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create", tmp);
+
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = size;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      fail("write error on", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // The rename only commits bytes that are already durable; without the
+  // fsync a power cut could publish a complete-looking but empty file.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    fail("fsync error on", tmp);
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    fail("close error on", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename over", path);
+  }
+}
+
+void atomic_write_file(const std::string& path, const std::string& data) {
+  atomic_write_file(path, data.data(), data.size());
+}
+
+}  // namespace memsched::util

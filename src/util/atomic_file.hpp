@@ -1,0 +1,24 @@
+// Atomic, durable file replacement.
+//
+// Crash-safe persistence primitive shared by the sweep manifest and the
+// simulator snapshot writer: the payload is written to `path + ".tmp"`,
+// fsync()ed so the bytes are on stable storage, then rename()d over `path`.
+// A crash at any instant leaves either the previous complete file or the new
+// complete file — never a torn mix — which is what lets a killed sweep or
+// simulation trust whatever checkpoint it finds on restart.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace memsched::util {
+
+/// Atomically replaces `path` with `size` bytes from `data` (tmp + fsync +
+/// rename). Throws std::runtime_error on any I/O failure; on failure the
+/// previous contents of `path`, if any, are untouched.
+void atomic_write_file(const std::string& path, const void* data, std::size_t size);
+
+/// String convenience overload.
+void atomic_write_file(const std::string& path, const std::string& data);
+
+}  // namespace memsched::util

@@ -50,6 +50,16 @@ class Xoshiro256 {
   /// of the same parent deterministically.
   Xoshiro256 fork(std::uint64_t stream);
 
+  /// Raw state access for checkpoint/restore. A restored generator continues
+  /// the exact output sequence of the saved one.
+  struct State {
+    std::uint64_t s[4];
+  };
+  [[nodiscard]] State state() const { return {{s_[0], s_[1], s_[2], s_[3]}}; }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  }
+
  private:
   std::uint64_t s_[4];
 };

@@ -23,6 +23,22 @@ class RunningStat {
   [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const { return sum_; }
 
+  /// Raw-field access for checkpoint/restore. `raw_min`/`raw_max` bypass the
+  /// n==0 masking in min()/max() so an empty stat round-trips exactly.
+  [[nodiscard]] double raw_mean() const { return mean_; }
+  [[nodiscard]] double raw_m2() const { return m2_; }
+  [[nodiscard]] double raw_min() const { return min_; }
+  [[nodiscard]] double raw_max() const { return max_; }
+  void restore(std::uint64_t n, double mean, double m2, double mn, double mx,
+               double sum) {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = mn;
+    max_ = mx;
+    sum_ = sum;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -54,6 +70,15 @@ class Histogram {
   /// Value below which fraction q of samples fall (linear interpolation
   /// within a bucket). q in [0,1].
   [[nodiscard]] double quantile(double q) const;
+
+  /// Checkpoint/restore: geometry (width, bucket count) is construction-time
+  /// config and must already match; only the sample counts are restored.
+  void restore(const std::vector<std::uint64_t>& buckets, std::uint64_t overflow,
+               std::uint64_t total) {
+    buckets_ = buckets;
+    overflow_ = overflow;
+    total_ = total;
+  }
 
  private:
   double width_;

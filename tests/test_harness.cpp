@@ -5,10 +5,12 @@
 
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "harness/fingerprint.hpp"
 #include "harness/guarded_main.hpp"
 #include "harness/manifest.hpp"
 #include "harness/orchestrator.hpp"
@@ -451,4 +453,108 @@ TEST(Orchestrator, ExecPointRunsExternalBinary) {
   EXPECT_EQ(s.ok, 1u);
   EXPECT_EQ(s.failed, 1u);
   EXPECT_EQ(orch.manifest().find("usage-cmd")->category, "usage");
+}
+
+// ---------------------------------------------------------------------------
+// Sweep fingerprinting (regression): the grid fingerprint is built on
+// SystemConfig::fingerprint(), so EVERY result-affecting knob participates.
+// The engine= knob shipped after the sweep tool froze its original inline
+// fingerprint list — resuming a skip-engine manifest with engine=cycle then
+// silently mixed incompatible points. These tests pin the fix.
+
+TEST(GridFingerprint, EngineChangeInvalidates) {
+  sim::ExperimentConfig cfg;
+  const mc::FaultConfig no_fault;
+  cfg.base.engine = sim::Engine::kSkip;
+  const std::string skip =
+      harness::grid_fingerprint(cfg, "2MEM-1", "HF-RF", no_fault, "");
+  cfg.base.engine = sim::Engine::kCycle;
+  const std::string cycle =
+      harness::grid_fingerprint(cfg, "2MEM-1", "HF-RF", no_fault, "");
+  EXPECT_NE(skip, cycle);
+}
+
+TEST(GridFingerprint, StableForIdenticalConfigs) {
+  sim::ExperimentConfig a, b;
+  const mc::FaultConfig no_fault;
+  EXPECT_EQ(harness::grid_fingerprint(a, "2MEM-1,4MIX-1", "HF-RF", no_fault, ""),
+            harness::grid_fingerprint(b, "2MEM-1,4MIX-1", "HF-RF", no_fault, ""));
+}
+
+TEST(GridFingerprint, EveryResultAffectingKnobParticipates) {
+  const mc::FaultConfig no_fault;
+  const auto fp = [&no_fault](const sim::ExperimentConfig& c) {
+    return harness::grid_fingerprint(c, "2MEM-1", "HF-RF", no_fault, "");
+  };
+  const sim::ExperimentConfig base;
+  sim::ExperimentConfig m = base;
+  m.warmup_insts += 1;
+  EXPECT_NE(fp(m), fp(base));
+  m = base;
+  m.base.progress_window_ticks += 1;
+  EXPECT_NE(fp(m), fp(base));
+  m = base;
+  m.base.timing.tCL += 1;
+  EXPECT_NE(fp(m), fp(base));
+  m = base;
+  m.eval_seed += 1;
+  EXPECT_NE(fp(m), fp(base));
+  m = base;
+  mc::FaultConfig fault;
+  fault.enabled = true;
+  fault.delay_prob = 0.5;
+  EXPECT_NE(harness::grid_fingerprint(base, "2MEM-1", "HF-RF", fault, ""),
+            fp(base));
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator checkpoint plumbing.
+
+TEST(Orchestrator, BodyCkptGetsDirKeptAcrossRetriesRemovedOnSuccess) {
+  harness::OrchestratorConfig oc = quick_config("body_ckpt");
+  oc.isolate = false;
+  oc.max_attempts = 2;
+  harness::PointSpec p;
+  p.name = "ckpt-point";
+  // First attempt writes a marker into the per-point checkpoint dir and
+  // fails; the retry must see the SAME dir with the marker intact (that is
+  // what lets a real point resume from its snapshot), then succeed.
+  p.body_ckpt = [](const std::string& ckpt_dir) {
+    const std::string marker = ckpt_dir + "/marker";
+    if (!std::ifstream(marker).good()) {
+      std::ofstream(marker) << "attempt1";
+      throw std::runtime_error("first attempt dies after checkpointing");
+    }
+    util::Json j = util::Json::object();
+    j["resumed_from_marker"] = true;
+    return j;
+  };
+  harness::Orchestrator orch(oc);
+  const harness::SweepSummary s = orch.run({p});
+  EXPECT_EQ(s.ok, 1u);
+  const harness::PointRecord* rec = orch.manifest().find("ckpt-point");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->attempts, 2u);
+  // The checkpoint dir is torn down once the point lands.
+  EXPECT_FALSE(std::ifstream(oc.work_dir + "/point-0.ckpt.d/marker").good());
+}
+
+TEST(Orchestrator, ChildExitSixStopsSweepWithoutRecording) {
+  harness::OrchestratorConfig oc = quick_config("interrupt6");
+  oc.manifest_path = tmp_path("interrupt6.manifest");
+  std::remove(oc.manifest_path.c_str());
+  harness::PointSpec a = ok_point("first", 1.0);
+  harness::PointSpec b;
+  b.name = "parked";
+  b.argv = {"/bin/sh", "-c", "exit 6"};  // kExitInterrupted contract
+  harness::PointSpec c = ok_point("never-reached", 3.0);
+  harness::Orchestrator orch(oc);
+  const harness::SweepSummary s = orch.run({a, b, c});
+  EXPECT_TRUE(s.interrupted);
+  EXPECT_FALSE(s.complete());
+  EXPECT_EQ(s.ok, 1u);
+  // The parked point is NOT recorded: the next invocation re-runs it (and a
+  // real simulation then resumes from its snapshot).
+  EXPECT_EQ(orch.manifest().find("parked"), nullptr);
+  EXPECT_EQ(orch.manifest().find("never-reached"), nullptr);
 }

@@ -9,9 +9,11 @@
 //   memsched_sim list
 //       Print the scheme names and the Table-3 workload catalog.
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 
+#include "ckpt/signal.hpp"
 #include "core/scheduler_factory.hpp"
 #include "harness/guarded_main.hpp"
 #include "sim/engine.hpp"
@@ -31,6 +33,8 @@ namespace {
                "          [seed=2002] [profile_insts=1000000] [warmup=20000]\n"
                "          [interleave=hybrid|line|page] [grade=DDR2-800] [json=path]\n"
                "          [engine=skip|cycle]   (time advancement; results identical)\n"
+               "          [ckpt_dir=path] [ckpt_interval=N]   (checkpoint/restore;\n"
+               "          SIGTERM/SIGINT parks state for resume, exit code 6)\n"
                "  profile app=swim|all [insts=1000000] [seed=1001]\n"
                "  list\n");
   throw std::invalid_argument("bad command line (see usage above)");
@@ -38,8 +42,8 @@ namespace {
 
 // Shared simulation knobs accepted by both run and profile.
 const std::vector<std::string_view> kConfigKeys = {
-    "insts", "repeats", "warmup", "profile_insts", "seed",
-    "profile_seed", "interleave", "bank_xor", "grade", "engine"};
+    "insts", "repeats", "warmup", "profile_insts", "seed", "profile_seed",
+    "interleave", "bank_xor", "grade", "engine", "ckpt_dir", "ckpt_interval"};
 
 std::vector<std::string_view> with_config_keys(std::vector<std::string_view> extra) {
   extra.insert(extra.end(), kConfigKeys.begin(), kConfigKeys.end());
@@ -63,6 +67,10 @@ sim::ExperimentConfig config_from(const util::Config& cli) {
   if (cli.has("grade")) {
     cfg.base.apply_speed_grade(dram::SpeedGrade::by_name(cli.get_string("grade", "")));
   }
+  cfg.ckpt_dir = cli.get_string("ckpt_dir", "");
+  if (!cfg.ckpt_dir.empty()) std::filesystem::create_directories(cfg.ckpt_dir);
+  cfg.ckpt_interval = cli.get_uint("ckpt_interval", cfg.ckpt_interval);
+  cfg.ckpt_stop = &ckpt::stop_flag();
   return cfg;
 }
 
@@ -138,6 +146,10 @@ int cmd_list() {
 
 int main(int argc, char** argv) {
   return harness::guarded_main("memsched_sim", [&] {
+    // SIGTERM/SIGINT → graceful stop: with ckpt_dir= set the active run
+    // parks its state in a snapshot and the tool exits "interrupted" (6);
+    // re-running the same command resumes and produces identical output.
+    ckpt::install_stop_handlers();
     if (argc < 2) usage();
     const std::string cmd = argv[1];
     util::Config cli;

@@ -18,9 +18,12 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/signal.hpp"
 #include "harness/bench_registry.hpp"
+#include "harness/fingerprint.hpp"
 #include "harness/guarded_main.hpp"
 #include "harness/orchestrator.hpp"
+#include "sim/engine.hpp"
 #include "sim/experiment.hpp"
 #include "sim/json_report.hpp"
 #include "sim/workloads.hpp"
@@ -36,7 +39,8 @@ int usage() {
       "usage: memsched_sweep <grid|benches> [key=value...]\n"
       "  grid     workloads=A,B,... schemes=S1,S2,... [insts=N] [repeats=N]\n"
       "           [warmup=N] [profile_insts=N] [seed=N] [profile_seed=N]\n"
-      "           [interleave=hybrid|line|page] [verify=0|1] [progress_window=N]\n"
+      "           [interleave=hybrid|line|page] [engine=skip|cycle] [verify=0|1]\n"
+      "           [progress_window=N] [ckpt=0|1] [ckpt_interval=N]\n"
       "           [fault=0|1] [fault.seed=N] [fault.drop_read=P] [fault.drop_write=P]\n"
       "           [fault.dup=P] [fault.delay=P] [fault.delay_max=N] [fault.stall=P]\n"
       "           [fault.stall_ticks=N] [fault.points=name1,name2,...]\n"
@@ -90,11 +94,19 @@ harness::OrchestratorConfig orchestrator_from(const util::Config& cli,
   oc.isolate = cli.get_bool("isolate", true);
   oc.stop_after = static_cast<std::uint32_t>(cli.get_uint("stop_after", 0));
   oc.verbose = !cli.get_bool("quiet", false);
+  oc.stop = &ckpt::stop_flag();
   return oc;
 }
 
 int finish(const util::Config& cli, harness::Orchestrator& orch,
            const harness::SweepSummary& s) {
+  if (s.interrupted) {
+    // Manifest is already checkpointed per point; the interrupted point's
+    // snapshot is parked in its work dir. No report for a partial sweep.
+    std::printf("sweep: interrupted; %zu points recorded, resume by re-running\n",
+                orch.manifest().size());
+    return harness::kExitInterrupted;
+  }
   if (const std::string path = cli.get_string("report", ""); !path.empty()) {
     orch.report().write_file(path);
     std::printf("report: %s\n", path.c_str());
@@ -116,9 +128,10 @@ int finish(const util::Config& cli, harness::Orchestrator& orch,
 int cmd_grid(const util::Config& cli) {
   if (const auto err = cli.check_known(
           {"workloads", "schemes", "insts", "repeats", "warmup", "profile_insts",
-           "seed", "profile_seed", "interleave", "verify", "progress_window",
-           "fault", "manifest", "report", "timeout", "attempts", "backoff",
-           "isolate", "stop_after", "strict", "quiet"},
+           "seed", "profile_seed", "interleave", "engine", "verify",
+           "progress_window", "ckpt", "ckpt_interval", "fault", "manifest",
+           "report", "timeout", "attempts", "backoff", "isolate", "stop_after",
+           "strict", "quiet"},
           {"fault."})) {
     throw std::invalid_argument(*err);
   }
@@ -135,9 +148,14 @@ int cmd_grid(const util::Config& cli) {
   else if (il == "page") cfg.base.interleave = dram::Interleave::kPageInterleave;
   else if (il == "hybrid") cfg.base.interleave = dram::Interleave::kHybrid;
   else throw std::invalid_argument("unknown interleave '" + il + "'");
+  cfg.base.engine = sim::engine_from_string(cli.get_string("engine", "skip"));
   cfg.base.audit.enabled = cli.get_bool("verify", cfg.base.audit.enabled);
   cfg.base.progress_window_ticks =
       cli.get_uint("progress_window", cfg.base.progress_window_ticks);
+  // Per-point checkpointing defaults on; degraded off under verify= (the
+  // auditor's shadow state is not serialized, so the pair is incompatible).
+  const bool ckpt_on = cli.get_bool("ckpt", true) && !cfg.base.audit.enabled;
+  const Tick ckpt_interval = cli.get_uint("ckpt_interval", 1'000'000);
 
   const mc::FaultConfig fault = fault_from(cli);
   const std::vector<std::string> fault_points =
@@ -158,25 +176,13 @@ int cmd_grid(const util::Config& cli) {
   if (workloads.empty() || schemes.empty()) return usage();
 
   // The fingerprint ties a manifest to the sweep definition; every knob that
-  // changes a point's *result* belongs in it.
-  std::string fp = "grid|w=" + cli.get_string("workloads", "2MEM-1") +
-                   "|s=" + cli.get_string("schemes", "HF-RF,ME-LREQ") +
-                   "|insts=" + std::to_string(cfg.eval_insts) +
-                   "|repeats=" + std::to_string(cfg.eval_repeats) +
-                   "|seed=" + std::to_string(cfg.eval_seed) +
-                   "|profile=" + std::to_string(cfg.profile_insts) + "," +
-                   std::to_string(cfg.profile_seed) + "|il=" + il +
-                   "|verify=" + (cfg.base.audit.enabled ? "1" : "0");
-  if (fault.enabled) {
-    char buf[160];
-    std::snprintf(buf, sizeof buf,
-                  "|fault=seed:%llu,dr:%g,dw:%g,dup:%g,dl:%g/%u,st:%g/%u,pts:%s",
-                  static_cast<unsigned long long>(fault.seed), fault.drop_read_prob,
-                  fault.drop_write_prob, fault.dup_prob, fault.delay_prob,
-                  fault.delay_ticks_max, fault.stall_prob, fault.stall_ticks,
-                  cli.get_string("fault.points", "").c_str());
-    fp += buf;
-  }
+  // changes a point's *result* belongs in it. grid_fingerprint builds it on
+  // top of SystemConfig::fingerprint() so new simulator knobs (engine=, ...)
+  // can never silently drop out of it again.
+  const std::string fp = harness::grid_fingerprint(
+      cfg, cli.get_string("workloads", "2MEM-1"),
+      cli.get_string("schemes", "HF-RF,ME-LREQ"), fault,
+      cli.get_string("fault.points", ""));
 
   std::vector<harness::PointSpec> points;
   for (const std::string& wname : workloads) {
@@ -184,7 +190,8 @@ int cmd_grid(const util::Config& cli) {
       harness::PointSpec p;
       p.name = wname + "/" + scheme;
       const bool chaos = fault_targets(p.name);
-      p.body = [cfg, wname, scheme, fault, chaos]() {
+      auto payload_for = [cfg, wname, scheme, fault, chaos,
+                          ckpt_interval](const std::string& ckpt_dir) {
         sim::ExperimentConfig point_cfg = cfg;
         if (chaos) {
           point_cfg.base.fault = fault;
@@ -192,6 +199,11 @@ int cmd_grid(const util::Config& cli) {
           // verification layer, not abort the child before the watchdogs get
           // to demonstrate containment.
           point_cfg.base.audit.abort_on_violation = false;
+        }
+        if (!ckpt_dir.empty()) {
+          point_cfg.ckpt_dir = ckpt_dir;
+          point_cfg.ckpt_interval = ckpt_interval;
+          point_cfg.ckpt_stop = &ckpt::stop_flag();
         }
         sim::Experiment exp(point_cfg);
         const sim::Workload w = sim::resolve_workload(wname);
@@ -207,6 +219,11 @@ int cmd_grid(const util::Config& cli) {
         payload["bus_utilization"] = r.bus_utilization;
         return payload;
       };
+      if (ckpt_on) {
+        p.body_ckpt = payload_for;
+      } else {
+        p.body = [payload_for]() { return payload_for(std::string{}); };
+      }
       points.push_back(std::move(p));
     }
   }
@@ -244,6 +261,10 @@ int cmd_benches(const util::Config& cli) {
 
 int main(int argc, char** argv) {
   return harness::guarded_main("memsched_sweep", [&] {
+    // SIGTERM/SIGINT → graceful stop: the running child checkpoints its
+    // simulation state, the manifest keeps every completed point, and the
+    // sweep exits with the "interrupted" contract code (6).
+    ckpt::install_stop_handlers();
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
     util::Config cli;
