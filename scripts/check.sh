@@ -47,6 +47,11 @@ echo "== tool smoke =="
 rm -f /tmp/check_trace.bin
 echo "  tools ok"
 
+# The bench-smoke MEMSCHED_VERIFY export must not leak into the smoke
+# scripts below: checkpointing is inert under the auditor, and the ckpt and
+# parallel-sweep smokes wait on snapshot files appearing.
+unset MEMSCHED_VERIFY
+
 echo "== chaos smoke (fault injection + kill/resume, see docs/robustness.md) =="
 scripts/chaos_smoke.sh build > /dev/null
 echo "  chaos smoke ok"
@@ -54,6 +59,14 @@ echo "  chaos smoke ok"
 echo "== ckpt smoke (SIGKILL/SIGTERM + snapshot resume, see docs/robustness.md) =="
 scripts/ckpt_smoke.sh build > /dev/null
 echo "  ckpt smoke ok"
+
+echo "== parallel sweep smoke (jobs=N determinism + worker loss, see docs/performance.md) =="
+scripts/parallel_sweep_smoke.sh build > /dev/null
+echo "  parallel sweep smoke ok"
+
+echo "== sweep scaling (wall-clock at jobs=1/2/4 -> BENCH_sweep.json) =="
+python3 scripts/check_sweep_scaling.py build --out /tmp/BENCH_sweep.json
+rm -f /tmp/BENCH_sweep.json
 
 # Soft line-coverage floor for src/ (enforced by the CI coverage job via
 # scripts/coverage.sh). Not run here by default — it rebuilds the whole tree

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Measure sweep wall-clock at jobs=1/2/4 and emit BENCH_sweep.json.
+
+Runs a fixed 12-point sensitivity-style grid through tools/memsched_sweep at
+each pool width, records end-to-end wall-clock, and cross-checks that every
+width produces byte-identical reports (the pool's determinism contract).
+
+The speedup gate (>= MIN_SPEEDUP at jobs=4) is enforced only on machines with
+4+ CPUs; narrower machines cannot physically exhibit the scaling, so there the
+script records the measurements and passes.
+
+Usage: scripts/check_sweep_scaling.py [build-dir] [--out BENCH_sweep.json]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+GRID = [
+    "workloads=2MEM-1,4MEM-1,2MIX-1",
+    "schemes=HF-RF,ME-LREQ,FCFS,FCFS-RF",
+    "insts=40000",
+    "profile_insts=60000",
+    "repeats=1",
+    "timeout=240",
+    "quiet=1",
+]
+JOBS = [1, 2, 4]
+MIN_SPEEDUP = 3.0  # required at jobs=4, on 4+-core machines only
+MIN_GATE_CPUS = 4
+
+
+def run_sweep(sweep, jobs, workdir):
+    manifest = os.path.join(workdir, f"jobs{jobs}.manifest.json")
+    report = os.path.join(workdir, f"jobs{jobs}.report.json")
+    start = time.monotonic()
+    subprocess.run(
+        [sweep, "grid", *GRID, f"jobs={jobs}", f"manifest={manifest}",
+         f"report={report}"],
+        check=True,
+        stdout=subprocess.DEVNULL,
+    )
+    wall_s = time.monotonic() - start
+    with open(report, "rb") as f:
+        return wall_s, f.read()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir", nargs="?", default="build")
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    args = parser.parse_args()
+
+    sweep = os.path.join(args.build_dir, "tools", "memsched_sweep")
+    if not os.access(sweep, os.X_OK):
+        print(f"check_sweep_scaling: {sweep} not built", file=sys.stderr)
+        return 1
+
+    cpus = os.cpu_count() or 1
+    walls = {}
+    reports = {}
+    with tempfile.TemporaryDirectory() as workdir:
+        for jobs in JOBS:
+            wall_s, report_bytes = run_sweep(sweep, jobs, workdir)
+            walls[jobs] = wall_s
+            reports[jobs] = report_bytes
+            print(f"  jobs={jobs}: {wall_s:.2f} s wall")
+
+    for jobs in JOBS[1:]:
+        if reports[jobs] != reports[JOBS[0]]:
+            print(f"SWEEP SCALING: FAIL (report at jobs={jobs} is not "
+                  f"byte-identical to jobs={JOBS[0]})", file=sys.stderr)
+            return 1
+
+    speedups = {jobs: walls[JOBS[0]] / walls[jobs] for jobs in JOBS}
+    doc = {
+        "schema": "memsched-bench-sweep-v1",
+        "grid": GRID,
+        "cpus": cpus,
+        "wall_s": {str(j): round(walls[j], 3) for j in JOBS},
+        "speedup_vs_serial": {str(j): round(speedups[j], 3) for j in JOBS},
+        "gate": {
+            "min_speedup_at_jobs4": MIN_SPEEDUP,
+            "enforced": cpus >= MIN_GATE_CPUS,
+        },
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"  wrote {args.out}")
+
+    if cpus >= MIN_GATE_CPUS:
+        if speedups[4] < MIN_SPEEDUP:
+            print(f"SWEEP SCALING: FAIL (jobs=4 speedup {speedups[4]:.2f}x "
+                  f"< {MIN_SPEEDUP}x on a {cpus}-CPU machine)",
+                  file=sys.stderr)
+            return 1
+        print(f"SWEEP SCALING: OK (jobs=4 speedup {speedups[4]:.2f}x "
+              f">= {MIN_SPEEDUP}x on {cpus} CPUs)")
+    else:
+        print(f"SWEEP SCALING: OK (measurements recorded; speedup gate "
+              f"needs {MIN_GATE_CPUS}+ CPUs, this machine has {cpus})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

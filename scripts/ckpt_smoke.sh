@@ -17,6 +17,12 @@
 # Usage: scripts/ckpt_smoke.sh [build-dir]   (default: build)
 set -eu
 
+# Checkpointing deliberately degrades to off while the invariant auditor is
+# attached (its shadow state is not snapshotted — see Experiment::policy_for),
+# so an inherited MEMSCHED_VERIFY=1 would leave the snapshot wait loops below
+# spinning forever. Pin it off for these runs.
+unset MEMSCHED_VERIFY 2> /dev/null || true
+
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 SIM="$BUILD/tools/memsched_sim"

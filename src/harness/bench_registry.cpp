@@ -3,16 +3,24 @@
 namespace memsched::harness {
 
 const std::vector<BenchEntry>& bench_registry() {
+  // cost_weight ~ (instructions per point) x (points in the bench's grid),
+  // normalized to fig2. Only the relative order matters: the parallel sweep
+  // launches the heaviest benches first so the pool never ends with one
+  // long-running straggler on a lone worker.
   static const std::vector<BenchEntry> registry = {
-      {"table2_memory_efficiency", {"insts=40000", "repeats=1", "profile_insts=100000"}},
-      {"fig2_smt_speedup", {"insts=30000", "repeats=1", "profile_insts=80000"}},
-      {"fig3_fixed_priority", {"insts=40000", "repeats=1", "profile_insts=100000"}},
-      {"fig4_read_latency", {"insts=40000", "repeats=1", "profile_insts=100000"}},
-      {"fig5_fairness", {"insts=40000", "repeats=1", "profile_insts=100000"}},
-      {"ablation_design_choices", {"insts=30000", "repeats=1", "profile_insts=80000"}},
-      {"power_efficiency", {"insts=30000", "repeats=1", "profile_insts=80000"}},
-      {"sensitivity_sweep", {"insts=20000", "repeats=1", "profile_insts=60000"}},
-      {"latency_curves", {}},
+      {"table2_memory_efficiency",
+       {"insts=40000", "repeats=1", "profile_insts=100000"}, 4.0},
+      {"fig2_smt_speedup", {"insts=30000", "repeats=1", "profile_insts=80000"}, 1.0},
+      {"fig3_fixed_priority",
+       {"insts=40000", "repeats=1", "profile_insts=100000"}, 4.0},
+      {"fig4_read_latency",
+       {"insts=40000", "repeats=1", "profile_insts=100000"}, 4.0},
+      {"fig5_fairness", {"insts=40000", "repeats=1", "profile_insts=100000"}, 4.0},
+      {"ablation_design_choices",
+       {"insts=30000", "repeats=1", "profile_insts=80000"}, 2.0},
+      {"power_efficiency", {"insts=30000", "repeats=1", "profile_insts=80000"}, 2.0},
+      {"sensitivity_sweep", {"insts=20000", "repeats=1", "profile_insts=60000"}, 6.0},
+      {"latency_curves", {}, 0.5},
   };
   return registry;
 }

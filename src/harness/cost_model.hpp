@@ -1,0 +1,82 @@
+// Per-point cost model for the parallel sweep executor.
+//
+// The pool dispatches longest-expected-first: with N workers, launching the
+// slowest points first minimises the makespan tail (the classic LPT
+// list-scheduling heuristic). Expected cost comes from the timing sidecar of
+// a previous run of the same sweep (<manifest>.timing.json, written after
+// every sweep) and falls back to the caller-supplied static hint (the grid
+// builder uses trace length x core count; the bench registry carries
+// relative weights). Estimates only order dispatch — they never touch the
+// manifest or report, so a wrong estimate costs wall clock, not correctness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memsched::harness {
+
+class CostModel {
+ public:
+  /// Loads timing history from `path`. Missing or malformed files are simply
+  /// ignored (the model degrades to the static hints) — timing is advisory.
+  void load(const std::string& path);
+
+  /// Atomically writes the current history to `path`.
+  void save(const std::string& path) const;
+
+  /// Records an observed wall time for a point (replaces older history).
+  void observe(const std::string& name, double wall_ms);
+
+  /// Expected cost of a point, in arbitrary but mutually comparable units:
+  /// observed wall_ms when history exists, else the static hint, else 1.
+  /// History and hints are different units — that is fine, because within
+  /// one sweep either (a) history covers the very points being re-run, or
+  /// (b) there is no history and every point uses its hint.
+  [[nodiscard]] double estimate(const std::string& name, double hint) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return wall_ms_.size(); }
+
+ private:
+  std::map<std::string, double> wall_ms_;
+};
+
+/// Dispatch order for the pending point indices: longest expected first,
+/// index order on ties (deterministic regardless of map iteration quirks).
+/// `estimate(i)` must return the expected cost of point `i`.
+template <typename EstimateFn>
+std::vector<std::size_t> longest_first_order(const std::vector<std::size_t>& pending,
+                                             EstimateFn&& estimate);
+
+}  // namespace memsched::harness
+
+// ---------------------------------------------------------------------------
+// Template implementation.
+
+#include <algorithm>
+
+namespace memsched::harness {
+
+template <typename EstimateFn>
+std::vector<std::size_t> longest_first_order(const std::vector<std::size_t>& pending,
+                                             EstimateFn&& estimate) {
+  struct Entry {
+    std::size_t index;
+    double cost;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(pending.size());
+  for (const std::size_t i : pending) entries.push_back({i, estimate(i)});
+  std::stable_sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.index < b.index;
+  });
+  std::vector<std::size_t> out;
+  out.reserve(entries.size());
+  for (const Entry& e : entries) out.push_back(e.index);
+  return out;
+}
+
+}  // namespace memsched::harness

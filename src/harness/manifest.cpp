@@ -1,5 +1,6 @@
 #include "harness/manifest.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
@@ -10,7 +11,11 @@ namespace memsched::harness {
 
 namespace {
 
-constexpr const char* kFormat = "memsched-sweep-manifest-v1";
+// v2: records carry their point index (persisted sorted by it — parallel
+// sweeps checkpoint out of order yet write deterministic bytes) and wall_ms
+// moved to the .timing.json sidecar. A v1 manifest fails the format check
+// below; delete it and start the sweep over.
+constexpr const char* kFormat = "memsched-sweep-manifest-v2";
 
 std::string read_file(const std::string& path, bool& exists) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -32,12 +37,12 @@ std::string read_file(const std::string& path, bool& exists) {
 PointRecord record_from(const util::Json& j) {
   PointRecord r;
   r.name = j.at("name").as_string();
+  r.index = static_cast<std::uint32_t>(j.at("index").as_uint());
   r.status = j.at("status").as_string();
   r.category = j.at("category").as_string();
   r.exit_code = static_cast<int>(j.at("exit_code").as_number());
   r.term_signal = static_cast<int>(j.at("term_signal").as_number());
   r.attempts = static_cast<std::uint32_t>(j.at("attempts").as_uint());
-  r.wall_ms = j.at("wall_ms").as_number();
   r.payload = j.at("payload").as_string();
   r.error = j.at("error").as_string();
   return r;
@@ -91,7 +96,16 @@ void Manifest::record(const PointRecord& rec) {
       break;
     }
   }
-  if (!replaced) records_.push_back(rec);
+  if (!replaced) {
+    // Keep records_ sorted by point index: parallel sweeps record
+    // completions out of order, but every checkpoint (and the report built
+    // from records()) must be byte-identical to a serial run over the same
+    // recorded set.
+    const auto pos = std::upper_bound(
+        records_.begin(), records_.end(), rec.index,
+        [](std::uint32_t idx, const PointRecord& r) { return idx < r.index; });
+    records_.insert(pos, rec);
+  }
   if (bound()) save();
 }
 
@@ -99,16 +113,18 @@ void Manifest::save() const {
   util::Json doc = util::Json::object();
   doc["format"] = kFormat;
   doc["fingerprint"] = fingerprint_;
+  // records_ is kept index-sorted by record(), so these bytes are already
+  // independent of the order points completed in.
   util::Json points = util::Json::array();
   for (const PointRecord& r : records_) {
     util::Json p = util::Json::object();
     p["name"] = r.name;
+    p["index"] = r.index;
     p["status"] = r.status;
     p["category"] = r.category;
     p["exit_code"] = r.exit_code;
     p["term_signal"] = r.term_signal;
     p["attempts"] = r.attempts;
-    p["wall_ms"] = r.wall_ms;
     p["payload"] = r.payload;
     p["error"] = r.error;
     points.push_back(std::move(p));

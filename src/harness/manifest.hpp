@@ -18,13 +18,19 @@ namespace memsched::harness {
 /// Outcome of one experiment point (final across retries).
 struct PointRecord {
   std::string name;
+  std::uint32_t index = 0;  ///< position in the sweep's point list; the
+                            ///< manifest is persisted sorted by this, so the
+                            ///< on-disk bytes are independent of completion
+                            ///< order under the parallel executor
   std::string status;    ///< "ok" | "failed" | "timeout" | "crash"
   std::string category;  ///< exit_category() of the verdict ("ok", "usage", ...)
   int exit_code = 0;     ///< child's exit code (0 unless it exited itself)
   int term_signal = 0;   ///< terminating signal (crash / timeout kill)
   std::uint32_t attempts = 0;
-  double wall_ms = 0.0;  ///< wall clock of the final attempt; manifest-only,
-                         ///< never enters the report (byte-identical resume)
+  double wall_ms = 0.0;  ///< wall clock of the final attempt; in-memory only —
+                         ///< timing lives in the <manifest>.timing.json
+                         ///< sidecar, never in the manifest or report, so
+                         ///< those stay byte-identical across jobs= settings
   std::string payload;   ///< serialized JSON result, verbatim (ok points)
   std::string error;     ///< structured error line / diagnostic (failed points)
 

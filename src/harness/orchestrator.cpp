@@ -5,15 +5,19 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "harness/guarded_main.hpp"
+#include "util/progress.hpp"
 
 namespace memsched::harness {
 
@@ -23,6 +27,11 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+Clock::duration seconds_to_duration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
 }
 
 void sleep_seconds(double seconds) {
@@ -64,6 +73,17 @@ void remove_tree(const std::string& path) {
 
 }  // namespace
 
+std::uint32_t resolve_jobs(std::uint32_t requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("MEMSCHED_JOBS"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::uint32_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
 Orchestrator::Orchestrator(OrchestratorConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.max_attempts == 0) cfg_.max_attempts = 1;
   if (!cfg_.manifest_path.empty()) {
@@ -77,9 +97,37 @@ Orchestrator::Orchestrator(OrchestratorConfig cfg) : cfg_(std::move(cfg)) {
     throw std::runtime_error("orchestrator: cannot create work dir " + cfg_.work_dir +
                              ": " + std::strerror(errno));
   }
+  cost_.load(timing_path());
+}
+
+std::string Orchestrator::timing_path() const {
+  return cfg_.manifest_path.empty() ? cfg_.work_dir + "/timing.json"
+                                    : cfg_.manifest_path + ".timing.json";
+}
+
+void Orchestrator::commit_record(const PointRecord& rec) {
+  manifest_.record(rec);  // checkpoint after *every* point
+  if (rec.ok() && rec.wall_ms > 0.0) cost_.observe(rec.name, rec.wall_ms);
 }
 
 SweepSummary Orchestrator::run(const std::vector<PointSpec>& points) {
+  const auto start = Clock::now();
+  const std::uint32_t jobs = resolve_jobs(cfg_.jobs);
+  // The pool needs fork isolation (watchdog and crash shielding live in the
+  // child boundary), and stop_after counts executions in point order, so
+  // either constraint forces the serial path.
+  const bool pooled = jobs > 1 && cfg_.isolate && cfg_.stop_after == 0;
+
+  SweepSummary summary = pooled ? run_pool(points, jobs) : run_serial(points);
+  summary.jobs = pooled ? jobs : 1;
+  run_jobs_ = summary.jobs;
+  run_wall_ms_ = ms_since(start);
+  summary.wall_ms = run_wall_ms_;
+  cost_.save(timing_path());
+  return summary;
+}
+
+SweepSummary Orchestrator::run_serial(const std::vector<PointSpec>& points) {
   SweepSummary summary;
   summary.total = points.size();
 
@@ -116,7 +164,7 @@ SweepSummary Orchestrator::run(const std::vector<PointSpec>& points) {
       }
       break;
     }
-    manifest_.record(rec);  // checkpoint after *every* point
+    commit_record(rec);
     ++summary.executed;
     if (rec.ok()) {
       ++summary.ok;
@@ -133,11 +181,238 @@ SweepSummary Orchestrator::run(const std::vector<PointSpec>& points) {
   return summary;
 }
 
+SweepSummary Orchestrator::run_pool(const std::vector<PointSpec>& points,
+                                    std::uint32_t jobs) {
+  SweepSummary summary;
+  summary.total = points.size();
+
+  // A pending entry is a point waiting for a worker slot; retried points
+  // come back with a backoff gate so the pool never blocks on a sleep.
+  struct Pending {
+    std::size_t index = 0;
+    std::uint32_t attempt = 1;  // attempt number the next run will be
+    Clock::time_point ready_at{};
+  };
+  // A slot is one live forked child.
+  struct Slot {
+    pid_t pid = -1;
+    std::size_t index = 0;
+    std::uint32_t attempt = 1;
+    Clock::time_point start{};
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+    bool stop_forwarded = false;
+  };
+
+  // Estimates are frozen at pool start: observe() during the run must not
+  // change the dispatch comparator mid-sort.
+  std::vector<double> est(points.size(), 1.0);
+  std::vector<Pending> pending;
+  pending.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointSpec& point = points[i];
+    if (const PointRecord* prev = manifest_.find(point.name);
+        prev != nullptr && prev->ok()) {
+      ++summary.resumed;
+      ++summary.ok;
+      if (cfg_.verbose) {
+        std::fprintf(stderr, "[sweep] %zu/%zu %s: ok (resumed from manifest)\n", i + 1,
+                     points.size(), point.name.c_str());
+      }
+      continue;
+    }
+    est[i] = cost_.estimate(point.name, point.cost_hint);
+    pending.push_back(Pending{i, 1, Clock::time_point{}});
+  }
+
+  // Longest-expected-first (LPT): start the slowest points first so the
+  // sweep does not end with one straggler hogging a lone worker.
+  const auto lpt_less = [&est](const Pending& a, const Pending& b) {
+    if (est[a.index] != est[b.index]) return est[a.index] > est[b.index];
+    return a.index < b.index;
+  };
+  std::sort(pending.begin(), pending.end(), lpt_less);
+
+  util::ProgressTicker ticker(cfg_.verbose && ::isatty(STDERR_FILENO) != 0);
+  std::vector<Slot> slots;
+  slots.reserve(jobs);
+  const auto pool_start = Clock::now();
+  double done_cost = 0.0;  // estimated cost of completed points (ETA input)
+  bool halting = false;    // stop dispatching (graceful stop or interrupted child)
+
+  // Final outcome of one attempt: retry with backoff, halt on interruption,
+  // or commit to the manifest. Shared by the reaper and the fork-failure path.
+  const auto handle_outcome = [&](PointRecord rec, std::size_t index,
+                                  std::uint32_t attempt) {
+    if (rec.status == "interrupted") {
+      // State is parked in the per-point snapshot; not recorded, so the next
+      // invocation resumes this point. Stop feeding the pool.
+      summary.interrupted = true;
+      halting = true;
+      if (cfg_.verbose) {
+        ticker.clear();
+        std::fprintf(stderr, "[sweep] %s: interrupted (state checkpointed)\n",
+                     points[index].name.c_str());
+      }
+      return;
+    }
+    if (!rec.ok() && attempt < cfg_.max_attempts && !halting) {
+      if (cfg_.verbose) {
+        ticker.clear();
+        std::fprintf(stderr, "[sweep] %s: attempt %u %s (%s); retrying\n",
+                     points[index].name.c_str(), attempt, rec.status.c_str(),
+                     rec.category.c_str());
+      }
+      Pending p;
+      p.index = index;
+      p.attempt = attempt + 1;
+      p.ready_at = Clock::now() + seconds_to_duration(cfg_.backoff_seconds * attempt);
+      pending.insert(std::lower_bound(pending.begin(), pending.end(), p, lpt_less), p);
+      return;
+    }
+    commit_record(rec);
+    ++summary.executed;
+    done_cost += est[index];
+    if (rec.ok()) {
+      ++summary.ok;
+    } else {
+      ++summary.failed;
+    }
+    if (cfg_.verbose) {
+      ticker.clear();
+      std::fprintf(stderr, "[sweep] %zu/%zu %s: %s (%s, %u attempt%s, %.0f ms)\n",
+                   summary.ok + summary.failed, points.size(),
+                   points[index].name.c_str(), rec.status.c_str(),
+                   rec.category.c_str(), rec.attempts, rec.attempts == 1 ? "" : "s",
+                   rec.wall_ms);
+    }
+  };
+
+  while (!pending.empty() || !slots.empty()) {
+    if (!halting && cfg_.stop != nullptr && *cfg_.stop != 0) {
+      halting = true;
+      summary.interrupted = true;
+    }
+    if (halting) {
+      pending.clear();
+      // Graceful-stop fan-out: every live child gets SIGTERM once, so each
+      // checkpoints and exits "interrupted". The per-slot hard deadline
+      // still applies as the backstop if one wedges on the way out.
+      for (Slot& s : slots) {
+        if (!s.stop_forwarded) {
+          ::kill(s.pid, SIGTERM);
+          s.stop_forwarded = true;
+        }
+      }
+      if (slots.empty()) break;
+    }
+
+    // Dispatch: fill free slots with ready points, longest expected first
+    // (pending is kept sorted; the scan skips entries still in backoff).
+    while (!halting && slots.size() < jobs && !pending.empty()) {
+      const auto now = Clock::now();
+      const auto it = std::find_if(pending.begin(), pending.end(),
+                                   [now](const Pending& p) { return p.ready_at <= now; });
+      if (it == pending.end()) break;
+      const Pending p = *it;
+      pending.erase(it);
+      const pid_t pid = spawn_child(points[p.index], p.index);
+      if (pid < 0) {
+        PointRecord rec;
+        rec.name = points[p.index].name;
+        rec.index = static_cast<std::uint32_t>(p.index);
+        rec.status = "failed";
+        rec.category = "internal";
+        rec.exit_code = kExitInternal;
+        rec.error = std::string("fork failed: ") + std::strerror(errno);
+        rec.attempts = p.attempt;
+        handle_outcome(std::move(rec), p.index, p.attempt);
+        continue;
+      }
+      Slot s;
+      s.pid = pid;
+      s.index = p.index;
+      s.attempt = p.attempt;
+      s.start = Clock::now();
+      if (cfg_.timeout_seconds > 0.0) {
+        s.deadline = s.start + seconds_to_duration(cfg_.timeout_seconds);
+        s.has_deadline = true;
+      }
+      slots.push_back(s);
+    }
+
+    // Reap: non-blocking wait on each known pid. Deliberately per-pid, not
+    // waitpid(-1) — point bodies may fork children of their own and the
+    // pool must never steal their exit statuses.
+    bool reaped = false;
+    for (std::size_t si = 0; si < slots.size();) {
+      Slot& s = slots[si];
+      int status = 0;
+      const pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+      if (r < 0 && errno == EINTR) continue;  // retry this slot
+      bool timed_out = false;
+      if (r == 0) {
+        if (s.has_deadline && Clock::now() >= s.deadline) {
+          // Per-child wall-clock watchdog: hung point gets SIGKILL; the
+          // (now unblockable) exit is collected synchronously.
+          ::kill(s.pid, SIGKILL);
+          ::waitpid(s.pid, &status, 0);
+          timed_out = true;
+        } else {
+          ++si;
+          continue;
+        }
+      }
+      PointRecord rec;
+      if (r < 0) {
+        rec.name = points[s.index].name;
+        rec.index = static_cast<std::uint32_t>(s.index);
+        rec.status = "failed";
+        rec.category = "internal";
+        rec.exit_code = kExitInternal;
+        rec.error = std::string("waitpid failed: ") + std::strerror(errno);
+      } else {
+        rec = conclude_child(points[s.index], s.index, status, timed_out,
+                             s.stop_forwarded);
+      }
+      rec.wall_ms = ms_since(s.start);
+      rec.attempts = s.attempt;
+      const std::size_t index = s.index;
+      const std::uint32_t attempt = s.attempt;
+      slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(si));
+      handle_outcome(std::move(rec), index, attempt);
+      reaped = true;
+    }
+
+    // Live progress + ETA. Rate = estimated cost retired per wall ms across
+    // the whole pool, so the projection already accounts for parallelism.
+    util::ProgressTicker::State st;
+    st.done = summary.ok + summary.failed;
+    st.failed = summary.failed;
+    st.running = slots.size();
+    st.total = points.size();
+    st.jobs = jobs;
+    double left_cost = 0.0;
+    for (const Pending& p : pending) left_cost += est[p.index];
+    for (const Slot& s : slots) left_cost += est[s.index];
+    const double elapsed_ms = ms_since(pool_start);
+    if (done_cost > 0.0 && elapsed_ms > 0.0) {
+      st.eta_seconds = left_cost / (done_cost / elapsed_ms) / 1000.0;
+    }
+    ticker.update(st);
+
+    if (!reaped) ::usleep(2000);
+  }
+  ticker.finish();
+  return summary;
+}
+
 PointRecord Orchestrator::execute_point(const PointSpec& point, std::size_t index) {
   PointRecord rec;
   for (std::uint32_t attempt = 1; attempt <= cfg_.max_attempts; ++attempt) {
     rec = run_attempt(point, index);
     rec.name = point.name;
+    rec.index = static_cast<std::uint32_t>(index);
     rec.attempts = attempt;
     if (rec.ok() || rec.status == "interrupted") break;
     if (attempt < cfg_.max_attempts) {
@@ -161,8 +436,15 @@ std::string Orchestrator::ckpt_dir_for(std::size_t index) const {
   return cfg_.work_dir + "/point-" + std::to_string(index) + ".ckpt.d";
 }
 
+Orchestrator::ChildFiles Orchestrator::child_files(std::size_t index) const {
+  const std::string stem = cfg_.work_dir + "/point-" + std::to_string(index);
+  return ChildFiles{stem + ".result.json", stem + ".stdout", stem + ".stderr"};
+}
+
 PointRecord Orchestrator::run_inline(const PointSpec& point, std::size_t index) {
   PointRecord rec;
+  rec.name = point.name;
+  rec.index = static_cast<std::uint32_t>(index);
   const auto start = Clock::now();
   std::string ckpt_dir;
   if (point.body_ckpt) {
@@ -191,13 +473,9 @@ PointRecord Orchestrator::run_inline(const PointSpec& point, std::size_t index) 
   return rec;
 }
 
-PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) {
-  PointRecord rec;
-  const std::string stem = cfg_.work_dir + "/point-" + std::to_string(index);
-  const std::string result_path = stem + ".result.json";
-  const std::string stderr_path = stem + ".stderr";
-  const std::string stdout_path = stem + ".stdout";
-  std::remove(result_path.c_str());
+pid_t Orchestrator::spawn_child(const PointSpec& point, std::size_t index) {
+  const ChildFiles files = child_files(index);
+  std::remove(files.result.c_str());
   std::string ckpt_dir;
   if (point.body_ckpt) {
     ckpt_dir = ckpt_dir_for(index);
@@ -208,86 +486,49 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
   std::fflush(stdout);
   std::fflush(stderr);
 
-  const auto start = Clock::now();
   const pid_t pid = ::fork();
-  if (pid < 0) {
-    rec.status = "failed";
-    rec.category = "internal";
-    rec.exit_code = kExitInternal;
-    rec.error = std::string("fork failed: ") + std::strerror(errno);
-    return rec;
-  }
+  if (pid != 0) return pid;  // parent (or fork failure: -1, errno set)
 
-  if (pid == 0) {
-    // Child. Keep the parent's streams clean; diagnostics land in per-point
-    // files the parent harvests after exit.
-    redirect_to_file(stdout_path, STDOUT_FILENO);
-    redirect_to_file(stderr_path, STDERR_FILENO);
-    if (!point.argv.empty()) {
-      std::vector<char*> argv;
-      argv.reserve(point.argv.size() + 1);
-      for (const std::string& a : point.argv)
-        argv.push_back(const_cast<char*>(a.c_str()));
-      argv.push_back(nullptr);
-      ::execv(argv[0], argv.data());
-      std::fprintf(stderr, "exec %s failed: %s\n", argv[0], std::strerror(errno));
-      std::fflush(nullptr);
-      ::_exit(kExitInternal);
-    }
-    try {
-      if (point.body_ckpt) {
-        point.body_ckpt(ckpt_dir).write_file(result_path, -1);
-      } else if (point.body) {
-        point.body().write_file(result_path, -1);
-      } else {
-        throw std::runtime_error("point has no body");
-      }
-      std::fflush(nullptr);
-      ::_exit(kExitOk);
-    } catch (...) {
-      const ErrorInfo info = classify_current_exception();
-      emit_error_line(point.name, info);
-      std::fflush(nullptr);
-      ::_exit(info.exit_code);
-    }
+  // Child. Keep the parent's streams clean; diagnostics land in per-point
+  // files the parent harvests after exit.
+  redirect_to_file(files.stdout_path, STDOUT_FILENO);
+  redirect_to_file(files.stderr_path, STDERR_FILENO);
+  if (!point.argv.empty()) {
+    std::vector<char*> argv;
+    argv.reserve(point.argv.size() + 1);
+    for (const std::string& a : point.argv)
+      argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "exec %s failed: %s\n", argv[0], std::strerror(errno));
+    std::fflush(nullptr);
+    ::_exit(kExitInternal);
   }
+  try {
+    if (point.body_ckpt) {
+      point.body_ckpt(ckpt_dir).write_file(files.result, -1);
+    } else if (point.body) {
+      point.body().write_file(files.result, -1);
+    } else {
+      throw std::runtime_error("point has no body");
+    }
+    std::fflush(nullptr);
+    ::_exit(kExitOk);
+  } catch (...) {
+    const ErrorInfo info = classify_current_exception();
+    emit_error_line(point.name, info);
+    std::fflush(nullptr);
+    ::_exit(info.exit_code);
+  }
+}
 
-  // Parent: wall-clock watchdog. Poll so a wedged child — one the in-process
-  // progress watchdog cannot see, e.g. stuck before it even starts ticking —
-  // is killed hard at the deadline.
-  const auto deadline =
-      start + std::chrono::duration_cast<Clock::duration>(
-                  std::chrono::duration<double>(cfg_.timeout_seconds));
-  bool timed_out = false;
-  bool stop_forwarded = false;
-  int status = 0;
-  for (;;) {
-    const pid_t r = ::waitpid(pid, &status, WNOHANG);
-    if (r == pid) break;
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      rec.status = "failed";
-      rec.category = "internal";
-      rec.error = std::string("waitpid failed: ") + std::strerror(errno);
-      rec.wall_ms = ms_since(start);
-      return rec;
-    }
-    // Graceful stop: forward SIGTERM once so the child checkpoints and
-    // exits "interrupted"; the hard wall-clock deadline still applies as
-    // the backstop if it wedges on the way out.
-    if (!stop_forwarded && cfg_.stop != nullptr && *cfg_.stop != 0) {
-      ::kill(pid, SIGTERM);
-      stop_forwarded = true;
-    }
-    if (cfg_.timeout_seconds > 0.0 && Clock::now() >= deadline) {
-      ::kill(pid, SIGKILL);
-      ::waitpid(pid, &status, 0);
-      timed_out = true;
-      break;
-    }
-    ::usleep(2000);
-  }
-  rec.wall_ms = ms_since(start);
+PointRecord Orchestrator::conclude_child(const PointSpec& point, std::size_t index,
+                                         int status, bool timed_out,
+                                         bool stop_forwarded) {
+  PointRecord rec;
+  rec.name = point.name;
+  rec.index = static_cast<std::uint32_t>(index);
+  const ChildFiles files = child_files(index);
 
   if (timed_out) {
     rec.status = "timeout";
@@ -312,7 +553,7 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
     rec.category = "crash";
     rec.term_signal = sig;
     rec.error = "child killed by signal " + std::to_string(sig);
-    if (const std::string detail = child_error(stderr_path); !detail.empty())
+    if (const std::string detail = child_error(files.stderr_path); !detail.empty())
       rec.error += ": " + detail;
     return rec;
   }
@@ -322,20 +563,20 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
   if (code == kExitInterrupted) {
     rec.status = "interrupted";
     rec.category = exit_category(code);
-    rec.error = child_error(stderr_path);
+    rec.error = child_error(files.stderr_path);
     return rec;
   }
   if (code != kExitOk) {
     rec.status = "failed";
     rec.category = exit_category(code);
-    rec.error = child_error(stderr_path);
+    rec.error = child_error(files.stderr_path);
     if (rec.error.empty())
       rec.error = "child exited with code " + std::to_string(code);
     return rec;
   }
 
   if (point.argv.empty()) {
-    rec.payload = read_whole_file(result_path);
+    rec.payload = read_whole_file(files.result);
     // write_file appends a newline; strip it so the payload splices cleanly
     // into the report.
     while (!rec.payload.empty() && rec.payload.back() == '\n') rec.payload.pop_back();
@@ -355,7 +596,62 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
   }
   rec.status = "ok";
   rec.category = "ok";
-  if (!ckpt_dir.empty()) remove_tree(ckpt_dir);
+  if (point.body_ckpt) remove_tree(ckpt_dir_for(index));
+  return rec;
+}
+
+PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) {
+  const auto start = Clock::now();
+  const pid_t pid = spawn_child(point, index);
+  if (pid < 0) {
+    PointRecord rec;
+    rec.name = point.name;
+    rec.index = static_cast<std::uint32_t>(index);
+    rec.status = "failed";
+    rec.category = "internal";
+    rec.exit_code = kExitInternal;
+    rec.error = std::string("fork failed: ") + std::strerror(errno);
+    return rec;
+  }
+
+  // Parent: wall-clock watchdog. Poll so a wedged child — one the in-process
+  // progress watchdog cannot see, e.g. stuck before it even starts ticking —
+  // is killed hard at the deadline.
+  const auto deadline = start + seconds_to_duration(cfg_.timeout_seconds);
+  bool timed_out = false;
+  bool stop_forwarded = false;
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      PointRecord rec;
+      rec.name = point.name;
+      rec.index = static_cast<std::uint32_t>(index);
+      rec.status = "failed";
+      rec.category = "internal";
+      rec.error = std::string("waitpid failed: ") + std::strerror(errno);
+      rec.wall_ms = ms_since(start);
+      return rec;
+    }
+    // Graceful stop: forward SIGTERM once so the child checkpoints and
+    // exits "interrupted"; the hard wall-clock deadline still applies as
+    // the backstop if it wedges on the way out.
+    if (!stop_forwarded && cfg_.stop != nullptr && *cfg_.stop != 0) {
+      ::kill(pid, SIGTERM);
+      stop_forwarded = true;
+    }
+    if (cfg_.timeout_seconds > 0.0 && Clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      timed_out = true;
+      break;
+    }
+    ::usleep(2000);
+  }
+  PointRecord rec = conclude_child(point, index, status, timed_out, stop_forwarded);
+  rec.wall_ms = ms_since(start);
   return rec;
 }
 
@@ -412,6 +708,21 @@ util::Json Orchestrator::report() const {
   summary["gap_count"] = manifest_.size() - ok;
   summary["gaps"] = std::move(gaps);
   doc["summary"] = std::move(summary);
+  return doc;
+}
+
+util::Json Orchestrator::timing_report() const {
+  util::Json doc = util::Json::object();
+  doc["schema"] = "memsched-sweep-timing-report-v1";
+  doc["jobs"] = run_jobs_;
+  doc["wall_ms"] = run_wall_ms_;
+  util::Json points = util::Json::object();
+  for (const PointRecord& r : manifest_.records()) {
+    // Resumed records carry no wall time (timing never round-trips through
+    // the manifest); report only what this invocation actually measured.
+    if (r.wall_ms > 0.0) points[r.name] = r.wall_ms;
+  }
+  doc["points"] = std::move(points);
   return doc;
 }
 

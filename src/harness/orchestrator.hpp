@@ -1,15 +1,23 @@
-// Fault-tolerant sweep orchestrator.
+// Fault-tolerant sweep orchestrator with an N-way process pool.
 //
 // Runs a list of experiment points, each in an isolated forked child, under a
-// wall-clock watchdog. A hung point is SIGKILLed and recorded as a structured
-// "timeout" failure; a crashed point records its signal; a point that exits
-// with one of the exit_codes.hpp codes records that diagnosis. Failed points
-// are retried a bounded number of times with backoff, then recorded and
-// *skipped* — the rest of the sweep still completes and the final report
-// marks the gaps. After every point the manifest is checkpointed, so a sweep
-// killed at any moment resumes exactly where it stopped and reproduces a
-// byte-identical report.
+// wall-clock watchdog. With jobs > 1 up to N children run concurrently,
+// reaped by a non-blocking waitpid loop and dispatched longest-expected-first
+// (per-point cost model: timing history of prior runs, falling back to the
+// caller's static hint). A hung point is SIGKILLed and recorded as a
+// structured "timeout" failure; a crashed point records its signal; a point
+// that exits with one of the exit_codes.hpp codes records that diagnosis.
+// Failed points are retried a bounded number of times with backoff, then
+// recorded and *skipped* — the rest of the sweep still completes and the
+// final report marks the gaps. After every completed point the manifest is
+// checkpointed (records index-sorted, so the bytes never depend on completion
+// order), which gives the determinism contract: manifest and report are
+// byte-identical for jobs=1 and jobs=N, across kills and resumes. Wall-clock
+// timing lives in sidecar files (<manifest>.timing.json) and the timing
+// report, never in the manifest or report themselves.
 #pragma once
+
+#include <sys/types.h>
 
 #include <csignal>
 #include <cstdint>
@@ -17,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/cost_model.hpp"
 #include "harness/manifest.hpp"
 #include "util/json.hpp"
 
@@ -36,6 +45,12 @@ struct PointSpec {
   std::function<util::Json()> body;
   std::function<util::Json(const std::string& ckpt_dir)> body_ckpt;
   std::vector<std::string> argv;
+
+  /// Static cost hint for longest-expected-first dispatch when no timing
+  /// history exists (arbitrary units; only relative order matters). The grid
+  /// builder uses trace length x core count; bench entries carry weights.
+  /// 0 = unknown (treated as 1).
+  double cost_hint = 0.0;
 };
 
 struct OrchestratorConfig {
@@ -50,15 +65,22 @@ struct OrchestratorConfig {
                          ///< crash shielding — unit tests and debugging only)
   bool verbose = true;   ///< per-point progress lines on stderr
 
+  /// Process-pool width. 0 = auto: MEMSCHED_JOBS from the environment, else
+  /// hardware_concurrency. 1 = serial. N > 1 keeps up to N forked points in
+  /// flight (requires isolate; in-process execution is always serial).
+  std::uint32_t jobs = 1;
+
   /// Test hook: abandon the sweep after this many *executed* (not resumed)
   /// points — simulates a mid-sweep kill without the signal plumbing.
+  /// Forces serial execution (the count is only meaningful in point order).
   std::uint32_t stop_after = 0;
 
   /// Cooperative graceful-stop flag (typically ckpt::stop_flag(), set by the
-  /// SIGTERM/SIGINT handler). When it fires, the running child is forwarded
-  /// SIGTERM — it checkpoints and exits "interrupted" — and the sweep stops
-  /// WITHOUT recording that point, so the next invocation resumes it from
-  /// its snapshot.
+  /// SIGTERM/SIGINT handler). When it fires, every running child is
+  /// forwarded SIGTERM — each checkpoints and exits "interrupted" — and the
+  /// sweep stops WITHOUT recording those points, so the next invocation
+  /// resumes them from their snapshots. Children that complete before the
+  /// signal lands are still recorded.
   const volatile std::sig_atomic_t* stop = nullptr;
 };
 
@@ -70,41 +92,85 @@ struct SweepSummary {
   std::size_t executed = 0;  ///< actually run this invocation
   bool abandoned = false;    ///< stop_after hook tripped
   bool interrupted = false;  ///< graceful stop (SIGTERM/SIGINT) ended the sweep
+  std::uint32_t jobs = 1;    ///< resolved pool width this run
+  double wall_ms = 0.0;      ///< end-to-end wall clock of run()
 
   [[nodiscard]] bool complete() const {
     return !abandoned && !interrupted && ok + failed == total;
   }
 };
 
+/// Resolves a jobs request: nonzero passes through; 0 consults MEMSCHED_JOBS,
+/// then hardware_concurrency, with a floor of 1.
+[[nodiscard]] std::uint32_t resolve_jobs(std::uint32_t requested);
+
 class Orchestrator {
  public:
   explicit Orchestrator(OrchestratorConfig cfg);
 
   /// Runs (or resumes) the sweep. Points whose manifest record is already
-  /// "ok" are skipped; previously failed points are re-attempted.
+  /// "ok" are skipped; previously failed points are re-attempted. With
+  /// jobs > 1 (and isolation on) points run in an N-way process pool;
+  /// manifest and report bytes are identical either way.
   SweepSummary run(const std::vector<PointSpec>& points);
 
   [[nodiscard]] const Manifest& manifest() const { return manifest_; }
 
   /// Deterministic sweep report: recorded payloads are spliced back verbatim
   /// and wall-clock fields are excluded, so an interrupted-and-resumed sweep
-  /// dumps byte-identical output to an uninterrupted one. Failed points are
-  /// listed with their diagnosis and summarized as gaps.
+  /// — serial or pooled — dumps byte-identical output to an uninterrupted
+  /// serial one. Failed points are listed with their diagnosis and
+  /// summarized as gaps.
   [[nodiscard]] util::Json report() const;
 
+  /// Machine-readable wall-clock record of the last run(): per-point wall
+  /// times, end-to-end wall time, pool width. Deliberately a separate
+  /// document from report() — timing differs run to run, the report must
+  /// not.
+  [[nodiscard]] util::Json timing_report() const;
+
  private:
+  /// Paths of one point's scratch files under work_dir.
+  struct ChildFiles {
+    std::string result;
+    std::string stdout_path;
+    std::string stderr_path;
+  };
+
+  SweepSummary run_serial(const std::vector<PointSpec>& points);
+  SweepSummary run_pool(const std::vector<PointSpec>& points, std::uint32_t jobs);
+
   PointRecord execute_point(const PointSpec& point, std::size_t index);
   PointRecord run_attempt(const PointSpec& point, std::size_t index);
   PointRecord run_forked(const PointSpec& point, std::size_t index);
   PointRecord run_inline(const PointSpec& point, std::size_t index);
+
+  /// Forks one child for `point`; the child never returns (it _exits with a
+  /// contract code). Returns the child pid, or -1 with errno set.
+  pid_t spawn_child(const PointSpec& point, std::size_t index);
+
+  /// Builds the record for a reaped child from its wait status and scratch
+  /// files (classification, payload harvest, ckpt-dir cleanup on success).
+  PointRecord conclude_child(const PointSpec& point, std::size_t index, int status,
+                             bool timed_out, bool stop_forwarded);
+
+  [[nodiscard]] ChildFiles child_files(std::size_t index) const;
 
   /// Per-point checkpoint directory (created on demand for body_ckpt
   /// points); kept across retries, removed once the point succeeds.
   [[nodiscard]] std::string ckpt_dir_for(std::size_t index) const;
   [[nodiscard]] std::string child_error(const std::string& stderr_path) const;
 
+  /// Records a final per-point outcome: manifest checkpoint + timing.
+  void commit_record(const PointRecord& rec);
+
+  [[nodiscard]] std::string timing_path() const;
+
   OrchestratorConfig cfg_;
   Manifest manifest_;
+  CostModel cost_;
+  double run_wall_ms_ = 0.0;
+  std::uint32_t run_jobs_ = 1;
 };
 
 }  // namespace memsched::harness

@@ -47,6 +47,9 @@ MemoryController::MemoryController(dram::DramSystem& dram, sched::Scheduler& sch
   read_q_.reserve(cfg.buffer_entries);
   write_q_.reserve(cfg.buffer_entries);
   scratch_cands_.reserve(cfg.buffer_entries);
+  scratch_orders_.reserve(cfg.buffer_entries);
+  scratch_demand_.reserve(cfg.buffer_entries);
+  scratch_prio_.resize(core_count);
   if (dram.timing().refresh_enabled) {
     next_refresh_.assign(dram.channel_count(), dram.timing().tREFI);
   }
@@ -278,14 +281,14 @@ void MemoryController::advance_in_flight(std::uint32_t ch, Tick now) {
 
 MemoryController::QueueView MemoryController::collect_eligible(
     const std::vector<Request>& queue, bool is_write_queue, std::uint32_t ch,
-    Tick now, std::vector<Cand>& out, std::vector<std::uint64_t>& visible_orders) const {
+    Tick now, std::vector<Cand>& out, std::vector<std::uint64_t>* visible_orders) const {
   QueueView view;
   for (std::size_t i = 0; i < queue.size(); ++i) {
     const Request& r = queue[i];
     if (r.dram.channel != ch) continue;
     if (r.visible_tick > now) continue;
     view.any_visible = true;
-    visible_orders.push_back(r.order);
+    if (visible_orders != nullptr) visible_orders->push_back(r.order);
     if (slots_[slot_index(ch, r.dram.bank)].valid) continue;
     out.push_back(Cand{i, is_write_queue, row_state_of(r) == RowState::kHit});
   }
@@ -317,22 +320,33 @@ std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
     return c.from_write_queue ? write_q_[c.queue_index] : read_q_[c.queue_index];
   };
   // Demand requests strictly outrank prefetches.
-  static thread_local std::vector<Cand> demand_only;
   const std::vector<Cand>* cands_ptr = &cands_in;
   bool any_demand = false, any_prefetch = false;
   for (const Cand& c : cands_in) {
     (req_of(c).is_prefetch ? any_prefetch : any_demand) = true;
   }
   if (any_demand && any_prefetch) {
-    demand_only.clear();
+    scratch_demand_.clear();
     for (const Cand& c : cands_in) {
-      if (!req_of(c).is_prefetch) demand_only.push_back(c);
+      if (!req_of(c).is_prefetch) scratch_demand_.push_back(c);
     }
-    cands_ptr = &demand_only;
+    cands_ptr = &scratch_demand_;
   }
   const std::vector<Cand>& cands = *cands_ptr;
   const bool hit_first = scheduler_.use_hit_first();
   const bool hit_above = hit_first && scheduler_.hit_first_above_core();
+
+  // core_priority() is a pure function of prepare()'s snapshot (Scheduler
+  // contract), but a virtual call — and the stages below query it once per
+  // candidate per scan. Memoize per core for the duration of this pick.
+  std::uint64_t prio_seen = 0;  // core_count_ <= 64 in all supported configs
+  const auto prio_of = [&](CoreId core) {
+    if ((prio_seen & (1ULL << core)) == 0) {
+      scratch_prio_[core] = scheduler_.core_priority(core);
+      prio_seen |= 1ULL << core;
+    }
+    return scratch_prio_[core];
+  };
 
   // Stage 1 (optional): restrict to row hits when any exist.
   bool any_hit = false;
@@ -344,7 +358,7 @@ std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
   double best_prio = -std::numeric_limits<double>::infinity();
   for (const Cand& c : cands) {
     if (hit_above && any_hit && !c.row_hit) continue;
-    best_prio = std::max(best_prio, scheduler_.core_priority(req_of(c).core));
+    best_prio = std::max(best_prio, prio_of(req_of(c).core));
   }
 
   // Stage 3: resolve core ties. Random mode picks one core uniformly among
@@ -357,7 +371,7 @@ std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
     for (const Cand& c : cands) {
       if (hit_above && any_hit && !c.row_hit) continue;
       const CoreId core = req_of(c).core;
-      if (scheduler_.core_priority(core) == best_prio && !(mask & (1ULL << core))) {
+      if (prio_of(core) == best_prio && !(mask & (1ULL << core))) {
         mask |= 1ULL << core;
         ++tied;
       }
@@ -382,7 +396,7 @@ std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
     const Cand& c = cands[i];
     if (hit_above && any_hit && !c.row_hit) continue;
     const Request& r = req_of(c);
-    if (scheduler_.core_priority(r.core) != best_prio) continue;
+    if (prio_of(r.core) != best_prio) continue;
     if (chosen_core != kInvalidCore && r.core != chosen_core) continue;
     if (best == kNpos) {
       best = i;
@@ -434,23 +448,27 @@ void MemoryController::schedule_new(std::uint32_t ch, Tick now) {
   scratch_cands_.clear();
   scratch_orders_.clear();
   const std::uint32_t window = scheduler_.sched_window();
+  // Unbounded window (every thread-aware scheme): filter_window never reads
+  // the visible orders, so don't collect them — the queue scan is the
+  // hottest loop in the simulator.
+  std::vector<std::uint64_t>* orders = window == 0 ? nullptr : &scratch_orders_;
   if (!scheduler_.use_read_first()) {
     // Naive FCFS: reads and writes compete purely by arrival order.
-    collect_eligible(read_q_, false, ch, now, scratch_cands_, scratch_orders_);
-    collect_eligible(write_q_, true, ch, now, scratch_cands_, scratch_orders_);
+    collect_eligible(read_q_, false, ch, now, scratch_cands_, orders);
+    collect_eligible(write_q_, true, ch, now, scratch_cands_, orders);
     filter_window(window, scratch_orders_, scratch_cands_);
   } else {
     std::vector<Request>& primary = drain_mode_ ? write_q_ : read_q_;
     std::vector<Request>& secondary = drain_mode_ ? read_q_ : write_q_;
     const QueueView vp =
-        collect_eligible(primary, drain_mode_, ch, now, scratch_cands_, scratch_orders_);
+        collect_eligible(primary, drain_mode_, ch, now, scratch_cands_, orders);
     filter_window(window, scratch_orders_, scratch_cands_);
     if (scratch_cands_.empty()) {
       // Under a bounded window, a fully blocked primary class stalls the
       // channel rather than letting the secondary class jump ahead.
       if (window != 0 && vp.any_visible) return;
       scratch_orders_.clear();
-      collect_eligible(secondary, !drain_mode_, ch, now, scratch_cands_, scratch_orders_);
+      collect_eligible(secondary, !drain_mode_, ch, now, scratch_cands_, orders);
       filter_window(window, scratch_orders_, scratch_cands_);
     }
   }

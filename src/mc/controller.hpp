@@ -215,9 +215,12 @@ class MemoryController {
   /// Collect candidates eligible on channel `ch` from one queue; returns
   /// the queue's visibility summary and appends every visible request's
   /// arrival order to `visible_orders` (covering non-eligible ones too).
+  /// Pass `visible_orders = nullptr` when the scheme's window is unbounded:
+  /// the orders are only consumed by filter_window, and skipping the
+  /// append keeps the thread-aware schemes' queue scan allocation-free.
   QueueView collect_eligible(const std::vector<Request>& queue, bool is_write_queue,
                              std::uint32_t ch, Tick now, std::vector<Cand>& out,
-                             std::vector<std::uint64_t>& visible_orders) const;
+                             std::vector<std::uint64_t>* visible_orders) const;
 
   /// Bounded-window discipline: drop candidates that are neither row hits
   /// nor among the `window` oldest visible requests (per visible_orders).
@@ -257,6 +260,8 @@ class MemoryController {
   // Scratch buffers reused every tick to avoid per-cycle allocation.
   std::vector<Cand> scratch_cands_;
   std::vector<std::uint64_t> scratch_orders_;
+  std::vector<Cand> scratch_demand_;   ///< pick()'s demand-over-prefetch subset
+  std::vector<double> scratch_prio_;   ///< per-core priority cache, one pick()
 };
 
 }  // namespace memsched::mc

@@ -41,13 +41,11 @@ FixOrderScheduler::FixOrderScheduler(std::vector<CoreId> order)
     seen[c] = true;
     rank_[c] = static_cast<double>(order_.size() - i);  // earlier = higher
   }
+  name_ = "FIX-";
+  for (const CoreId c : order_) name_ += static_cast<char>('0' + (c % 10));
 }
 
-std::string FixOrderScheduler::name() const {
-  std::string n = "FIX-";
-  for (const CoreId c : order_) n += static_cast<char>('0' + (c % 10));
-  return n;
-}
+std::string FixOrderScheduler::name() const { return name_; }
 
 SchedulerPtr FixOrderScheduler::descending(std::uint32_t core_count) {
   std::vector<CoreId> order(core_count);

@@ -196,6 +196,7 @@ class FixOrderScheduler final : public Scheduler {
  private:
   std::vector<CoreId> order_;
   std::vector<double> rank_;  ///< indexed by core id; higher wins
+  std::string name_;          ///< built once; name() is called per repeat
 };
 
 }  // namespace memsched::sched

@@ -3,7 +3,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -19,8 +21,23 @@ namespace {
 
 }  // namespace
 
+std::string atomic_tmp_path(const std::string& path) {
+  // The temp name must be unique per writer: with a fixed "path + .tmp" two
+  // processes (or threads) replacing the same file concurrently would
+  // O_TRUNC each other's in-flight bytes and one rename could publish the
+  // other's half-written payload. PID makes it unique across processes, the
+  // counter across threads and successive writes racing a slow rename.
+  static std::atomic<std::uint64_t> counter{0};
+  char suffix[48];
+  std::snprintf(suffix, sizeof suffix, ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    counter.fetch_add(1, std::memory_order_relaxed)));
+  return path + suffix;
+}
+
 void atomic_write_file(const std::string& path, const void* data, std::size_t size) {
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = atomic_tmp_path(path);
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) fail("cannot create", tmp);
 

@@ -1,11 +1,14 @@
 // Atomic, durable file replacement.
 //
 // Crash-safe persistence primitive shared by the sweep manifest and the
-// simulator snapshot writer: the payload is written to `path + ".tmp"`,
-// fsync()ed so the bytes are on stable storage, then rename()d over `path`.
-// A crash at any instant leaves either the previous complete file or the new
-// complete file — never a torn mix — which is what lets a killed sweep or
-// simulation trust whatever checkpoint it finds on restart.
+// simulator snapshot writer: the payload is written to a writer-unique temp
+// name (`path + ".tmp.<pid>.<seq>"`), fsync()ed so the bytes are on stable
+// storage, then rename()d over `path`. A crash at any instant leaves either
+// the previous complete file or the new complete file — never a torn mix —
+// which is what lets a killed sweep or simulation trust whatever checkpoint
+// it finds on restart. The unique temp name makes concurrent writers safe:
+// parallel sweep workers sharing a directory can never clobber each other's
+// in-flight temp file, and the last rename wins with a complete payload.
 #pragma once
 
 #include <cstddef>
@@ -13,12 +16,16 @@
 
 namespace memsched::util {
 
-/// Atomically replaces `path` with `size` bytes from `data` (tmp + fsync +
-/// rename). Throws std::runtime_error on any I/O failure; on failure the
-/// previous contents of `path`, if any, are untouched.
+/// Atomically replaces `path` with `size` bytes from `data` (unique tmp +
+/// fsync + rename). Throws std::runtime_error on any I/O failure; on failure
+/// the previous contents of `path`, if any, are untouched.
 void atomic_write_file(const std::string& path, const void* data, std::size_t size);
 
 /// String convenience overload.
 void atomic_write_file(const std::string& path, const std::string& data);
+
+/// The writer-unique temp name the next atomic_write_file would use for
+/// `path` (PID + monotonic counter suffix). Exposed for tests.
+[[nodiscard]] std::string atomic_tmp_path(const std::string& path);
 
 }  // namespace memsched::util

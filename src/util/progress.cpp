@@ -1,0 +1,56 @@
+#include "util/progress.hpp"
+
+#include <cstdio>
+
+namespace memsched::util {
+
+namespace {
+
+constexpr auto kRefresh = std::chrono::milliseconds(200);
+
+}  // namespace
+
+ProgressTicker::ProgressTicker(bool enabled) : enabled_(enabled) {}
+
+void ProgressTicker::update(const State& s) {
+  if (!enabled_) return;
+  const auto now = std::chrono::steady_clock::now();
+  const bool counts_changed = s.done != last_.done || s.failed != last_.failed ||
+                              s.running != last_.running;
+  if (drawn_ && !counts_changed && now - last_draw_ < kRefresh) return;
+  last_ = s;
+  last_draw_ = now;
+  draw(s);
+}
+
+void ProgressTicker::draw(const State& s) {
+  char eta[32] = "";
+  if (s.eta_seconds >= 0.0) {
+    if (s.eta_seconds >= 90.0) {
+      std::snprintf(eta, sizeof eta, " | ETA %.1f min", s.eta_seconds / 60.0);
+    } else {
+      std::snprintf(eta, sizeof eta, " | ETA %.0f s", s.eta_seconds);
+    }
+  }
+  char failed[32] = "";
+  if (s.failed > 0) std::snprintf(failed, sizeof failed, " (%zu failed)", s.failed);
+  // \r redraw + \033[K erase-to-end so a shrinking line leaves no residue.
+  std::fprintf(stderr, "\r[sweep] %zu/%zu done%s | %zu/%u workers%s\033[K", s.done,
+               s.total, failed, s.running, s.jobs, eta);
+  std::fflush(stderr);
+  drawn_ = true;
+}
+
+void ProgressTicker::clear() {
+  if (!enabled_ || !drawn_) return;
+  std::fprintf(stderr, "\r\033[K");
+  std::fflush(stderr);
+  drawn_ = false;
+}
+
+void ProgressTicker::finish() {
+  clear();
+  enabled_ = false;
+}
+
+}  // namespace memsched::util

@@ -1,0 +1,50 @@
+// Single-line live progress ticker for long-running harness loops.
+//
+// Renders "done/total (f failed) | r/w workers | ETA 42s" on stderr with a
+// carriage return, rate-limited so a tight poll loop costs nothing. Only
+// active when stderr is a terminal — in CI logs and redirected runs the
+// ticker is silent and ordinary per-event lines remain the record. Call
+// clear() before printing a normal log line so the two never interleave on
+// one row, and finish() once at the end to erase the ticker for good.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace memsched::util {
+
+class ProgressTicker {
+ public:
+  /// `enabled` is typically `verbose && isatty(STDERR_FILENO)`.
+  explicit ProgressTicker(bool enabled);
+
+  struct State {
+    std::size_t done = 0;     ///< points finished (ok + failed), incl. resumed
+    std::size_t failed = 0;   ///< recorded failures so far
+    std::size_t running = 0;  ///< live workers
+    std::size_t total = 0;    ///< sweep size
+    std::uint32_t jobs = 1;   ///< pool width (occupancy denominator)
+    double eta_seconds = -1.0;  ///< < 0 = unknown, omitted from the line
+  };
+
+  /// Redraws the line if enabled and at least the refresh interval has
+  /// passed since the last draw (forced when counts changed).
+  void update(const State& s);
+
+  /// Erases the ticker line so a regular stderr line can be printed.
+  void clear();
+
+  /// Erases the line and stops drawing.
+  void finish();
+
+ private:
+  void draw(const State& s);
+
+  bool enabled_;
+  bool drawn_ = false;
+  State last_{};
+  std::chrono::steady_clock::time_point last_draw_{};
+};
+
+}  // namespace memsched::util

@@ -2,14 +2,18 @@
 // deterministic fault injection, and the fault-tolerant sweep orchestrator
 // (isolation, timeout, retry, checkpoint/resume).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "harness/cost_model.hpp"
 #include "harness/fingerprint.hpp"
 #include "harness/guarded_main.hpp"
 #include "harness/manifest.hpp"
@@ -557,4 +561,299 @@ TEST(Orchestrator, ChildExitSixStopsSweepWithoutRecording) {
   // real simulation then resumes from its snapshot).
   EXPECT_EQ(orch.manifest().find("parked"), nullptr);
   EXPECT_EQ(orch.manifest().find("never-reached"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model + dispatch order for the parallel executor.
+
+TEST(CostModel, EstimateFallsBackHintThenOne) {
+  harness::CostModel m;
+  EXPECT_DOUBLE_EQ(m.estimate("x", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.estimate("x", 7.5), 7.5);
+  m.observe("x", 123.0);
+  EXPECT_DOUBLE_EQ(m.estimate("x", 7.5), 123.0);
+  EXPECT_TRUE(m.has("x"));
+  EXPECT_FALSE(m.has("y"));
+}
+
+TEST(CostModel, RoundTripsThroughSidecarFile) {
+  const std::string path = tmp_path("cost_model.json");
+  std::remove(path.c_str());
+  harness::CostModel m;
+  m.observe("slow", 900.0);
+  m.observe("fast", 10.0);
+  m.save(path);
+  harness::CostModel n;
+  n.load(path);
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_DOUBLE_EQ(n.estimate("slow", 0.0), 900.0);
+  EXPECT_DOUBLE_EQ(n.estimate("fast", 0.0), 10.0);
+  std::remove(path.c_str());
+}
+
+TEST(CostModel, CorruptOrMissingHistoryDegradesToHints) {
+  const std::string path = tmp_path("cost_model_bad.json");
+  { std::ofstream(path) << "this is not json"; }
+  harness::CostModel m;
+  m.load(path);  // must not throw — timing only orders dispatch
+  EXPECT_EQ(m.size(), 0u);
+  std::remove(path.c_str());
+  m.load(path);  // missing file: same story
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(CostModel, LongestFirstOrderSortsByCostThenIndex) {
+  const std::vector<std::size_t> pending = {0, 1, 2, 3};
+  const double est[] = {5.0, 9.0, 9.0, 1.0};
+  const auto order =
+      harness::longest_first_order(pending, [&](std::size_t i) { return est[i]; });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);  // ties broken by index for determinism
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 3u);
+}
+
+TEST(ResolveJobs, ExplicitEnvAndAutoFallback) {
+  EXPECT_EQ(harness::resolve_jobs(3), 3u);
+  ::setenv("MEMSCHED_JOBS", "2", 1);
+  EXPECT_EQ(harness::resolve_jobs(0), 2u);
+  ::setenv("MEMSCHED_JOBS", "not-a-number", 1);
+  EXPECT_GE(harness::resolve_jobs(0), 1u);  // garbage env → hardware fallback
+  ::unsetenv("MEMSCHED_JOBS");
+  EXPECT_GE(harness::resolve_jobs(0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// N-way process-pool executor: same records, same bytes, any width.
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// A point that sleeps (to force out-of-order completion under the pool)
+/// then reports a deterministic payload.
+harness::PointSpec sleepy_point(const std::string& name, double value,
+                                unsigned sleep_ms) {
+  harness::PointSpec p;
+  p.name = name;
+  p.cost_hint = static_cast<double>(sleep_ms) + 1.0;
+  p.body = [value, sleep_ms] {
+    ::usleep(sleep_ms * 1000);
+    util::Json j = util::Json::object();
+    j["value"] = value;
+    return j;
+  };
+  return p;
+}
+
+}  // namespace
+
+TEST(OrchestratorPool, ManifestAndReportByteIdenticalToSerial) {
+  const std::string mSerial = tmp_path("pool_vs_serial_a.manifest");
+  const std::string mPool = tmp_path("pool_vs_serial_b.manifest");
+  for (const std::string& m : {mSerial, mPool}) {
+    std::remove(m.c_str());
+    std::remove((m + ".timing.json").c_str());
+  }
+
+  // Sleeps shrink with the index, so under the pool later points finish
+  // first — the exact completion order a naive append-to-manifest would leak.
+  std::vector<harness::PointSpec> points;
+  for (unsigned i = 0; i < 6; ++i) {
+    points.push_back(sleepy_point("pt-" + std::to_string(i),
+                                  static_cast<double>(i) * 0.25, (5 - i) * 20));
+  }
+
+  harness::OrchestratorConfig serial_cfg = quick_config("pool_serial");
+  serial_cfg.manifest_path = mSerial;
+  serial_cfg.fingerprint = "pool-sweep";
+  serial_cfg.jobs = 1;
+  harness::Orchestrator serial(serial_cfg);
+  const harness::SweepSummary s1 = serial.run(points);
+  EXPECT_TRUE(s1.complete());
+  EXPECT_EQ(s1.jobs, 1u);
+
+  harness::OrchestratorConfig pool_cfg = quick_config("pool_parallel");
+  pool_cfg.manifest_path = mPool;
+  pool_cfg.fingerprint = "pool-sweep";
+  pool_cfg.jobs = 4;
+  harness::Orchestrator pool(pool_cfg);
+  const harness::SweepSummary s2 = pool.run(points);
+  EXPECT_TRUE(s2.complete());
+  EXPECT_EQ(s2.ok, 6u);
+  EXPECT_EQ(s2.jobs, 4u);
+
+  // The determinism contract: byte-for-byte, manifest and report.
+  EXPECT_EQ(slurp(mSerial), slurp(mPool));
+  EXPECT_EQ(serial.report().dump(2), pool.report().dump(2));
+  // Wall clock lives in the sidecar, not the manifest.
+  EXPECT_FALSE(slurp(mPool).find("wall") != std::string::npos);
+  EXPECT_TRUE(slurp(mPool + ".timing.json").find("points") != std::string::npos);
+}
+
+TEST(OrchestratorPool, RetriedFlakyPointMatchesSerialBytes) {
+  const std::string mSerial = tmp_path("pool_retry_a.manifest");
+  const std::string mPool = tmp_path("pool_retry_b.manifest");
+  const std::string markerSerial = tmp_path("pool_retry_a.marker");
+  const std::string markerPool = tmp_path("pool_retry_b.marker");
+  for (const std::string& f : {mSerial, mPool, markerSerial, markerPool}) {
+    std::remove(f.c_str());
+    std::remove((f + ".timing.json").c_str());
+  }
+
+  const auto points_with = [](const std::string& marker) {
+    harness::PointSpec flaky;
+    flaky.name = "flaky";
+    // First attempt dies AFTER leaving a marker; the retry sees the marker
+    // and succeeds — deterministic two-attempt record either way.
+    flaky.body = [marker]() -> util::Json {
+      if (!std::ifstream(marker).good()) {
+        std::ofstream(marker) << "seen";
+        throw std::runtime_error("first attempt dies");
+      }
+      util::Json j = util::Json::object();
+      j["value"] = 42.0;
+      return j;
+    };
+    return std::vector<harness::PointSpec>{ok_point("a", 1.0), flaky,
+                                           ok_point("b", 2.0)};
+  };
+
+  harness::OrchestratorConfig serial_cfg = quick_config("pool_retry_serial");
+  serial_cfg.manifest_path = mSerial;
+  serial_cfg.fingerprint = "retry-sweep";
+  serial_cfg.jobs = 1;
+  serial_cfg.max_attempts = 2;
+  serial_cfg.backoff_seconds = 0.01;
+  harness::Orchestrator serial(serial_cfg);
+  EXPECT_TRUE(serial.run(points_with(markerSerial)).complete());
+
+  harness::OrchestratorConfig pool_cfg = quick_config("pool_retry_pool");
+  pool_cfg.manifest_path = mPool;
+  pool_cfg.fingerprint = "retry-sweep";
+  pool_cfg.jobs = 3;
+  pool_cfg.max_attempts = 2;
+  pool_cfg.backoff_seconds = 0.01;
+  harness::Orchestrator pool(pool_cfg);
+  const harness::SweepSummary s = pool.run(points_with(markerPool));
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.ok, 3u);
+
+  const harness::PointRecord* rec = pool.manifest().find("flaky");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->attempts, 2u);
+  EXPECT_EQ(slurp(mSerial), slurp(mPool));
+}
+
+TEST(OrchestratorPool, KilledWorkerRecordedThenResumeRepairsByteIdentical) {
+  const std::string mPool = tmp_path("pool_kill.manifest");
+  const std::string mRef = tmp_path("pool_kill_ref.manifest");
+  const std::string marker = tmp_path("pool_kill.marker");
+  const std::string markerRef = tmp_path("pool_kill_ref.marker");
+  for (const std::string& f : {mPool, mRef, marker, markerRef}) {
+    std::remove(f.c_str());
+    std::remove((f + ".timing.json").c_str());
+  }
+
+  const auto points_with = [](const std::string& m) {
+    harness::PointSpec victim;
+    victim.name = "victim";
+    // Simulates losing the worker process itself: first run, the forked
+    // child is SIGKILLed mid-point (after leaving a marker); later runs
+    // complete normally.
+    victim.body = [m]() -> util::Json {
+      if (!std::ifstream(m).good()) {
+        std::ofstream(m) << "died here";
+        ::raise(SIGKILL);
+      }
+      util::Json j = util::Json::object();
+      j["value"] = 9.0;
+      return j;
+    };
+    return std::vector<harness::PointSpec>{ok_point("a", 1.0), victim,
+                                           ok_point("b", 2.0), ok_point("c", 3.0)};
+  };
+
+  harness::OrchestratorConfig cfg = quick_config("pool_kill");
+  cfg.manifest_path = mPool;
+  cfg.fingerprint = "kill-sweep";
+  cfg.jobs = 3;
+  {
+    harness::Orchestrator orch(cfg);
+    const harness::SweepSummary s = orch.run(points_with(marker));
+    EXPECT_TRUE(s.complete());  // crash recorded as a gap, sweep still lands
+    EXPECT_EQ(s.failed, 1u);
+    const harness::PointRecord* rec = orch.manifest().find("victim");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->status, "crash");
+    EXPECT_EQ(rec->term_signal, SIGKILL);
+  }
+
+  // Resume: the three ok points replay from the manifest; ONLY the lost
+  // point re-runs (and now succeeds past its marker).
+  harness::OrchestratorConfig resume_cfg = cfg;
+  resume_cfg.work_dir = tmp_path("work_pool_kill_resume");
+  harness::Orchestrator resumed(resume_cfg);
+  const harness::SweepSummary s2 = resumed.run(points_with(marker));
+  EXPECT_TRUE(s2.complete());
+  EXPECT_EQ(s2.resumed, 3u);
+  EXPECT_EQ(s2.executed, 1u);
+  EXPECT_EQ(s2.ok, 4u);
+
+  // Uninterrupted serial reference (marker pre-created: victim never dies).
+  { std::ofstream(markerRef) << "precreated"; }
+  harness::OrchestratorConfig ref_cfg = quick_config("pool_kill_ref");
+  ref_cfg.manifest_path = mRef;
+  ref_cfg.fingerprint = "kill-sweep";
+  ref_cfg.jobs = 1;
+  harness::Orchestrator reference(ref_cfg);
+  EXPECT_TRUE(reference.run(points_with(markerRef)).complete());
+
+  EXPECT_EQ(slurp(mPool), slurp(mRef));
+  EXPECT_EQ(resumed.report().dump(2), reference.report().dump(2));
+}
+
+TEST(OrchestratorPool, WatchdogKillsHungChildOthersComplete) {
+  harness::OrchestratorConfig cfg = quick_config("pool_timeout");
+  cfg.jobs = 2;
+  cfg.timeout_seconds = 0.3;
+  harness::PointSpec hung;
+  hung.name = "hung";
+  hung.body = [] {
+    ::usleep(5 * 1000 * 1000);
+    return util::Json::object();
+  };
+  harness::Orchestrator orch(cfg);
+  const harness::SweepSummary s =
+      orch.run({hung, ok_point("a", 1.0), ok_point("b", 2.0)});
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.ok, 2u);
+  EXPECT_EQ(s.failed, 1u);
+  const harness::PointRecord* rec = orch.manifest().find("hung");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->status, "timeout");
+}
+
+TEST(OrchestratorPool, ChildExitSixHaltsPoolWithoutRecordingIt) {
+  harness::OrchestratorConfig cfg = quick_config("pool_exit6");
+  cfg.manifest_path = tmp_path("pool_exit6.manifest");
+  std::remove(cfg.manifest_path.c_str());
+  std::remove((cfg.manifest_path + ".timing.json").c_str());
+  cfg.jobs = 2;
+  harness::PointSpec parked;
+  parked.name = "parked";
+  parked.argv = {"/bin/sh", "-c", "exit 6"};  // kExitInterrupted contract
+  harness::Orchestrator orch(cfg);
+  const harness::SweepSummary s =
+      orch.run({parked, ok_point("a", 1.0), ok_point("b", 2.0)});
+  EXPECT_TRUE(s.interrupted);
+  EXPECT_FALSE(s.complete());
+  // The parked point must stay unrecorded so the next invocation re-runs it.
+  EXPECT_EQ(orch.manifest().find("parked"), nullptr);
 }

@@ -1,12 +1,18 @@
 // Unit tests for src/util: RNG, statistics, fixed-point, bitops, config.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <set>
+#include <sstream>
 #include <vector>
 
+#include "util/atomic_file.hpp"
 #include "util/bitops.hpp"
 #include "util/config.hpp"
 #include "util/fixed_point.hpp"
@@ -461,6 +467,77 @@ TEST(Config, EditDistanceBasics) {
   EXPECT_EQ(edit_distance("insts", "inst"), 1u);    // deletion
   EXPECT_EQ(edit_distance("seed", "sead"), 1u);     // substitution
   EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file replacement under concurrent writers.
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(AtomicFile, WritesAndReplaces) {
+  const std::string path = testing::TempDir() + "memsched_atomic_basic";
+  atomic_write_file(path, "first");
+  EXPECT_EQ(slurp_file(path), "first");
+  atomic_write_file(path, "second, longer payload");
+  EXPECT_EQ(slurp_file(path), "second, longer payload");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, TmpPathIsUniquePerWrite) {
+  const std::string a = atomic_tmp_path("/some/dir/file.json");
+  const std::string b = atomic_tmp_path("/some/dir/file.json");
+  EXPECT_NE(a, b);  // monotonic counter: successive writes never collide
+  EXPECT_EQ(a.rfind("/some/dir/file.json.tmp.", 0), 0u);
+  // PID in the suffix: two processes writing the same path never collide.
+  EXPECT_NE(a.find("." + std::to_string(::getpid()) + "."), std::string::npos);
+}
+
+TEST(AtomicFile, TwoInterleavedWritersNeverPublishTornBytes) {
+  // Regression for the fixed `path + ".tmp"` temp name: two processes
+  // replacing the same file concurrently would O_TRUNC each other's
+  // in-flight temp file, and a rename could publish a torn mix. With
+  // writer-unique temp names the final file is always exactly one writer's
+  // complete payload.
+  const std::string path = testing::TempDir() + "memsched_atomic_race";
+  std::remove(path.c_str());
+  const std::string a(64 * 1024, 'A');
+  const std::string b(64 * 1024, 'B');
+  constexpr int kRounds = 50;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child writer. No gtest in here — report via exit code only.
+    try {
+      for (int i = 0; i < kRounds; ++i) atomic_write_file(path, b);
+    } catch (...) {
+      ::_exit(1);
+    }
+    ::_exit(0);
+  }
+  for (int i = 0; i < kRounds; ++i) atomic_write_file(path, a);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child writer hit an I/O error";
+
+  const std::string got = slurp_file(path);
+  ASSERT_EQ(got.size(), a.size());
+  EXPECT_TRUE(got == a || got == b) << "published file mixes two writers";
+
+  // Every temp file was consumed by its own rename — no litter.
+  std::size_t leftovers = 0;
+  for (const auto& e : std::filesystem::directory_iterator(testing::TempDir())) {
+    if (e.path().filename().string().rfind("memsched_atomic_race.tmp", 0) == 0)
+      ++leftovers;
+  }
+  EXPECT_EQ(leftovers, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -47,7 +47,9 @@ int usage() {
       "  benches  [bindir=build/bench]\n"
       "  common   [manifest=path] [report=path] [timeout=seconds] [attempts=N]\n"
       "           [backoff=seconds] [isolate=0|1] [stop_after=N] [strict=0|1]\n"
-      "           [quiet=0|1]\n");
+      "           [quiet=0|1] [jobs=N | --jobs N]\n"
+      "           jobs=0 (default) = auto: MEMSCHED_JOBS env, else all cores;\n"
+      "           jobs=1 = serial. Reports are byte-identical either way.\n");
   throw std::invalid_argument("bad sweep command line");
 }
 
@@ -94,6 +96,10 @@ harness::OrchestratorConfig orchestrator_from(const util::Config& cli,
   oc.isolate = cli.get_bool("isolate", true);
   oc.stop_after = static_cast<std::uint32_t>(cli.get_uint("stop_after", 0));
   oc.verbose = !cli.get_bool("quiet", false);
+  // jobs=0 = auto (MEMSCHED_JOBS env, else hardware_concurrency); the
+  // orchestrator resolves it. Parallelism never enters the fingerprint:
+  // the sweep's identity — and its output bytes — are the same at any width.
+  oc.jobs = static_cast<std::uint32_t>(cli.get_uint("jobs", 0));
   oc.stop = &ckpt::stop_flag();
   return oc;
 }
@@ -109,10 +115,16 @@ int finish(const util::Config& cli, harness::Orchestrator& orch,
   }
   if (const std::string path = cli.get_string("report", ""); !path.empty()) {
     orch.report().write_file(path);
+    // Wall-clock observability lives in a sidecar, never in the report:
+    // the report must stay byte-identical across jobs= and resume history.
+    orch.timing_report().write_file(path + ".timing.json");
     std::printf("report: %s\n", path.c_str());
   }
-  std::printf("sweep: %zu points, %zu ok (%zu resumed), %zu failed%s\n", s.total, s.ok,
-              s.resumed, s.failed, s.abandoned ? " [abandoned by stop_after]" : "");
+  std::printf("sweep: %zu points, %zu ok (%zu resumed), %zu failed%s "
+              "[%.2f s wall, jobs=%u]\n",
+              s.total, s.ok, s.resumed, s.failed,
+              s.abandoned ? " [abandoned by stop_after]" : "", s.wall_ms / 1000.0,
+              s.jobs);
   for (const harness::PointRecord& r : orch.manifest().records()) {
     if (!r.ok()) {
       std::printf("  gap: %s (%s) %s\n", r.name.c_str(), r.status.c_str(),
@@ -131,7 +143,7 @@ int cmd_grid(const util::Config& cli) {
            "seed", "profile_seed", "interleave", "engine", "verify",
            "progress_window", "ckpt", "ckpt_interval", "fault", "manifest",
            "report", "timeout", "attempts", "backoff", "isolate", "stop_after",
-           "strict", "quiet"},
+           "strict", "quiet", "jobs"},
           {"fault."})) {
     throw std::invalid_argument(*err);
   }
@@ -189,6 +201,15 @@ int cmd_grid(const util::Config& cli) {
     for (const std::string& scheme : schemes) {
       harness::PointSpec p;
       p.name = wname + "/" + scheme;
+      // Dispatch hint for the parallel executor: simulated work scales with
+      // instruction count x cores (workload names lead with the core count,
+      // "4MEM-1" = 4 cores). Replaced by measured wall time once a timing
+      // sidecar exists; a wrong hint only costs wall clock.
+      const double cores = (wname.empty() || wname[0] < '1' || wname[0] > '9')
+                               ? 1.0
+                               : static_cast<double>(wname[0] - '0');
+      p.cost_hint = static_cast<double>(cfg.eval_insts) * cores *
+                    static_cast<double>(cfg.eval_repeats);
       const bool chaos = fault_targets(p.name);
       auto payload_for = [cfg, wname, scheme, fault, chaos,
                           ckpt_interval](const std::string& ckpt_dir) {
@@ -236,7 +257,7 @@ int cmd_grid(const util::Config& cli) {
 int cmd_benches(const util::Config& cli) {
   if (const auto err = cli.check_known({"bindir", "manifest", "report", "timeout",
                                         "attempts", "backoff", "isolate",
-                                        "stop_after", "strict", "quiet"})) {
+                                        "stop_after", "strict", "quiet", "jobs"})) {
     throw std::invalid_argument(*err);
   }
   const std::string bindir = cli.get_string("bindir", "build/bench");
@@ -246,6 +267,7 @@ int cmd_benches(const util::Config& cli) {
   for (const harness::BenchEntry& b : harness::bench_registry()) {
     harness::PointSpec p;
     p.name = b.name;
+    p.cost_hint = b.cost_weight;
     p.argv.push_back(bindir + "/" + b.name);
     for (const std::string& a : b.smoke_args) p.argv.push_back(a);
     points.push_back(std::move(p));
@@ -267,10 +289,25 @@ int main(int argc, char** argv) {
     ckpt::install_stop_handlers();
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
+    // The tool speaks key=value, but jobs also gets the conventional flag
+    // spelling (--jobs N / --jobs=N) since that is what every other build
+    // tool calls it; translate before parsing.
+    std::vector<std::string> arg_store;
+    for (int i = 2; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--jobs" && i + 1 < argc) {
+        arg_store.push_back("jobs=" + std::string(argv[++i]));
+      } else if (a.rfind("--jobs=", 0) == 0) {
+        arg_store.push_back("jobs=" + a.substr(7));
+      } else {
+        arg_store.push_back(a);
+      }
+    }
+    std::vector<char*> args;
+    args.push_back(argv[1]);  // parse_args skips the leading program slot
+    for (std::string& a : arg_store) args.push_back(a.data());
     util::Config cli;
-    // parse_args skips argv[0]; shifting by one makes the subcommand play
-    // that role, leaving only key=value tokens.
-    if (auto err = cli.parse_args(argc - 1, argv + 1)) {
+    if (auto err = cli.parse_args(static_cast<int>(args.size()), args.data())) {
       std::fprintf(stderr, "%s\n", err->c_str());
       return usage();
     }
