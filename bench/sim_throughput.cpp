@@ -14,7 +14,6 @@
 // Emits BENCH_sim_throughput.json (override with out=<path>) for
 // scripts/check_throughput.py, the CI regression gate.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -28,15 +27,15 @@
 #include "sim/workloads.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
+#include "util/wallclock.hpp"
 
 using namespace memsched;
 using bench::BenchSetup;
 
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  const auto dt = std::chrono::steady_clock::now() - t0;
-  return std::chrono::duration<double>(dt).count();
+double seconds_since(util::MonotonicTime t0) {
+  return util::seconds_between(t0, util::monotonic_now());
 }
 
 sched::SchedulerPtr scheduler_for(const std::string& scheme, std::uint32_t cores) {
@@ -78,7 +77,7 @@ TimedRun time_closed(const BenchSetup& setup, const sim::Workload& w,
   for (int i = 0; i < reps; ++i) {
     const sched::SchedulerPtr s = scheduler_for(scheme, cfg.cores);
     sim::MultiCoreSystem sys(cfg, w.apps(), *s, setup.experiment.eval_seed);
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = util::monotonic_now();
     const sim::RunResult r = sys.run(setup.experiment.eval_insts,
                                      setup.experiment.warmup_insts);
     const double wall = seconds_since(t0);
@@ -98,7 +97,7 @@ TimedRun time_open(const sim::OpenLoopConfig& base, const std::string& scheme,
   TimedRun out;
   for (int i = 0; i < reps; ++i) {
     const sched::SchedulerPtr s = scheduler_for(scheme, cfg.cores);
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = util::monotonic_now();
     const sim::OpenLoopResult r = sim::run_open_loop(cfg, *s);
     const double wall = seconds_since(t0);
     if (i == 0) reps = reps_for(wall, reps);

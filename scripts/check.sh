@@ -14,6 +14,10 @@ cmake --build build
 # Hard wall-clock cap: a wedged test must fail the gate, not hang it.
 timeout 2400 ctest --test-dir build --output-on-failure
 
+echo "== memsched-lint (determinism & contract checks, see docs/static-analysis.md) =="
+scripts/run_lint.sh build
+echo "  memsched-lint ok"
+
 echo "== clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   find src -name '*.cpp' -print | xargs clang-tidy -p build --quiet

@@ -71,12 +71,12 @@ void Writer::put_str(const std::string& s) {
 
 void Writer::put_u64_vec(const std::vector<std::uint64_t>& v) {
   put_u64(v.size());
-  for (std::uint64_t x : v) put_u64(x);
+  for (const std::uint64_t x : v) put_u64(x);
 }
 
 void Writer::put_rng(const util::Xoshiro256& rng) {
   const auto st = rng.state();
-  for (std::uint64_t w : st.s) put_u64(w);
+  for (const std::uint64_t w : st.s) put_u64(w);
 }
 
 void Writer::put_stat(const util::RunningStat& st) {
@@ -147,8 +147,8 @@ class Parser {
 Reader::Reader(const std::string& path, const std::string& expected_fingerprint) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw SnapshotError("snapshot: cannot open " + path);
-  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
-                                std::istreambuf_iterator<char>());
+  const std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                      std::istreambuf_iterator<char>());
   if (in.bad()) throw SnapshotError("snapshot: read error on " + path);
 
   Parser ps(raw.data(), raw.size());

@@ -7,7 +7,6 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -18,20 +17,19 @@
 
 #include "harness/guarded_main.hpp"
 #include "util/progress.hpp"
+#include "util/wallclock.hpp"
 
 namespace memsched::harness {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// All wall-clock reads go through the blessed wrapper (util/wallclock.hpp)
+// so det-banned-call can vouch that host time never leaks into simulated
+// state; the orchestrator only times and schedules *around* the children.
+using Clock = util::MonotonicClock;
 
 double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
-
-Clock::duration seconds_to_duration(double seconds) {
-  return std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(seconds));
+  return util::ms_between(start, util::monotonic_now());
 }
 
 void sleep_seconds(double seconds) {
@@ -111,7 +109,7 @@ void Orchestrator::commit_record(const PointRecord& rec) {
 }
 
 SweepSummary Orchestrator::run(const std::vector<PointSpec>& points) {
-  const auto start = Clock::now();
+  const auto start = util::monotonic_now();
   const std::uint32_t jobs = resolve_jobs(cfg_.jobs);
   // The pool needs fork isolation (watchdog and crash shielding live in the
   // child boundary), and stop_after counts executions in point order, so
@@ -236,7 +234,7 @@ SweepSummary Orchestrator::run_pool(const std::vector<PointSpec>& points,
   util::ProgressTicker ticker(cfg_.verbose && ::isatty(STDERR_FILENO) != 0);
   std::vector<Slot> slots;
   slots.reserve(jobs);
-  const auto pool_start = Clock::now();
+  const auto pool_start = util::monotonic_now();
   double done_cost = 0.0;  // estimated cost of completed points (ETA input)
   bool halting = false;    // stop dispatching (graceful stop or interrupted child)
 
@@ -266,7 +264,8 @@ SweepSummary Orchestrator::run_pool(const std::vector<PointSpec>& points,
       Pending p;
       p.index = index;
       p.attempt = attempt + 1;
-      p.ready_at = Clock::now() + seconds_to_duration(cfg_.backoff_seconds * attempt);
+      p.ready_at = util::monotonic_now() +
+                   util::seconds_to_duration(cfg_.backoff_seconds * attempt);
       pending.insert(std::lower_bound(pending.begin(), pending.end(), p, lpt_less), p);
       return;
     }
@@ -310,7 +309,7 @@ SweepSummary Orchestrator::run_pool(const std::vector<PointSpec>& points,
     // Dispatch: fill free slots with ready points, longest expected first
     // (pending is kept sorted; the scan skips entries still in backoff).
     while (!halting && slots.size() < jobs && !pending.empty()) {
-      const auto now = Clock::now();
+      const auto now = util::monotonic_now();
       const auto it = std::find_if(pending.begin(), pending.end(),
                                    [now](const Pending& p) { return p.ready_at <= now; });
       if (it == pending.end()) break;
@@ -333,9 +332,9 @@ SweepSummary Orchestrator::run_pool(const std::vector<PointSpec>& points,
       s.pid = pid;
       s.index = p.index;
       s.attempt = p.attempt;
-      s.start = Clock::now();
+      s.start = util::monotonic_now();
       if (cfg_.timeout_seconds > 0.0) {
-        s.deadline = s.start + seconds_to_duration(cfg_.timeout_seconds);
+        s.deadline = s.start + util::seconds_to_duration(cfg_.timeout_seconds);
         s.has_deadline = true;
       }
       slots.push_back(s);
@@ -352,7 +351,7 @@ SweepSummary Orchestrator::run_pool(const std::vector<PointSpec>& points,
       if (r < 0 && errno == EINTR) continue;  // retry this slot
       bool timed_out = false;
       if (r == 0) {
-        if (s.has_deadline && Clock::now() >= s.deadline) {
+        if (s.has_deadline && util::monotonic_now() >= s.deadline) {
           // Per-child wall-clock watchdog: hung point gets SIGKILL; the
           // (now unblockable) exit is collected synchronously.
           ::kill(s.pid, SIGKILL);
@@ -445,7 +444,7 @@ PointRecord Orchestrator::run_inline(const PointSpec& point, std::size_t index) 
   PointRecord rec;
   rec.name = point.name;
   rec.index = static_cast<std::uint32_t>(index);
-  const auto start = Clock::now();
+  const auto start = util::monotonic_now();
   std::string ckpt_dir;
   if (point.body_ckpt) {
     ckpt_dir = ckpt_dir_for(index);
@@ -601,7 +600,7 @@ PointRecord Orchestrator::conclude_child(const PointSpec& point, std::size_t ind
 }
 
 PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) {
-  const auto start = Clock::now();
+  const auto start = util::monotonic_now();
   const pid_t pid = spawn_child(point, index);
   if (pid < 0) {
     PointRecord rec;
@@ -617,7 +616,7 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
   // Parent: wall-clock watchdog. Poll so a wedged child — one the in-process
   // progress watchdog cannot see, e.g. stuck before it even starts ticking —
   // is killed hard at the deadline.
-  const auto deadline = start + seconds_to_duration(cfg_.timeout_seconds);
+  const auto deadline = start + util::seconds_to_duration(cfg_.timeout_seconds);
   bool timed_out = false;
   bool stop_forwarded = false;
   int status = 0;
@@ -642,7 +641,7 @@ PointRecord Orchestrator::run_forked(const PointSpec& point, std::size_t index) 
       ::kill(pid, SIGTERM);
       stop_forwarded = true;
     }
-    if (cfg_.timeout_seconds > 0.0 && Clock::now() >= deadline) {
+    if (cfg_.timeout_seconds > 0.0 && util::monotonic_now() >= deadline) {
       ::kill(pid, SIGKILL);
       ::waitpid(pid, &status, 0);
       timed_out = true;

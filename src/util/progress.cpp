@@ -1,5 +1,6 @@
 #include "util/progress.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 namespace memsched::util {
@@ -14,7 +15,7 @@ ProgressTicker::ProgressTicker(bool enabled) : enabled_(enabled) {}
 
 void ProgressTicker::update(const State& s) {
   if (!enabled_) return;
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = monotonic_now();
   const bool counts_changed = s.done != last_.done || s.failed != last_.failed ||
                               s.running != last_.running;
   if (drawn_ && !counts_changed && now - last_draw_ < kRefresh) return;

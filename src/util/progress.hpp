@@ -8,9 +8,10 @@
 // one row, and finish() once at the end to erase the ticker for good.
 #pragma once
 
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
+
+#include "util/wallclock.hpp"
 
 namespace memsched::util {
 
@@ -44,7 +45,7 @@ class ProgressTicker {
   bool enabled_;
   bool drawn_ = false;
   State last_{};
-  std::chrono::steady_clock::time_point last_draw_{};
+  MonotonicTime last_draw_{};
 };
 
 }  // namespace memsched::util

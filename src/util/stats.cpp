@@ -98,14 +98,14 @@ double Histogram::quantile(double q) const {
 double mean_of(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double s = 0.0;
-  for (double x : xs) s += x;
+  for (const double x : xs) s += x;
   return s / static_cast<double>(xs.size());
 }
 
 double geomean_of(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double log_sum = 0.0;
-  for (double x : xs) {
+  for (const double x : xs) {
     if (x <= 0.0) return 0.0;
     log_sum += std::log(x);
   }

@@ -276,7 +276,16 @@ void RequestLifecycleChecker::cross_check(const mc::MemoryController& mc, Tick n
 void RequestLifecycleChecker::finalize(const mc::MemoryController& mc, Tick now) {
   cross_check(mc, now);
   if (mc.idle() && !live_.empty()) {
-    const auto& [id, rec] = *live_.begin();
+    // Report the *smallest* leaked id, not whatever hashes first: the example
+    // in the diagnostic must be stable across libstdc++ versions and hash
+    // seeds. Min over an unordered range is order-independent.
+    // memsched-lint: allow(det-unordered-iter)
+    auto min_it = live_.begin();
+    // memsched-lint: allow(det-unordered-iter)
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (it->first < min_it->first) min_it = it;
+    }
+    const auto& [id, rec] = *min_it;
     sink_.report("leak", now,
                  "controller idle but %zu request(s) never retired; e.g. id %llu "
                  "(%s, core %u, enqueued @%llu)",

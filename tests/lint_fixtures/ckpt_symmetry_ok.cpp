@@ -1,0 +1,68 @@
+// lint-as: src/fixture/ckpt_symmetry_ok.cpp
+// Fixture: a fully symmetric checkpointer — sections, scalars, a counted
+// loop, and delegation to a nested component — produces no diagnostics.
+// A save-only class (its load lives in another TU) is also quiet.
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
+namespace fixture {
+
+inline void put_u64(ckpt::Writer&, unsigned long long) {}
+inline void put_u32(ckpt::Writer&, unsigned) {}
+inline void put_bool(ckpt::Writer&, bool) {}
+inline unsigned long long get_u64(ckpt::Reader&) { return 0; }
+inline unsigned get_u32(ckpt::Reader&) { return 0; }
+inline bool get_bool(ckpt::Reader&) { return false; }
+inline void begin_section(ckpt::Writer&, const char*) {}
+inline void open_section(ckpt::Reader&, const char*) {}
+
+class Bank {
+ public:
+  void save_state(ckpt::Writer& w) const {
+    put_u32(w, open_row_);
+    put_bool(w, precharged_);
+  }
+  void load_state(ckpt::Reader& r) {
+    open_row_ = get_u32(r);
+    precharged_ = get_bool(r);
+  }
+
+ private:
+  unsigned open_row_ = 0;
+  bool precharged_ = true;
+};
+
+class Controller {
+ public:
+  void save_state(ckpt::Writer& w) const {
+    begin_section(w, "controller");
+    put_u64(w, tick_);
+    put_u32(w, bank_count_);
+    for (unsigned i = 0; i < bank_count_; ++i) banks_[i].save_state(w);
+  }
+  void load_state(ckpt::Reader& r) {
+    open_section(r, "controller");
+    tick_ = get_u64(r);
+    bank_count_ = get_u32(r);
+    for (unsigned i = 0; i < bank_count_; ++i) banks_[i].load_state(r);
+  }
+
+ private:
+  unsigned long long tick_ = 0;
+  unsigned bank_count_ = 0;
+  Bank banks_[8];
+};
+
+// Only one side in this TU: nothing to pair, nothing to report.
+class SaveOnly {
+ public:
+  void save_state(ckpt::Writer& w) const { put_u64(w, stamp_); }
+
+ private:
+  unsigned long long stamp_ = 0;
+};
+
+}  // namespace fixture

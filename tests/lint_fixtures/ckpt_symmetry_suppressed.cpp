@@ -1,0 +1,31 @@
+// lint-as: src/fixture/ckpt_symmetry_suppressed.cpp
+// Fixture: a deliberate save/load asymmetry (version-skew shim reads an
+// extra legacy field) silenced with an allow() on the reported line.
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
+namespace fixture {
+
+inline void put_u64(ckpt::Writer&, unsigned long long) {}
+inline unsigned long long get_u64(ckpt::Reader&) { return 0; }
+inline unsigned get_u32(ckpt::Reader&) { return 0; }
+
+class LegacyShim {
+ public:
+  void save_state(ckpt::Writer& w) const { put_u64(w, tick_); }
+
+  // Old snapshots carry a trailing u32 revision we no longer write.
+  // memsched-lint: allow(ckpt-symmetry)
+  void load_state(ckpt::Reader& r) {
+    tick_ = get_u64(r);
+    (void)get_u32(r);
+  }
+
+ private:
+  unsigned long long tick_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// lint-as: tools/fixture/contract_config_key.cpp
+// Fixture: contract-config-key — getters must use keys registered through
+// one of the validation idioms: literals passed to check_known(...), a
+// braced extra-keys list handed to a parse helper, or a string_view key
+// table. Exact matches and registered prefix families pass; an unregistered
+// key fires; a suppressed read stays quiet.
+#include <initializer_list>
+#include <string_view>
+
+namespace fixture {
+
+struct Config {
+  void check_known(std::initializer_list<const char*> keys) const {}
+  const char* get_string(const char* key) const { return ""; }
+  int get_int(const char* key) const { return 0; }
+  bool get_bool(const char* key) const { return false; }
+  bool has(const char* key) const { return false; }
+};
+
+inline void parse_extra(int argc, char** argv,
+                        std::initializer_list<const char*> extra) {}
+
+constexpr std::string_view kTableKeys[] = {"report"};
+
+inline int run(int argc, char** argv, const Config& cfg) {
+  cfg.check_known({"ticks", "trace", "fault."});
+  parse_extra(argc, argv, {"out"});
+
+  int acc = cfg.get_int("ticks");
+  if (cfg.has("trace")) acc += 1;
+  if (cfg.get_bool("fault.drop")) acc += 2;  // prefix family "fault."
+  acc += cfg.get_int(cfg.get_string("report"));
+  if (cfg.has("out")) acc += 3;
+  acc += cfg.get_int("warmup");  // expect-lint: contract-config-key
+  // memsched-lint: allow(contract-config-key)
+  acc += cfg.get_int("debug.secret");
+  return acc;
+}
+
+}  // namespace fixture

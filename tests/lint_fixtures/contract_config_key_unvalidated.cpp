@@ -1,0 +1,13 @@
+// lint-as: tools/fixture/contract_config_key_unvalidated.cpp
+// Fixture: a TU that never calls check_known has opted out of key
+// validation, so contract-config-key stays silent even for odd keys.
+
+namespace fixture {
+
+struct Config {
+  int get_int(const char* key) const { return 0; }
+};
+
+inline int run(const Config& cfg) { return cfg.get_int("anything.goes"); }
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// lint-as: tools/fixture/contract_guarded_main.cpp
+// Fixture: a tool entry point that bypasses harness::guarded_main violates
+// the exit-code contract.
+
+int main(int argc, char** argv) {  // expect-lint: contract-guarded-main
+  (void)argc;
+  (void)argv;
+  return 0;
+}

@@ -1,0 +1,6 @@
+// lint-as: tools/fixture/contract_guarded_main_suppressed.cpp
+// Fixture: contract-guarded-main suppression for a micro-tool that must not
+// pull in the harness library.
+
+// memsched-lint: allow(contract-guarded-main)
+int main() { return 0; }

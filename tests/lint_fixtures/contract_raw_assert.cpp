@@ -1,0 +1,27 @@
+// lint-as: src/fixture/contract_raw_assert.cpp
+// Fixture: raw assert() is flagged; the project macros, static_assert, and a
+// suppressed occurrence are not.
+#include <cassert>
+
+#define MEMSCHED_ASSERT(cond) ((void)0)
+#define MEMSCHED_ASSERTF(cond, ...) ((void)0)
+
+namespace fixture {
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+inline int checked_div(int a, int b) {
+  assert(b != 0);  // expect-lint: contract-raw-assert
+  MEMSCHED_ASSERT(b != 0);
+  MEMSCHED_ASSERTF(b != 0, "divisor %d", b);
+  return a / b;
+}
+
+inline int legacy_div(int a, int b) {
+  // Third-party-derived code kept byte-identical on purpose.
+  // memsched-lint: allow(contract-raw-assert)
+  assert(b != 0);
+  return a / b;
+}
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+// lint-as: src/fixture/det_banned_call.cpp
+// Fixture: det-banned-call flags wall-clock and libc randomness/time entry
+// points outside the blessed wrappers, including clock aliases, and leaves
+// same-named member functions and namespaced lookalikes alone.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+using Clock = std::chrono::steady_clock;
+
+struct Stopwatch {
+  long time() const { return 0; }   // member named `time` is fine
+  long rand() const { return 0; }
+};
+
+namespace mylib {
+inline int time() { return 0; }
+}  // namespace mylib
+
+inline long bad_calls() {
+  long acc = 0;
+  acc += std::rand();                                        // expect-lint: det-banned-call
+  std::srand(42);                                            // expect-lint: det-banned-call
+  acc += static_cast<long>(time(nullptr));                   // expect-lint: det-banned-call
+  acc += static_cast<long>(std::time(nullptr));              // expect-lint: det-banned-call
+  std::random_device rd;                                     // expect-lint: det-banned-call
+  acc += static_cast<long>(rd());
+  auto t0 = std::chrono::steady_clock::now();                // expect-lint: det-banned-call
+  auto t1 = std::chrono::system_clock::now();                // expect-lint: det-banned-call
+  auto t2 = Clock::now();                                    // expect-lint: det-banned-call
+  acc += t0.time_since_epoch().count();
+  acc += t1.time_since_epoch().count();
+  acc += t2.time_since_epoch().count();
+  return acc;
+}
+
+inline long ok_calls(const Stopwatch& sw) {
+  long acc = 0;
+  acc += sw.time();        // member call, not ::time
+  acc += sw.rand();
+  acc += mylib::time();    // user namespace, not the libc symbol
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// lint-as: src/util/wallclock.hpp
+// Fixture: the blessed wrapper files may touch the real clocks — no
+// diagnostics expected even though every line here would fire elsewhere.
+#include <chrono>
+
+namespace fixture {
+
+inline auto now() { return std::chrono::steady_clock::now(); }
+inline auto wall() { return std::chrono::system_clock::now(); }
+
+}  // namespace fixture

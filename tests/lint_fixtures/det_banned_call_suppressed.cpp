@@ -1,0 +1,13 @@
+// lint-as: src/fixture/det_banned_call_suppressed.cpp
+// Fixture: det-banned-call suppression for a deliberate wall-clock read.
+#include <chrono>
+
+namespace fixture {
+
+inline auto startup_stamp() {
+  // Logged once at startup for humans; never feeds simulation state.
+  // memsched-lint: allow(det-banned-call)
+  return std::chrono::system_clock::now();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// lint-as: src/fixture/det_pointer_key.cpp
+// Fixture: det-pointer-key flags ordered containers keyed by raw pointer
+// (iteration order = allocation order = nondeterministic) and leaves
+// value-keyed ones alone.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Request {
+  int id;
+};
+
+struct Holder {
+  std::map<Request*, int> by_ptr_;             // expect-lint: det-pointer-key
+  std::set<const Request*> ptr_set_;           // expect-lint: det-pointer-key
+  std::multimap<Request*, int> multi_;         // expect-lint: det-pointer-key
+  std::map<std::string, int> by_name_;
+  std::set<int> ids_;
+  std::map<int, Request*> ptr_values_ok_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// lint-as: src/fixture/det_pointer_key_suppressed.cpp
+// Fixture: det-pointer-key suppression on the flagged declaration.
+#include <map>
+
+namespace fixture {
+
+struct Request {
+  int id;
+};
+
+struct Holder {
+  // Keyed by identity on purpose; consumers never iterate.
+  // memsched-lint: allow(det-pointer-key)
+  std::map<Request*, int> by_identity_;
+};
+
+}  // namespace fixture

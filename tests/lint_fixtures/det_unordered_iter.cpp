@@ -1,0 +1,39 @@
+// lint-as: src/fixture/det_unordered_iter.cpp
+// Fixture: det-unordered-iter must flag every hash-order-dependent walk and
+// stay quiet on ordered containers.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+using Table = std::unordered_map<int, double>;
+
+struct Holder {
+  std::unordered_map<int, int> counts_;
+  std::unordered_set<int> seen_;
+  std::map<int, int> ordered_;
+  Table aliased_;
+
+  int sum() const {
+    int total = 0;
+    for (const auto& [k, v] : counts_) total += v;  // expect-lint: det-unordered-iter
+    for (const int v : seen_) total += v;           // expect-lint: det-unordered-iter
+    for (const auto& [k, v] : aliased_) total += k; // expect-lint: det-unordered-iter
+    for (const auto& [k, v] : ordered_) total += v;
+    return total;
+  }
+
+  int first() const {
+    auto it = counts_.begin();  // expect-lint: det-unordered-iter
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  int lookup(int k) const {
+    // Point lookups are order-independent and must not be flagged.
+    const auto it = counts_.find(k);
+    return it == counts_.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// lint-as: src/fixture/det_unordered_iter_suppressed.cpp
+// Fixture: both suppression placements (same line, line above) silence
+// det-unordered-iter, and allow(*) silences any check.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Holder {
+  std::unordered_map<int, int> counts_;
+
+  int sum() const {
+    int total = 0;
+    for (const auto& [k, v] : counts_) total += v;  // memsched-lint: allow(det-unordered-iter)
+    // memsched-lint: allow(det-unordered-iter)
+    for (const auto& [k, v] : counts_) total += k;
+    // memsched-lint: allow(*)
+    auto it = counts_.begin();
+    return total + (it == counts_.end() ? 0 : it->second);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,278 @@
+// Tests for the memsched-lint analyzer (tools/memsched_lint).
+//
+// The check logic is driven by annotated fixtures under tests/lint_fixtures/:
+// each fixture declares the repo-relative path it should be linted as
+// ("// lint-as: <path>", first line) and marks every line expected to fire
+// with "// expect-lint: <check>[, <check>...]". The harness lexes the
+// fixture, harvests declarations, runs every check, and requires the
+// diagnostic set to match the annotations exactly — missing *and* spurious
+// diagnostics fail. Suppression fixtures carry real violations plus allow()
+// comments and therefore expect nothing.
+//
+// Baseline, lexer, and scoping behavior are covered by direct unit tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace lint = memsched::lint;
+namespace fs = std::filesystem;
+
+namespace {
+
+// Line -> checks expected/observed on that line. A multiset so two findings
+// of the same check on one line must be annotated twice.
+using LineChecks = std::map<int, std::multiset<std::string>>;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open fixture " << p;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<fs::path> fixture_files() {
+  const fs::path dir = MEMSCHED_LINT_FIXTURE_DIR;
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cpp" || entry.path().extension() == ".hpp") {
+      out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The "// lint-as: <path>" declaration (must be the fixture's first line).
+std::string lint_as(const std::string& src, const fs::path& file) {
+  const std::string tag = "// lint-as:";
+  const std::size_t pos = src.find(tag);
+  EXPECT_EQ(pos, 0u) << file << ": fixture must start with '// lint-as: <path>'";
+  const std::size_t eol = src.find('\n', pos);
+  std::string path = src.substr(pos + tag.size(), eol - pos - tag.size());
+  const auto strip = [](std::string s) {
+    const std::size_t a = s.find_first_not_of(" \t\r");
+    const std::size_t b = s.find_last_not_of(" \t\r");
+    return a == std::string::npos ? std::string() : s.substr(a, b - a + 1);
+  };
+  return strip(path);
+}
+
+/// All "// expect-lint: a, b" annotations, keyed by 1-based line.
+LineChecks expectations(const std::string& src) {
+  LineChecks out;
+  std::istringstream in(src);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string tag = "expect-lint:";
+    const std::size_t pos = line.find(tag);
+    if (pos == std::string::npos) continue;
+    std::string rest = line.substr(pos + tag.size());
+    std::string cur;
+    rest.push_back(',');
+    for (const char c : rest) {
+      if (c == ',') {
+        if (!cur.empty()) out[lineno].insert(cur);
+        cur.clear();
+      } else if (c != ' ' && c != '\t' && c != '\r') {
+        cur.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::string describe(const LineChecks& m) {
+  std::ostringstream os;
+  for (const auto& [line, checks] : m) {
+    os << "  line " << line << ":";
+    for (const std::string& c : checks) os << ' ' << c;
+    os << '\n';
+  }
+  return m.empty() ? std::string("  (none)\n") : os.str();
+}
+
+LineChecks run_fixture(const std::string& src, const std::string& rel) {
+  const std::vector<lint::Token> toks = lint::lex(src);
+  const lint::Decls decls = lint::collect_decls(toks);
+  const std::vector<lint::Diagnostic> diags =
+      lint::run_checks(rel, toks, decls, lint::all_checks());
+  LineChecks out;
+  for (const lint::Diagnostic& d : diags) out[d.line].insert(d.check);
+  return out;
+}
+
+TEST(LintFixtures, DiagnosticsMatchAnnotations) {
+  const std::vector<fs::path> files = fixture_files();
+  ASSERT_FALSE(files.empty()) << "no fixtures found in " << MEMSCHED_LINT_FIXTURE_DIR;
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    const std::string src = read_file(file);
+    const std::string rel = lint_as(src, file);
+    ASSERT_FALSE(rel.empty());
+    const LineChecks expected = expectations(src);
+    const LineChecks actual = run_fixture(src, rel);
+    EXPECT_EQ(actual, expected) << "expected diagnostics:\n"
+                                << describe(expected) << "actual diagnostics:\n"
+                                << describe(actual);
+  }
+}
+
+// Every check must be proven both ways by the fixture corpus: at least one
+// annotated firing and at least one inline suppression of it (allow(<check>)
+// or allow(*)). This is what keeps the corpus honest as checks are added.
+TEST(LintFixtures, EveryCheckFiresAndIsSuppressedSomewhere) {
+  std::string corpus;
+  for (const fs::path& file : fixture_files()) corpus += read_file(file);
+  const bool has_wildcard = corpus.find("allow(*)") != std::string::npos;
+  for (const std::string& check : lint::all_checks()) {
+    EXPECT_NE(corpus.find("expect-lint: " + check), std::string::npos)
+        << "no fixture proves that '" << check << "' fires";
+    EXPECT_TRUE(corpus.find("allow(" + check) != std::string::npos || has_wildcard)
+        << "no fixture proves that '" << check << "' can be suppressed";
+  }
+}
+
+// Fixtures carry real violations, but files outside the lint scope (tests/,
+// build trees) must produce nothing no matter their content.
+TEST(LintScope, OutOfScopePathsProduceNoDiagnostics) {
+  const std::string src = read_file(fs::path(MEMSCHED_LINT_FIXTURE_DIR) /
+                                    "det_banned_call.cpp");
+  EXPECT_FALSE(run_fixture(src, "src/fixture/det_banned_call.cpp").empty());
+  EXPECT_TRUE(run_fixture(src, "tests/det_banned_call.cpp").empty());
+  EXPECT_TRUE(run_fixture(src, "build/generated/det_banned_call.cpp").empty());
+}
+
+TEST(LintScope, UnknownCheckNameThrows) {
+  const std::vector<lint::Token> toks = lint::lex("int x;\n");
+  const lint::Decls decls;
+  EXPECT_THROW(
+      (void)lint::run_checks("src/x.cpp", toks, decls, {"not-a-check"}),
+      std::invalid_argument);
+}
+
+TEST(LintDecls, MergeUnionsClosures) {
+  lint::Decls a;
+  a.unordered_vars = {"live_"};
+  lint::Decls b;
+  b.unordered_vars = {"live_", "seen_"};
+  b.clock_aliases = {"Clock"};
+  b.uses_check_known = true;
+  a.merge(b);
+  EXPECT_EQ(a.unordered_vars, (std::vector<std::string>{"live_", "seen_"}));
+  EXPECT_EQ(a.clock_aliases, (std::vector<std::string>{"Clock"}));
+  EXPECT_TRUE(a.uses_check_known);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline semantics.
+
+namespace {
+lint::Diagnostic diag(const char* check, const char* file, int line) {
+  return {check, file, line, 1, "msg"};
+}
+}  // namespace
+
+TEST(LintBaseline, ExactLineEntryBlocksOnlyThatFinding) {
+  auto baseline = lint::load_baseline("det-banned-call src/a.cpp:10\n");
+  std::vector<lint::Diagnostic> diags = {diag("det-banned-call", "src/a.cpp", 10),
+                                         diag("det-banned-call", "src/a.cpp", 20)};
+  const auto fresh = lint::apply_baseline(std::move(diags), baseline);
+  // The listed violation is accepted; the *new* one on line 20 still fails
+  // the run — a baseline must never grandfather future regressions.
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].line, 20);
+  EXPECT_TRUE(baseline[0].used);
+}
+
+TEST(LintBaseline, FileWideEntryBlocksAnyLineButNotOtherChecks) {
+  auto baseline = lint::load_baseline(
+      "# legacy wall-clock reads\n"
+      "det-banned-call src/a.cpp  # any line\n");
+  std::vector<lint::Diagnostic> diags = {diag("det-banned-call", "src/a.cpp", 10),
+                                         diag("det-banned-call", "src/a.cpp", 99),
+                                         diag("contract-raw-assert", "src/a.cpp", 10),
+                                         diag("det-banned-call", "src/b.cpp", 10)};
+  const auto fresh = lint::apply_baseline(std::move(diags), baseline);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0].check, "contract-raw-assert");
+  EXPECT_EQ(fresh[1].file, "src/b.cpp");
+}
+
+TEST(LintBaseline, StaleEntryStaysUnused) {
+  auto baseline = lint::load_baseline("det-pointer-key src/gone.cpp:5\n");
+  const auto fresh = lint::apply_baseline({}, baseline);
+  EXPECT_TRUE(fresh.empty());
+  ASSERT_EQ(baseline.size(), 1u);
+  EXPECT_FALSE(baseline[0].used);  // main() reports these as stale
+}
+
+TEST(LintBaseline, MalformedLinesThrow) {
+  EXPECT_THROW((void)lint::load_baseline("det-banned-call\n"), std::invalid_argument);
+  EXPECT_THROW((void)lint::load_baseline("a b c\n"), std::invalid_argument);
+  EXPECT_TRUE(lint::load_baseline("# only a comment\n\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Lexer behavior the checks lean on.
+
+TEST(LintLexer, TracksLinesAndStripsStringQuotes) {
+  const auto toks = lint::lex("int a;\nconst char* s = \"k\\\"ey\";\n");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, lint::TokKind::kIdent);
+  EXPECT_EQ(toks[0].line, 1);
+  const auto str = std::find_if(toks.begin(), toks.end(), [](const lint::Token& t) {
+    return t.kind == lint::TokKind::kString;
+  });
+  ASSERT_NE(str, toks.end());
+  EXPECT_EQ(str->line, 2);
+  ASSERT_FALSE(str->text.empty());
+  EXPECT_NE(str->text.front(), '"');
+}
+
+TEST(LintLexer, RawStringsAndCommentsDoNotConfuseEachOther) {
+  const auto toks = lint::lex(
+      "auto s = R\"(// not a comment /* either)\";\n"
+      "// real comment with rand() inside\n"
+      "int x; /* multi\nline */ int y;\n");
+  int comments = 0;
+  int strings = 0;
+  int idents = 0;
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokKind::kComment) ++comments;
+    if (t.kind == lint::TokKind::kString) ++strings;
+    if (t.kind == lint::TokKind::kIdent && (t.text == "x" || t.text == "y")) ++idents;
+  }
+  EXPECT_EQ(comments, 2);
+  EXPECT_EQ(strings, 1);
+  EXPECT_EQ(idents, 2);
+  // rand() inside a comment is not a call: the banned-call check sees only
+  // significant tokens.
+  const auto diags = lint::run_checks(
+      "src/x.cpp", toks, lint::Decls{}, {"det-banned-call"});
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintLexer, QuotedIncludesAreHarvestedInOrder) {
+  const auto toks = lint::lex(
+      "#include <vector>\n"
+      "#include \"util/config.hpp\"\n"
+      "#include \"sched/stfm.hpp\"\n");
+  EXPECT_EQ(lint::quoted_includes(toks),
+            (std::vector<std::string>{"util/config.hpp", "sched/stfm.hpp"}));
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include <sstream>
+#include <stdexcept>
+
+#include "lint.hpp"
+
+namespace memsched::lint {
+
+// Baseline format, one accepted legacy finding per line:
+//   <check> <repo-relative-path>:<line>
+//   <check> <repo-relative-path>          (any line in the file)
+// '#' starts a comment; blank lines are ignored. The file is the escape
+// hatch for violations that predate a check — new code must instead use the
+// inline "// memsched-lint: allow(<check>)" suppression, which is visible in
+// review right next to the offending line.
+std::vector<BaselineEntry> load_baseline(const std::string& text) {
+  std::vector<BaselineEntry> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string check;
+    std::string loc;
+    if (!(fields >> check)) continue;  // blank / comment-only line
+    std::string extra;
+    if (!(fields >> loc) || (fields >> extra)) {
+      throw std::invalid_argument("baseline line " + std::to_string(lineno) +
+                                  ": expected '<check> <path>[:<line>]'");
+    }
+    BaselineEntry e;
+    e.check = check;
+    const std::size_t colon = loc.rfind(':');
+    if (colon != std::string::npos &&
+        loc.find_first_not_of("0123456789", colon + 1) == std::string::npos &&
+        colon + 1 < loc.size()) {
+      e.file = loc.substr(0, colon);
+      e.line = std::stoi(loc.substr(colon + 1));
+    } else {
+      e.file = loc;
+    }
+    if (e.check.empty() || e.file.empty()) {
+      throw std::invalid_argument("baseline line " + std::to_string(lineno) +
+                                  ": expected '<check> <path>[:<line>]'");
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> apply_baseline(std::vector<Diagnostic> diags,
+                                       std::vector<BaselineEntry>& baseline) {
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : diags) {
+    bool matched = false;
+    for (BaselineEntry& e : baseline) {
+      if (e.check == d.check && e.file == d.file && (e.line == 0 || e.line == d.line)) {
+        e.used = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+}  // namespace memsched::lint

@@ -1,0 +1,270 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace memsched::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-char punctuators the checks care about, longest first so the greedy
+// match is unambiguous. Everything else falls through to single characters;
+// notably "::" must never be split (the checks tell ':' in a range-for from
+// a scope qualifier by token identity alone).
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++",  "--",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : s_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\n') {
+        newline();
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        out.push_back(pp_directive());
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && pos_ + 1 < s_.size() && (s_[pos_ + 1] == '/' || s_[pos_ + 1] == '*')) {
+        out.push_back(comment());
+        continue;
+      }
+      if (ident_start(c)) {
+        out.push_back(ident_or_raw_string());
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && pos_ + 1 < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_ + 1])) != 0)) {
+        out.push_back(number());
+        continue;
+      }
+      if (c == '"') {
+        out.push_back(string_lit());
+        continue;
+      }
+      if (c == '\'') {
+        out.push_back(char_lit());
+        continue;
+      }
+      out.push_back(punct());
+    }
+    return out;
+  }
+
+ private:
+  void advance() { ++pos_, ++col_; }
+
+  void newline() {
+    ++pos_;
+    ++line_;
+    col_ = 1;
+  }
+
+  [[nodiscard]] Token start_token(TokKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.col = col_;
+    return t;
+  }
+
+  Token pp_directive() {
+    Token t = start_token(TokKind::kPp);
+    const std::size_t begin = pos_;
+    while (pos_ < s_.size()) {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '\n') {
+        advance();
+        newline();
+        continue;
+      }
+      if (s_[pos_] == '\n') break;
+      advance();
+    }
+    t.text = s_.substr(begin, pos_ - begin);
+    return t;
+  }
+
+  Token comment() {
+    Token t = start_token(TokKind::kComment);
+    const std::size_t begin = pos_;
+    if (s_[pos_ + 1] == '/') {
+      while (pos_ < s_.size() && s_[pos_] != '\n') advance();
+    } else {
+      advance();  // '/'
+      advance();  // '*'
+      while (pos_ < s_.size()) {
+        if (s_[pos_] == '*' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
+          advance();
+          advance();
+          break;
+        }
+        if (s_[pos_] == '\n') {
+          newline();
+        } else {
+          advance();
+        }
+      }
+    }
+    t.text = s_.substr(begin, pos_ - begin);
+    return t;
+  }
+
+  Token ident_or_raw_string() {
+    // Raw strings: R"delim( ... )delim", also u8R/uR/UR/LR prefixes.
+    const std::size_t begin = pos_;
+    Token t = start_token(TokKind::kIdent);
+    while (pos_ < s_.size() && ident_cont(s_[pos_])) advance();
+    const std::string word = s_.substr(begin, pos_ - begin);
+    if (pos_ < s_.size() && s_[pos_] == '"') {
+      if (word == "R" || word == "u8R" || word == "uR" || word == "UR" || word == "LR") {
+        return raw_string(t);
+      }
+      // Encoding prefix on an ordinary literal (u8"...", L"..."): lex the
+      // literal and drop the prefix.
+      return string_lit();
+    }
+    t.text = word;
+    return t;
+  }
+
+  Token raw_string(Token t) {
+    t.kind = TokKind::kString;
+    advance();  // '"'
+    std::string delim;
+    while (pos_ < s_.size() && s_[pos_] != '(') {
+      delim.push_back(s_[pos_]);
+      advance();
+    }
+    if (pos_ < s_.size()) advance();  // '('
+    const std::string close = ")" + delim + "\"";
+    const std::size_t body_begin = pos_;
+    const std::size_t end = s_.find(close, pos_);
+    const std::size_t body_end = end == std::string::npos ? s_.size() : end;
+    for (std::size_t i = body_begin; i < body_end; ++i) {
+      if (s_[i] == '\n') {
+        newline();
+      } else {
+        advance();
+      }
+    }
+    t.text = s_.substr(body_begin, body_end - body_begin);
+    for (std::size_t i = 0; i < close.size() && pos_ < s_.size(); ++i) advance();
+    return t;
+  }
+
+  Token number() {
+    Token t = start_token(TokKind::kNumber);
+    const std::size_t begin = pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (ident_cont(c) || c == '.' || c == '\'') {
+        advance();
+        // Exponent signs glue on: 1e+5, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && pos_ < s_.size() &&
+            (s_[pos_] == '+' || s_[pos_] == '-')) {
+          advance();
+        }
+        continue;
+      }
+      break;
+    }
+    t.text = s_.substr(begin, pos_ - begin);
+    return t;
+  }
+
+  Token string_lit() {
+    Token t = start_token(TokKind::kString);
+    advance();  // '"'
+    std::string body;
+    while (pos_ < s_.size() && s_[pos_] != '"' && s_[pos_] != '\n') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        body.push_back(s_[pos_]);
+        advance();
+      }
+      body.push_back(s_[pos_]);
+      advance();
+    }
+    if (pos_ < s_.size() && s_[pos_] == '"') advance();
+    t.text = body;
+    return t;
+  }
+
+  Token char_lit() {
+    Token t = start_token(TokKind::kChar);
+    const std::size_t begin = pos_;
+    advance();  // '\''
+    while (pos_ < s_.size() && s_[pos_] != '\'' && s_[pos_] != '\n') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) advance();
+      advance();
+    }
+    if (pos_ < s_.size() && s_[pos_] == '\'') advance();
+    t.text = s_.substr(begin, pos_ - begin);
+    return t;
+  }
+
+  Token punct() {
+    Token t = start_token(TokKind::kPunct);
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::char_traits<char>::length(p);
+      if (s_.compare(pos_, n, p) == 0) {
+        t.text = p;
+        for (std::size_t i = 0; i < n; ++i) advance();
+        return t;
+      }
+    }
+    t.text = s_.substr(pos_, 1);
+    advance();
+    return t;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) { return Lexer(src).run(); }
+
+std::vector<std::string> quoted_includes(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kPp) continue;
+    // Accept "#include" and "#  include".
+    std::size_t i = 1;
+    while (i < t.text.size() && (t.text[i] == ' ' || t.text[i] == '\t')) ++i;
+    if (t.text.compare(i, 7, "include") != 0) continue;
+    const std::size_t open = t.text.find('"', i + 7);
+    if (open == std::string::npos) continue;
+    const std::size_t close = t.text.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    out.push_back(t.text.substr(open + 1, close - open - 1));
+  }
+  return out;
+}
+
+}  // namespace memsched::lint

@@ -1,0 +1,43 @@
+// Minimal C++ lexer for memsched-lint.
+//
+// Produces a flat token stream with line/column positions. Comments and
+// preprocessor directives are kept as tokens: the suppression syntax
+// ("// memsched-lint: allow(<check>)") lives in comments, and the include
+// closure is reconstructed from the #include directives. The lexer does not
+// preprocess — checks operate on the token spelling of each file, which is
+// exactly what a reviewer sees and what the suppression/baseline machinery
+// needs stable lines for.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace memsched::lint {
+
+enum class TokKind {
+  kIdent,    ///< identifier or keyword
+  kNumber,   ///< pp-number (integer/float literal, suffixes included)
+  kString,   ///< string literal, text is the *contents* (no quotes/prefix)
+  kChar,     ///< character literal, raw spelling
+  kPunct,    ///< operator/punctuator, greedy for the multi-char set we need
+  kComment,  ///< // or /* */ comment, full text including the introducer
+  kPp,       ///< whole preprocessor directive (continuations folded in)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the first character
+  int col = 0;   ///< 1-based column of the first character
+};
+
+/// Tokenizes `src`. Never throws on malformed input: an unterminated
+/// string/comment simply ends at EOF — a lint tool must degrade, not die,
+/// on code the real compiler already rejected.
+[[nodiscard]] std::vector<Token> lex(const std::string& src);
+
+/// The quoted targets of every `#include "..."` directive, in order.
+[[nodiscard]] std::vector<std::string> quoted_includes(const std::vector<Token>& toks);
+
+}  // namespace memsched::lint

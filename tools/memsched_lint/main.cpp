@@ -1,0 +1,246 @@
+// memsched_lint — project-specific determinism & contract linter.
+//
+//   memsched_lint compile_commands=build/compile_commands.json
+//                 [headers=src,tools] [baseline=tools/memsched_lint/baseline.txt]
+//                 [root=.] [checks=a,b] [files=x.cpp,y.cpp] [quiet=1]
+//   memsched_lint list=1
+//
+// Lints every repo TU named by compile_commands.json (plus all headers under
+// the `headers=` directories, which never appear there) with the checks in
+// tools/memsched_lint/lint.hpp. Cross-file declarations (e.g. an
+// unordered_map member declared in a header but iterated in a .cpp) are
+// resolved through the quoted-include closure of each file.
+//
+// Exit codes: 0 clean, 1 findings (grep/clang-tidy convention — this tool
+// never runs under the sweep orchestrator, whose exit-code contract covers
+// simulation binaries), 2 usage errors via guarded_main.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/guarded_main.hpp"
+#include "lint.hpp"
+#include "util/config.hpp"
+#include "util/json.hpp"
+
+namespace fs = std::filesystem;
+using namespace memsched;
+
+namespace {
+
+[[nodiscard]] std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("cannot read " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+[[nodiscard]] std::vector<std::string> split_commas(const std::string& value) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : value) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Repo-relative rendering of `p` (generic '/' separators); empty when the
+/// file lies outside the root.
+[[nodiscard]] std::string rel_to_root(const fs::path& p, const fs::path& root) {
+  const fs::path rel = p.lexically_relative(root);
+  if (rel.empty() || rel.native().rfind("..", 0) == 0) return {};
+  return rel.generic_string();
+}
+
+/// Lexes files on demand and memoizes per-file declaration harvests plus the
+/// merged harvest of each include closure.
+class DeclCache {
+ public:
+  explicit DeclCache(fs::path root) : root_(std::move(root)) {}
+
+  /// Declarations visible from `path`: its own plus every quoted include
+  /// reachable from it (resolved against the including file's directory,
+  /// then root/src, then root/tools).
+  const lint::Decls& closure(const fs::path& path) {
+    const std::string key = fs::weakly_canonical(path).string();
+    const auto it = closure_.find(key);
+    if (it != closure_.end()) return it->second;
+    lint::Decls merged;
+    std::set<std::string> visited;
+    walk(path, merged, visited);
+    return closure_.emplace(key, std::move(merged)).first->second;
+  }
+
+  const std::vector<lint::Token>& tokens(const fs::path& path) {
+    const std::string key = fs::weakly_canonical(path).string();
+    const auto it = tokens_.find(key);
+    if (it != tokens_.end()) return it->second;
+    return tokens_.emplace(key, lint::lex(read_file(path))).first->second;
+  }
+
+ private:
+  void walk(const fs::path& path, lint::Decls& merged, std::set<std::string>& visited) {
+    const std::string key = fs::weakly_canonical(path).string();
+    if (!visited.insert(key).second) return;
+    const std::vector<lint::Token>& toks = tokens(path);
+    merged.merge(decls_for(key, toks));
+    for (const std::string& inc : lint::quoted_includes(toks)) {
+      for (const fs::path& cand :
+           {path.parent_path() / inc, root_ / "src" / inc, root_ / "tools" / inc}) {
+        if (fs::exists(cand)) {
+          walk(cand, merged, visited);
+          break;
+        }
+      }
+    }
+  }
+
+  const lint::Decls& decls_for(const std::string& key,
+                               const std::vector<lint::Token>& toks) {
+    const auto it = decls_.find(key);
+    if (it != decls_.end()) return it->second;
+    return decls_.emplace(key, lint::collect_decls(toks)).first->second;
+  }
+
+  fs::path root_;
+  std::map<std::string, std::vector<lint::Token>> tokens_;
+  std::map<std::string, lint::Decls> decls_;
+  std::map<std::string, lint::Decls> closure_;
+};
+
+/// TU list from compile_commands.json, filtered to files inside the root and
+/// outside the build and test trees (fixtures under tests/ must not be
+/// linted — they contain violations on purpose).
+[[nodiscard]] std::vector<fs::path> files_from_compile_commands(const fs::path& cc_path,
+                                                                const fs::path& root) {
+  const util::Json doc = util::Json::parse(read_file(cc_path));
+  if (!doc.is_array()) {
+    throw std::invalid_argument(cc_path.string() + ": expected a JSON array");
+  }
+  std::vector<fs::path> out;
+  for (const util::Json& entry : doc.elements()) {
+    const util::Json* file = entry.find("file");
+    const util::Json* dir = entry.find("directory");
+    if (file == nullptr) continue;
+    fs::path p = file->as_string();
+    if (p.is_relative() && dir != nullptr) p = fs::path(dir->as_string()) / p;
+    const std::string rel = rel_to_root(p, root);
+    if (rel.empty() || rel.rfind("tests/", 0) == 0 || rel.rfind("build", 0) == 0) {
+      continue;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+void collect_headers(const fs::path& dir, std::vector<fs::path>& out) {
+  if (!fs::is_directory(dir)) {
+    throw std::invalid_argument("headers= directory not found: " + dir.string());
+  }
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".hpp") out.push_back(e.path());
+  }
+}
+
+int run_lint(const util::Config& cli) {
+  if (cli.get_bool("list", false)) {
+    for (const std::string& c : lint::all_checks()) std::printf("%s\n", c.c_str());
+    return 0;
+  }
+  const fs::path root = fs::weakly_canonical(cli.get_string("root", "."));
+  const std::string cc = cli.get_string("compile_commands", "");
+  const bool quiet = cli.get_bool("quiet", false);
+
+  std::vector<fs::path> files;
+  if (!cc.empty()) files = files_from_compile_commands(cc, root);
+  for (const std::string& d : split_commas(cli.get_string("headers", ""))) {
+    collect_headers(root / d, files);
+  }
+  for (const std::string& f : split_commas(cli.get_string("files", ""))) {
+    files.push_back(fs::path(f));
+  }
+  if (files.empty()) {
+    throw std::invalid_argument(
+        "nothing to lint: pass compile_commands=, headers= and/or files= "
+        "(or list=1 for the check list)");
+  }
+
+  std::vector<std::string> checks = lint::all_checks();
+  if (const std::string sel = cli.get_string("checks", ""); !sel.empty()) {
+    checks = split_commas(sel);
+  }
+
+  std::vector<lint::BaselineEntry> baseline;
+  if (const std::string bl = cli.get_string("baseline", ""); !bl.empty()) {
+    baseline = lint::load_baseline(read_file(bl));
+  }
+
+  // Deterministic order regardless of compile_commands / directory order.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  DeclCache cache(root);
+  std::vector<lint::Diagnostic> diags;
+  std::size_t linted = 0;
+  for (const fs::path& f : files) {
+    const std::string rel = rel_to_root(fs::weakly_canonical(f), root);
+    if (rel.empty()) continue;
+    const std::vector<lint::Diagnostic> d =
+        lint::run_checks(rel, cache.tokens(f), cache.closure(f), checks);
+    diags.insert(diags.end(), d.begin(), d.end());
+    ++linted;
+  }
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const lint::Diagnostic& a, const lint::Diagnostic& b) {
+                     return std::tie(a.file, a.line, a.col, a.check) <
+                            std::tie(b.file, b.line, b.col, b.check);
+                   });
+
+  const std::vector<lint::Diagnostic> fresh = lint::apply_baseline(diags, baseline);
+  for (const lint::Diagnostic& d : fresh) {
+    std::printf("%s:%d:%d: %s [%s]\n", d.file.c_str(), d.line, d.col, d.message.c_str(),
+                d.check.c_str());
+  }
+  for (const lint::BaselineEntry& e : baseline) {
+    if (!e.used) {
+      std::fprintf(stderr,
+                   "memsched_lint: stale baseline entry (fixed? remove it): %s %s:%d\n",
+                   e.check.c_str(), e.file.c_str(), e.line);
+    }
+  }
+  if (!quiet || !fresh.empty()) {
+    std::fprintf(stderr, "memsched_lint: %zu file(s), %zu finding(s) (%zu baselined)\n",
+                 linted, fresh.size(), diags.size() - fresh.size());
+  }
+  return fresh.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("memsched_lint", [&] {
+    util::Config cli;
+    if (const auto err = cli.parse_args(argc, argv)) {
+      throw std::invalid_argument(*err);
+    }
+    if (const auto err = cli.check_known({"compile_commands", "headers", "files",
+                                          "baseline", "root", "checks", "list", "quiet"})) {
+      throw std::invalid_argument(*err);
+    }
+    return run_lint(cli);
+  });
+}
