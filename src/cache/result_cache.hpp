@@ -1,0 +1,173 @@
+// Crash-safe content-addressed result cache for sweep points.
+//
+// A sweep point's result is a pure function of the sweep fingerprint (seed,
+// SystemConfig, run parameters) and the point's name, so a re-run — on this
+// machine or after a crash — can skip the forked simulation entirely and
+// splice the recorded payload back in. The cache is keyed by
+//
+//   FNV-1a-64( schema-version \x1f sweep-fingerprint \x1f point-name )
+//
+// and every entry embeds that full key string in its ckpt-frame fingerprint
+// field, so a hash collision or a wrongly-keyed file is detected on read by
+// the Reader's fingerprint check, never silently served.
+//
+// Durability protocol (per entry, under an exclusive per-entry flock):
+//
+//   1. write  intents/<key>.intent        (write-ahead: "a commit is live")
+//   2. write  objects/<aa>/<key>.entry    via atomic_write_file
+//                                         (tmp + fsync + rename)
+//   3. remove intents/<key>.intent
+//
+// SIGKILL between any two bytes of that sequence leaves either no entry (the
+// intent marks the dead commit; the next writer or fsck reclaims it and
+// quarantines any orphaned tmp file) or a complete, CRC-clean entry plus at
+// worst a stale intent. A torn or wrongly-keyed entry is impossible by
+// construction: rename is the only operation that creates an entry name.
+//
+// The lock is advisory flock — released by the kernel when a writer dies, so
+// a crashed writer never wedges the cache. The lease (lease_seconds) governs
+// the artifacts a dead writer leaves behind: an intent or tmp file older
+// than the lease whose lock can be taken is reclaimed (tmp quarantined,
+// intent dropped).
+//
+// Failure philosophy: the cache must NEVER fail a sweep. Every I/O problem —
+// corruption (quarantined), lock timeout, ENOSPC, EIO — degrades to a cache
+// miss (get) or a skipped store (put), with a bounded-backoff retry for
+// transient errors and one MEMSCHED_ERROR-style diagnostic line on stderr.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/backoff.hpp"
+#include "util/fs_fault.hpp"
+
+namespace memsched::cache {
+
+/// Bumped whenever the entry payload schema changes; old entries then simply
+/// miss (their embedded key string no longer matches) and are gc-able.
+inline constexpr const char* kResultCacheSchema = "memsched-rcache-v1";
+
+struct ResultCacheConfig {
+  std::string dir;          ///< cache root; created on demand
+  std::string fingerprint;  ///< sweep identity baked into every key
+
+  double lock_timeout_seconds = 2.0;  ///< bound on waiting for a live writer
+  double lease_seconds = 300.0;       ///< age after which a dead writer's
+                                      ///< intent/tmp artifacts are reclaimed
+  std::uint32_t max_retries = 3;      ///< transient-error retries per op
+  util::Backoff backoff{0.05, 1.0};   ///< retry schedule (base, cap seconds)
+  bool diagnostics = true;            ///< degraded-mode lines on stderr
+};
+
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t store_skips = 0;    ///< entry already present
+  std::uint64_t store_errors = 0;   ///< put degraded (ENOSPC, EIO, ...)
+  std::uint64_t read_errors = 0;    ///< get degraded on I/O error
+  std::uint64_t quarantined = 0;    ///< corrupt entries moved aside by get
+  std::uint64_t lock_timeouts = 0;  ///< bounded lock wait expired
+  std::uint64_t stale_reclaimed = 0;  ///< dead-writer intents reclaimed
+};
+
+/// One sweep's handle on the cache directory. Degrades to a disabled no-op
+/// handle (never throws out of get/put) if the directory cannot be created.
+class ResultCache {
+ public:
+  /// `faults`, when non-null, is armed (thread-locally) around every
+  /// filesystem operation the cache performs — and only those — so chaos
+  /// runs stress the cache without poisoning the manifest writer.
+  explicit ResultCache(ResultCacheConfig cfg, util::FsFaultHooks* faults = nullptr);
+
+  /// False when construction hit an unusable directory; get/put are no-ops.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Cache lookup. True = hit, `*payload` holds the verbatim recorded JSON.
+  /// Corrupt entries are quarantined and read as a miss; I/O errors retry on
+  /// the backoff schedule and then degrade to a miss.
+  [[nodiscard]] bool get(const std::string& point_name, std::string* payload);
+
+  /// Stores one ok point's payload. Quietly skips when the entry already
+  /// exists, the lock cannot be taken within the bound, or I/O fails after
+  /// bounded retries — a skipped store only costs a future re-simulation.
+  void put(const std::string& point_name, const std::string& payload);
+
+  [[nodiscard]] const ResultCacheStats& stats() const { return stats_; }
+  [[nodiscard]] const ResultCacheConfig& config() const { return cfg_; }
+
+  /// The embedded key string for a point ("<schema>\x1f<fp>\x1f<name>").
+  [[nodiscard]] std::string key_string(const std::string& point_name) const;
+  /// objects/<aa>/<key16>.entry path for a point. Exposed for tests/tools.
+  [[nodiscard]] std::string entry_path(const std::string& point_name) const;
+  [[nodiscard]] std::string lock_path(const std::string& point_name) const;
+  [[nodiscard]] std::string intent_path(const std::string& point_name) const;
+
+ private:
+  bool try_get(const std::string& point_name, std::string* payload);
+  void try_put(const std::string& point_name, const std::string& payload);
+  void quarantine(const std::string& path, const char* reason);
+  void diag(const std::string& what) const;
+
+  ResultCacheConfig cfg_;
+  util::FsFaultHooks* faults_ = nullptr;
+  ResultCacheStats stats_;
+  bool enabled_ = false;
+};
+
+/// FNV-1a 64-bit — the content address. Stable, dependency-free, and only
+/// a bucket name: true key identity is the embedded string checked on read.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& s);
+
+/// 16-hex-digit lowercase form of `h` (entry/lock/intent file stem).
+[[nodiscard]] std::string hex64(std::uint64_t h);
+
+// ---------------------------------------------------------------------------
+// Offline inspection / repair (memsched_cachectl, tests). These take only a
+// directory — entry validity is self-contained (embedded key string, CRCs).
+
+/// Structural verdict on one entry file.
+struct EntryCheck {
+  std::string path;
+  std::string point_name;  ///< decoded from the entry (valid entries only)
+  std::uint64_t bytes = 0;
+  bool ok = false;
+  std::string error;  ///< parse/CRC/key-mismatch diagnosis when !ok
+};
+
+/// Full scan of a cache directory.
+struct CacheScan {
+  std::vector<EntryCheck> entries;
+  std::vector<std::string> intents;      ///< live or stale intent files
+  std::vector<std::string> tmp_orphans;  ///< *.tmp.* files under objects/
+  std::vector<std::string> quarantined;  ///< files parked in quarantine/
+  std::uint64_t entry_bytes = 0;
+  std::size_t corrupt = 0;
+};
+
+/// Validates one entry file end to end: frame parse, section CRCs, schema
+/// version, and filename-matches-embedded-key. Never throws.
+[[nodiscard]] EntryCheck check_entry_file(const std::string& path);
+
+/// Walks the directory and validates every entry. Never throws; an
+/// unreadable directory yields an empty scan.
+[[nodiscard]] CacheScan scan_cache(const std::string& dir);
+
+struct FsckResult {
+  std::size_t entries_quarantined = 0;
+  std::size_t tmp_quarantined = 0;
+  std::size_t intents_removed = 0;
+};
+
+/// Repairs the directory: corrupt entries → quarantine/; orphaned tmp files
+/// and intents older than `lease_seconds` (their writers are dead — a live
+/// writer holds the entry flock, which fsck tests) → quarantine/ / removed.
+FsckResult fsck_cache(const std::string& dir, double lease_seconds);
+
+/// Deletes entries and quarantined files older than `max_age_seconds`.
+/// Returns the number of files removed.
+std::size_t gc_cache(const std::string& dir, double max_age_seconds);
+
+}  // namespace memsched::cache

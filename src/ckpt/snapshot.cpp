@@ -150,10 +150,19 @@ Reader::Reader(const std::string& path, const std::string& expected_fingerprint)
   const std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
                                       std::istreambuf_iterator<char>());
   if (in.bad()) throw SnapshotError("snapshot: read error on " + path);
+  parse(raw, expected_fingerprint);
+}
 
+Reader::Reader(const std::vector<std::uint8_t>& raw,
+               const std::string& expected_fingerprint) {
+  parse(raw, expected_fingerprint);
+}
+
+void Reader::parse(const std::vector<std::uint8_t>& raw,
+                   const std::string& expected_fingerprint) {
   Parser ps(raw.data(), raw.size());
   if (ps.scalar<std::uint64_t>() != kMagic) {
-    throw SnapshotError("snapshot: bad magic in " + path);
+    throw SnapshotError("snapshot: bad magic");
   }
   const auto version = ps.scalar<std::uint32_t>();
   if (version != kVersion) {

@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "cache/result_cache.hpp"
 #include "harness/guarded_main.hpp"
 #include "util/progress.hpp"
 #include "util/wallclock.hpp"
@@ -84,8 +85,15 @@ std::uint32_t resolve_jobs(std::uint32_t requested) {
 
 Orchestrator::Orchestrator(OrchestratorConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.max_attempts == 0) cfg_.max_attempts = 1;
+  retry_backoff_.base_seconds = cfg_.backoff_seconds;
   if (!cfg_.manifest_path.empty()) {
     manifest_.open(cfg_.manifest_path, cfg_.fingerprint);
+  }
+  if (!cfg_.cache_dir.empty()) {
+    cache::ResultCacheConfig cc;
+    cc.dir = cfg_.cache_dir;
+    cc.fingerprint = cfg_.fingerprint;
+    cache_ = std::make_unique<cache::ResultCache>(std::move(cc), cfg_.cache_faults);
   }
   if (cfg_.work_dir.empty()) {
     cfg_.work_dir = cfg_.manifest_path.empty() ? std::string("memsched-sweep.work")
@@ -98,14 +106,48 @@ Orchestrator::Orchestrator(OrchestratorConfig cfg) : cfg_(std::move(cfg)) {
   cost_.load(timing_path());
 }
 
+Orchestrator::~Orchestrator() = default;
+
 std::string Orchestrator::timing_path() const {
   return cfg_.manifest_path.empty() ? cfg_.work_dir + "/timing.json"
                                     : cfg_.manifest_path + ".timing.json";
 }
 
-void Orchestrator::commit_record(const PointRecord& rec) {
+void Orchestrator::commit_record(const PointRecord& rec, bool cacheable) {
   manifest_.record(rec);  // checkpoint after *every* point
+  // Store AFTER the manifest checkpoint: a cached result must never be more
+  // durable than the sweep state that produced it. Any store failure inside
+  // put() degrades to a diagnostic; it cannot fail the sweep.
+  if (cache_ != nullptr && cacheable && rec.ok() && !rec.payload.empty()) {
+    cache_->put(rec.name, rec.payload);
+  }
   if (rec.ok() && rec.wall_ms > 0.0) cost_.observe(rec.name, rec.wall_ms);
+}
+
+bool Orchestrator::cache_lookup(const PointSpec& point, std::size_t index,
+                                SweepSummary& summary, std::size_t shown) {
+  // Exec points are excluded: their "payload" is a pointer at side effects
+  // (stdout files) a cache hit would not reproduce.
+  if (cache_ == nullptr || !point.argv.empty()) return false;
+  std::string payload;
+  if (!cache_->get(point.name, &payload)) return false;
+  PointRecord rec;
+  rec.name = point.name;
+  rec.index = static_cast<std::uint32_t>(index);
+  rec.status = "ok";
+  rec.category = "ok";
+  rec.attempts = 1;
+  rec.payload = std::move(payload);
+  // wall_ms stays 0: a splice is not a measurement, so neither the timing
+  // sidecar nor the dispatch cost model learns from it.
+  commit_record(rec, /*cacheable=*/false);
+  ++summary.cache_hits;
+  ++summary.ok;
+  if (cfg_.verbose) {
+    std::fprintf(stderr, "[sweep] %zu/%zu %s: ok (cache hit)\n", shown,
+                 summary.total, point.name.c_str());
+  }
+  return true;
 }
 
 SweepSummary Orchestrator::run(const std::vector<PointSpec>& points) {
@@ -122,6 +164,18 @@ SweepSummary Orchestrator::run(const std::vector<PointSpec>& points) {
   run_wall_ms_ = ms_since(start);
   summary.wall_ms = run_wall_ms_;
   cost_.save(timing_path());
+  if (cache_ != nullptr && cfg_.verbose) {
+    const cache::ResultCacheStats& cs = cache_->stats();
+    std::fprintf(stderr,
+                 "[sweep] cache %s: %llu hits, %llu misses, %llu stores"
+                 " (%llu degraded, %llu quarantined)\n",
+                 cfg_.cache_dir.c_str(), static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.stores),
+                 static_cast<unsigned long long>(cs.store_errors + cs.read_errors +
+                                                 cs.lock_timeouts),
+                 static_cast<unsigned long long>(cs.quarantined));
+  }
   return summary;
 }
 
@@ -145,6 +199,7 @@ SweepSummary Orchestrator::run_serial(const std::vector<PointSpec>& points) {
       }
       continue;
     }
+    if (cache_lookup(point, i, summary, i + 1)) continue;
     if (cfg_.stop_after != 0 && summary.executed >= cfg_.stop_after) {
       summary.abandoned = true;
       break;
@@ -162,7 +217,7 @@ SweepSummary Orchestrator::run_serial(const std::vector<PointSpec>& points) {
       }
       break;
     }
-    commit_record(rec);
+    commit_record(rec, point.argv.empty());
     ++summary.executed;
     if (rec.ok()) {
       ++summary.ok;
@@ -219,6 +274,7 @@ SweepSummary Orchestrator::run_pool(const std::vector<PointSpec>& points,
       }
       continue;
     }
+    if (cache_lookup(point, i, summary, i + 1)) continue;
     est[i] = cost_.estimate(point.name, point.cost_hint);
     pending.push_back(Pending{i, 1, Clock::time_point{}});
   }
@@ -264,12 +320,14 @@ SweepSummary Orchestrator::run_pool(const std::vector<PointSpec>& points,
       Pending p;
       p.index = index;
       p.attempt = attempt + 1;
-      p.ready_at = util::monotonic_now() +
-                   util::seconds_to_duration(cfg_.backoff_seconds * attempt);
+      // Capped exponential schedule (util::Backoff): a persistently failing
+      // point backs off harder each attempt but can never park a pool slot
+      // behind an unbounded wait.
+      p.ready_at = retry_backoff_.ready_at(util::monotonic_now(), attempt);
       pending.insert(std::lower_bound(pending.begin(), pending.end(), p, lpt_less), p);
       return;
     }
-    commit_record(rec);
+    commit_record(rec, points[index].argv.empty());
     ++summary.executed;
     done_cost += est[index];
     if (rec.ok()) {
@@ -420,7 +478,7 @@ PointRecord Orchestrator::execute_point(const PointSpec& point, std::size_t inde
                      point.name.c_str(), attempt, rec.status.c_str(),
                      rec.category.c_str());
       }
-      sleep_seconds(cfg_.backoff_seconds * attempt);
+      sleep_seconds(retry_backoff_.delay_seconds(attempt));
     }
   }
   return rec;

@@ -8,18 +8,41 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <stdexcept>
+
+#include "util/fs_fault.hpp"
 
 namespace memsched::util {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error("atomic_write_file: " + what + " " + path + ": " +
-                           std::strerror(errno));
+/// Injected-errno check for one operation; 0 = proceed for real.
+int injected_errno(const char* op) {
+  FsFaultHooks* hooks = fs_fault_hooks();
+  return hooks != nullptr ? hooks->fail_op(op) : 0;
+}
+
+[[noreturn]] void fail(FileOp op, const std::string& path) {
+  throw AtomicFileError(op, errno, path);
 }
 
 }  // namespace
+
+const char* file_op_name(FileOp op) {
+  switch (op) {
+    case FileOp::kOpen: return "open";
+    case FileOp::kWrite: return "write";
+    case FileOp::kFsync: return "fsync";
+    case FileOp::kClose: return "close";
+    case FileOp::kRename: return "rename";
+  }
+  return "?";
+}
+
+AtomicFileError::AtomicFileError(FileOp op, int errno_value, const std::string& path)
+    : std::runtime_error(std::string("atomic_write_file: ") + file_op_name(op) +
+                         " failed on " + path + ": " + std::strerror(errno_value)),
+      op_(op),
+      errno_(errno_value) {}
 
 std::string atomic_tmp_path(const std::string& path) {
   // The temp name must be unique per writer: with a fixed "path + .tmp" two
@@ -38,36 +61,51 @@ std::string atomic_tmp_path(const std::string& path) {
 
 void atomic_write_file(const std::string& path, const void* data, std::size_t size) {
   const std::string tmp = atomic_tmp_path(path);
+  if ((errno = injected_errno("open")) != 0) fail(FileOp::kOpen, tmp);
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) fail("cannot create", tmp);
+  if (fd < 0) fail(FileOp::kOpen, tmp);
 
+  FsFaultHooks* hooks = fs_fault_hooks();
   const char* p = static_cast<const char*>(data);
   std::size_t left = size;
   while (left > 0) {
-    const ssize_t n = ::write(fd, p, left);
+    // A shortened chunk exercises the same retry path a real partial write
+    // takes; an injected errno exercises the error path.
+    std::size_t chunk = left;
+    if (hooks != nullptr) {
+      if ((errno = hooks->fail_op("write")) != 0) {
+        ::close(fd);
+        std::remove(tmp.c_str());
+        fail(FileOp::kWrite, tmp);
+      }
+      chunk = hooks->clamp_write(left);
+      if (chunk == 0 || chunk > left) chunk = left;
+    }
+    const ssize_t n = ::write(fd, p, chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
       std::remove(tmp.c_str());
-      fail("write error on", tmp);
+      fail(FileOp::kWrite, tmp);
     }
     p += n;
     left -= static_cast<std::size_t>(n);
   }
   // The rename only commits bytes that are already durable; without the
   // fsync a power cut could publish a complete-looking but empty file.
-  if (::fsync(fd) != 0) {
+  if ((errno = injected_errno("fsync")) != 0 || ::fsync(fd) != 0) {
     ::close(fd);
     std::remove(tmp.c_str());
-    fail("fsync error on", tmp);
+    fail(FileOp::kFsync, tmp);
   }
-  if (::close(fd) != 0) {
+  if ((errno = injected_errno("close")) != 0 || ::close(fd) != 0) {
     std::remove(tmp.c_str());
-    fail("close error on", tmp);
+    fail(FileOp::kClose, tmp);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if ((errno = injected_errno("rename")) != 0 ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    fail("cannot rename over", path);
+    fail(FileOp::kRename, path);
   }
 }
 

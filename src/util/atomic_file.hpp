@@ -1,24 +1,55 @@
 // Atomic, durable file replacement.
 //
-// Crash-safe persistence primitive shared by the sweep manifest and the
-// simulator snapshot writer: the payload is written to a writer-unique temp
-// name (`path + ".tmp.<pid>.<seq>"`), fsync()ed so the bytes are on stable
-// storage, then rename()d over `path`. A crash at any instant leaves either
-// the previous complete file or the new complete file — never a torn mix —
-// which is what lets a killed sweep or simulation trust whatever checkpoint
-// it finds on restart. The unique temp name makes concurrent writers safe:
-// parallel sweep workers sharing a directory can never clobber each other's
-// in-flight temp file, and the last rename wins with a complete payload.
+// Crash-safe persistence primitive shared by the sweep manifest, the
+// simulator snapshot writer, and the result cache: the payload is written to
+// a writer-unique temp name (`path + ".tmp.<pid>.<seq>"`), fsync()ed so the
+// bytes are on stable storage, then rename()d over `path`. A crash at any
+// instant leaves either the previous complete file or the new complete file
+// — never a torn mix — which is what lets a killed sweep or simulation trust
+// whatever checkpoint it finds on restart. The unique temp name makes
+// concurrent writers safe: parallel sweep workers sharing a directory can
+// never clobber each other's in-flight temp file, and the last rename wins
+// with a complete payload.
+//
+// Failures surface as AtomicFileError carrying WHICH operation failed and
+// the errno: an fsync ENOSPC (durability lost, payload may be gone) and a
+// close EIO (writeback failed behind our back) are different failures from a
+// plain write error, and callers that degrade gracefully (the result cache)
+// classify on them. All operations consult util::fs_fault_hooks() so the
+// ENOSPC/EIO/short-write paths are unit-testable without filling a disk.
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 
 namespace memsched::util {
 
+/// Which syscall of the write-temp/fsync/close/rename sequence failed.
+enum class FileOp { kOpen, kWrite, kFsync, kClose, kRename };
+
+/// Name of a FileOp ("open", "write", "fsync", "close", "rename").
+[[nodiscard]] const char* file_op_name(FileOp op);
+
+/// An atomic_write_file failure: carries the failing operation and errno so
+/// callers can tell "no space while making bytes durable" from "cannot even
+/// create the temp file" instead of parsing a collapsed message string.
+class AtomicFileError : public std::runtime_error {
+ public:
+  AtomicFileError(FileOp op, int errno_value, const std::string& path);
+
+  [[nodiscard]] FileOp op() const { return op_; }
+  [[nodiscard]] int errno_value() const { return errno_; }
+
+ private:
+  FileOp op_;
+  int errno_;
+};
+
 /// Atomically replaces `path` with `size` bytes from `data` (unique tmp +
-/// fsync + rename). Throws std::runtime_error on any I/O failure; on failure
-/// the previous contents of `path`, if any, are untouched.
+/// fsync + rename). Throws AtomicFileError on any I/O failure; on failure
+/// the previous contents of `path`, if any, are untouched and the temp file
+/// is removed.
 void atomic_write_file(const std::string& path, const void* data, std::size_t size);
 
 /// String convenience overload.

@@ -1,0 +1,45 @@
+// Deterministic, capped exponential retry backoff.
+//
+// Every retry loop in the harness (failed sweep points, cache I/O, lock
+// acquisition) computes its delays through this one schedule so the timing
+// behaviour is a pure function of (base, cap, attempt): testable with fake
+// clocks, identical across runs, and — critically — bounded. An uncapped
+// exponential turns a persistent fault into an unbounded sleep; the cap
+// turns it into a bounded, predictable retry budget.
+//
+// The schedule: delay(attempt) = min(base * 2^(attempt-1), cap), attempt
+// counting from 1. base <= 0 disables sleeping entirely (delay 0 for every
+// attempt), which is what unit tests use.
+#pragma once
+
+#include <cstdint>
+
+#include "util/wallclock.hpp"
+
+namespace memsched::util {
+
+struct Backoff {
+  double base_seconds = 0.0;
+  double cap_seconds = 60.0;
+
+  /// Delay before retry number `attempt` (1-based: the sleep after the
+  /// attempt-th failure). Pure — no clock reads, no state.
+  [[nodiscard]] double delay_seconds(std::uint32_t attempt) const {
+    if (base_seconds <= 0.0 || attempt == 0) return 0.0;
+    double d = base_seconds;
+    for (std::uint32_t i = 1; i < attempt; ++i) {
+      d *= 2.0;
+      if (d >= cap_seconds) return cap_seconds;
+    }
+    return d < cap_seconds ? d : cap_seconds;
+  }
+
+  /// The instant retry `attempt` becomes eligible, given the failure
+  /// happened at `now`. Deterministic in `now`: feeding fake time points
+  /// yields the full schedule without sleeping.
+  [[nodiscard]] MonotonicTime ready_at(MonotonicTime now, std::uint32_t attempt) const {
+    return now + seconds_to_duration(delay_seconds(attempt));
+  }
+};
+
+}  // namespace memsched::util

@@ -1,0 +1,17 @@
+#include "util/fs_fault.hpp"
+
+namespace memsched::util {
+
+namespace {
+thread_local FsFaultHooks* g_hooks = nullptr;
+}  // namespace
+
+FsFaultHooks* fs_fault_hooks() { return g_hooks; }
+
+FsFaultHooks* set_fs_fault_hooks(FsFaultHooks* hooks) {
+  FsFaultHooks* prev = g_hooks;
+  g_hooks = hooks;
+  return prev;
+}
+
+}  // namespace memsched::util

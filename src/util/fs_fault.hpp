@@ -1,0 +1,72 @@
+// Filesystem fault-injection seam for chaos-testing the persistence layer.
+//
+// The robustness code (util::atomic_file, the result cache) consults a
+// thread-local hook object before touching the filesystem: the hook can
+// shorten a write (exercising partial-write loops), fail an operation with a
+// chosen errno (ENOSPC, EIO), or flip bits in bytes just read from disk
+// (exercising CRC validation and quarantine paths). No hook installed — the
+// default — means zero behaviour change; the checks are a null-pointer test
+// on a thread-local, so the production cost is negligible.
+//
+// The hook is deliberately THREAD-LOCAL and RAII-scoped (ScopedFsFaults):
+// faults must be confined to the code path under test. A process-global hook
+// would poison unrelated writers — the sweep manifest, timing sidecars — and
+// turn "the cache degrades gracefully" into "the sweep loses its checkpoint".
+// The deterministic decision engine lives in mc::FsFaultInjector; this header
+// only defines the seam so util stays at the bottom of the layering.
+#pragma once
+
+#include <cstddef>
+
+namespace memsched::util {
+
+/// Hook interface consulted by fault-aware filesystem code. The default
+/// implementations are no-ops, so a hook only overrides what it perturbs.
+class FsFaultHooks {
+ public:
+  virtual ~FsFaultHooks() = default;
+
+  /// Upper bound for the byte count of one write(2) call. Returning less
+  /// than `requested` forces a short write; implementations must return at
+  /// least 1 so retry loops still make progress.
+  [[nodiscard]] virtual std::size_t clamp_write(std::size_t requested) {
+    return requested;
+  }
+
+  /// Errno to fail the named operation with ("open", "write", "fsync",
+  /// "close", "rename"), or 0 to let it through.
+  [[nodiscard]] virtual int fail_op(const char* op) {
+    (void)op;
+    return 0;
+  }
+
+  /// Mutates `n` bytes just read from disk (bit flips). Called by readers
+  /// that validate content (the result cache), never by readers that would
+  /// turn a flipped bit into UB.
+  virtual void corrupt_read(void* data, std::size_t n) {
+    (void)data;
+    (void)n;
+  }
+};
+
+/// The hooks installed for the current thread, or nullptr (the default).
+[[nodiscard]] FsFaultHooks* fs_fault_hooks();
+
+/// Installs `hooks` for the current thread, returning the previous value so
+/// callers can restore it. Prefer ScopedFsFaults.
+FsFaultHooks* set_fs_fault_hooks(FsFaultHooks* hooks);
+
+/// RAII installer: hooks active inside the scope, previous hooks restored on
+/// exit. Used by the result cache to arm faults around its own I/O only.
+class ScopedFsFaults {
+ public:
+  explicit ScopedFsFaults(FsFaultHooks* hooks) : prev_(set_fs_fault_hooks(hooks)) {}
+  ~ScopedFsFaults() { set_fs_fault_hooks(prev_); }
+  ScopedFsFaults(const ScopedFsFaults&) = delete;
+  ScopedFsFaults& operator=(const ScopedFsFaults&) = delete;
+
+ private:
+  FsFaultHooks* prev_;
+};
+
+}  // namespace memsched::util

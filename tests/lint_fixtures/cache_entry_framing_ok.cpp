@@ -1,0 +1,65 @@
+// lint-as: src/fixture/cache_entry_framing_ok.cpp
+// Fixture: symmetric encode_/decode_ pairs — including section framing — and
+// an encoder with no matching decoder are all clean.
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
+namespace fixture {
+
+template <class W, class T>
+void put_str(W&, const T&) {}
+template <class W, class T>
+void put_u64(W&, const T&) {}
+template <class R, class T>
+void get_str(R&, T&) {}
+template <class R, class T>
+void get_u64(R&, T&) {}
+template <class W>
+void begin_section(W&, const char*) {}
+template <class W>
+void end_section(W&) {}
+template <class R>
+void open_section(R&, const char*) {}
+template <class R>
+void close_section(R&) {}
+
+struct Entry {
+  unsigned long long ticks = 0;
+  const char* name = "";
+  const char* payload = "";
+};
+
+// Field-for-field mirror images, section framing included.
+inline void encode_result(ckpt::Writer& w, const Entry& e) {
+  begin_section(w, "result");
+  put_str(w, e.name);
+  put_str(w, e.payload);
+  put_u64(w, e.ticks);
+  end_section(w);
+}
+inline void decode_result(ckpt::Reader& r, Entry& e) {
+  open_section(r, "result");
+  get_str(r, e.name);
+  get_str(r, e.payload);
+  get_u64(r, e.ticks);
+  close_section(r);
+}
+
+// A writer whose reader lives in another translation unit pairs with
+// nothing here and must not fire.
+inline void encode_exported(ckpt::Writer& w, const Entry& e) {
+  put_str(w, e.payload);
+}
+
+// Call sites and declarations are not definitions; neither contributes a
+// side to the pairing.
+void decode_elsewhere(ckpt::Reader& r, Entry& e);
+inline void roundtrip(ckpt::Writer& w, ckpt::Reader& r, Entry& e) {
+  encode_result(w, e);
+  decode_result(r, e);
+}
+
+}  // namespace fixture

@@ -1,0 +1,128 @@
+// memsched_cachectl — inspect and repair a sweep result cache.
+//
+//   memsched_cachectl stats   dir=PATH
+//       Entry/byte counts, corrupt entries, leftover intents and tmp files,
+//       quarantine population. Read-only.
+//   memsched_cachectl verify  dir=PATH [strict=0|1]
+//       Validate every entry end to end (frame, CRCs, schema, key/filename
+//       agreement). Read-only; strict=1 exits 1 when anything is unhealthy.
+//   memsched_cachectl fsck    dir=PATH [lease=SECONDS]
+//       Repair: corrupt entries and dead writers' tmp files move to
+//       quarantine/, stale intents are dropped. A leftover is "dead" when
+//       its entry flock is free (the kernel released it when the writer
+//       died) or it has outlived the lease (default 300 s).
+//   memsched_cachectl gc      dir=PATH [max_age=SECONDS]
+//       Delete entries and quarantined files older than max_age (default
+//       30 days).
+//   memsched_cachectl quarantine-list dir=PATH
+//       List quarantined files, one per line.
+//
+// The cache is safe to operate on while sweeps run: entries are only ever
+// created by atomic rename, so stats/verify see complete files, and fsck's
+// flock probe distinguishes live writers from dead ones.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "cache/result_cache.hpp"
+#include "harness/guarded_main.hpp"
+#include "util/config.hpp"
+
+using namespace memsched;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: memsched_cachectl <stats|verify|fsck|gc|quarantine-list> "
+               "dir=PATH\n"
+               "  verify  [strict=0|1]   exit 1 on any corruption when strict\n"
+               "  fsck    [lease=SECONDS]   reclaim age for dead-writer leftovers\n"
+               "  gc      [max_age=SECONDS] delete entries older than this\n");
+  throw std::invalid_argument("bad cachectl command line");
+}
+
+std::string required_dir(const util::Config& cli) {
+  const std::string dir = cli.get_string("dir", "");
+  if (dir.empty()) usage();
+  return dir;
+}
+
+int cmd_stats(const util::Config& cli) {
+  if (const auto err = cli.check_known({"dir"})) throw std::invalid_argument(*err);
+  const cache::CacheScan scan = cache::scan_cache(required_dir(cli));
+  std::printf("entries: %zu (%llu bytes)\n", scan.entries.size(),
+              static_cast<unsigned long long>(scan.entry_bytes));
+  std::printf("corrupt: %zu\n", scan.corrupt);
+  std::printf("intents: %zu\n", scan.intents.size());
+  std::printf("tmp-orphans: %zu\n", scan.tmp_orphans.size());
+  std::printf("quarantined: %zu\n", scan.quarantined.size());
+  return 0;
+}
+
+int cmd_verify(const util::Config& cli) {
+  if (const auto err = cli.check_known({"dir", "strict"}))
+    throw std::invalid_argument(*err);
+  const cache::CacheScan scan = cache::scan_cache(required_dir(cli));
+  for (const cache::EntryCheck& c : scan.entries) {
+    if (c.ok) {
+      std::printf("ok      %s (%s)\n", c.path.c_str(), c.point_name.c_str());
+    } else {
+      std::printf("CORRUPT %s: %s\n", c.path.c_str(), c.error.c_str());
+    }
+  }
+  const bool unhealthy =
+      scan.corrupt > 0 || !scan.intents.empty() || !scan.tmp_orphans.empty();
+  std::printf("verify: %zu entries, %zu corrupt, %zu intents, %zu tmp-orphans\n",
+              scan.entries.size(), scan.corrupt, scan.intents.size(),
+              scan.tmp_orphans.size());
+  if (cli.get_bool("strict", false) && unhealthy) return 1;
+  return 0;
+}
+
+int cmd_fsck(const util::Config& cli) {
+  if (const auto err = cli.check_known({"dir", "lease"}))
+    throw std::invalid_argument(*err);
+  const cache::FsckResult r =
+      cache::fsck_cache(required_dir(cli), cli.get_double("lease", 300.0));
+  std::printf("fsck: %zu corrupt entries quarantined, %zu tmp files quarantined, "
+              "%zu stale intents removed\n",
+              r.entries_quarantined, r.tmp_quarantined, r.intents_removed);
+  return 0;
+}
+
+int cmd_gc(const util::Config& cli) {
+  if (const auto err = cli.check_known({"dir", "max_age"}))
+    throw std::invalid_argument(*err);
+  const std::size_t removed = cache::gc_cache(
+      required_dir(cli), cli.get_double("max_age", 30.0 * 24.0 * 3600.0));
+  std::printf("gc: %zu files removed\n", removed);
+  return 0;
+}
+
+int cmd_quarantine_list(const util::Config& cli) {
+  if (const auto err = cli.check_known({"dir"})) throw std::invalid_argument(*err);
+  const cache::CacheScan scan = cache::scan_cache(required_dir(cli));
+  for (const std::string& q : scan.quarantined) std::printf("%s\n", q.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main("memsched_cachectl", [&] {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    util::Config cli;
+    if (auto err = cli.parse_args(argc - 1, argv + 1)) {
+      std::fprintf(stderr, "%s\n", err->c_str());
+      return usage();
+    }
+    if (cmd == "stats") return cmd_stats(cli);
+    if (cmd == "verify") return cmd_verify(cli);
+    if (cmd == "fsck") return cmd_fsck(cli);
+    if (cmd == "gc") return cmd_gc(cli);
+    if (cmd == "quarantine-list") return cmd_quarantine_list(cli);
+    return usage();
+  });
+}

@@ -14,11 +14,14 @@
 // timeout) are recorded, retried up to attempts=, then skipped — the rest of
 // the sweep still completes and the report marks the gaps.
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ckpt/signal.hpp"
+#include "mc/fault_injector.hpp"
 #include "harness/bench_registry.hpp"
 #include "harness/fingerprint.hpp"
 #include "harness/guarded_main.hpp"
@@ -47,9 +50,13 @@ int usage() {
       "  benches  [bindir=build/bench]\n"
       "  common   [manifest=path] [report=path] [timeout=seconds] [attempts=N]\n"
       "           [backoff=seconds] [isolate=0|1] [stop_after=N] [strict=0|1]\n"
-      "           [quiet=0|1] [jobs=N | --jobs N]\n"
+      "           [quiet=0|1] [jobs=N | --jobs N] [cache=DIR | --cache DIR]\n"
       "           jobs=0 (default) = auto: MEMSCHED_JOBS env, else all cores;\n"
-      "           jobs=1 = serial. Reports are byte-identical either way.\n");
+      "           jobs=1 = serial. Reports are byte-identical either way.\n"
+      "           cache= (or MEMSCHED_CACHE env) = content-addressed result\n"
+      "           store: already-computed points splice in without re-running;\n"
+      "           output bytes are identical to a cold run. Cache I/O errors\n"
+      "           degrade to re-simulation, never a failed sweep.\n");
   throw std::invalid_argument("bad sweep command line");
 }
 
@@ -85,6 +92,21 @@ mc::FaultConfig fault_from(const util::Config& cli) {
   return f;
 }
 
+/// Deterministic chaos source for the result cache, armed from the
+/// MEMSCHED_CACHE_FSFAULT environment variable ("seed=N,short_write=P,
+/// enospc=P,eio=P,bitflip=P"). Unset = no injector, zero overhead. Owned
+/// here so it outlives the orchestrator that borrows the hook pointer.
+util::FsFaultHooks* cache_fault_hooks() {
+  static const std::unique_ptr<mc::FsFaultInjector> injector = [] {
+    const char* spec = std::getenv("MEMSCHED_CACHE_FSFAULT");
+    if (spec == nullptr || *spec == '\0') {
+      return std::unique_ptr<mc::FsFaultInjector>{};
+    }
+    return std::make_unique<mc::FsFaultInjector>(mc::FsFaultConfig::parse(spec));
+  }();
+  return injector.get();
+}
+
 harness::OrchestratorConfig orchestrator_from(const util::Config& cli,
                                               const std::string& fingerprint) {
   harness::OrchestratorConfig oc;
@@ -101,6 +123,15 @@ harness::OrchestratorConfig orchestrator_from(const util::Config& cli,
   // the sweep's identity — and its output bytes — are the same at any width.
   oc.jobs = static_cast<std::uint32_t>(cli.get_uint("jobs", 0));
   oc.stop = &ckpt::stop_flag();
+  // cache= on the command line wins; MEMSCHED_CACHE is the fleet-wide
+  // default (CI exports one shared store for every sweep invocation).
+  oc.cache_dir = cli.get_string("cache", "");
+  if (oc.cache_dir.empty()) {
+    if (const char* env = std::getenv("MEMSCHED_CACHE"); env != nullptr) {
+      oc.cache_dir = env;
+    }
+  }
+  if (!oc.cache_dir.empty()) oc.cache_faults = cache_fault_hooks();
   return oc;
 }
 
@@ -125,6 +156,11 @@ int finish(const util::Config& cli, harness::Orchestrator& orch,
               s.total, s.ok, s.resumed, s.failed,
               s.abandoned ? " [abandoned by stop_after]" : "", s.wall_ms / 1000.0,
               s.jobs);
+  if (orch.result_cache() != nullptr) {
+    // Separate line, never folded into the summary above: smoke scripts
+    // pattern-match that line and warm runs must not perturb it.
+    std::printf("cache: %zu hits\n", s.cache_hits);
+  }
   for (const harness::PointRecord& r : orch.manifest().records()) {
     if (!r.ok()) {
       std::printf("  gap: %s (%s) %s\n", r.name.c_str(), r.status.c_str(),
@@ -143,7 +179,7 @@ int cmd_grid(const util::Config& cli) {
            "seed", "profile_seed", "interleave", "engine", "verify",
            "progress_window", "ckpt", "ckpt_interval", "fault", "manifest",
            "report", "timeout", "attempts", "backoff", "isolate", "stop_after",
-           "strict", "quiet", "jobs"},
+           "strict", "quiet", "jobs", "cache"},
           {"fault."})) {
     throw std::invalid_argument(*err);
   }
@@ -257,7 +293,8 @@ int cmd_grid(const util::Config& cli) {
 int cmd_benches(const util::Config& cli) {
   if (const auto err = cli.check_known({"bindir", "manifest", "report", "timeout",
                                         "attempts", "backoff", "isolate",
-                                        "stop_after", "strict", "quiet", "jobs"})) {
+                                        "stop_after", "strict", "quiet", "jobs",
+                                        "cache"})) {
     throw std::invalid_argument(*err);
   }
   const std::string bindir = cli.get_string("bindir", "build/bench");
@@ -289,9 +326,9 @@ int main(int argc, char** argv) {
     ckpt::install_stop_handlers();
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
-    // The tool speaks key=value, but jobs also gets the conventional flag
-    // spelling (--jobs N / --jobs=N) since that is what every other build
-    // tool calls it; translate before parsing.
+    // The tool speaks key=value, but jobs and cache also get the
+    // conventional flag spelling (--jobs N, --cache DIR) since that is what
+    // every other build tool calls them; translate before parsing.
     std::vector<std::string> arg_store;
     for (int i = 2; i < argc; ++i) {
       const std::string a = argv[i];
@@ -299,6 +336,10 @@ int main(int argc, char** argv) {
         arg_store.push_back("jobs=" + std::string(argv[++i]));
       } else if (a.rfind("--jobs=", 0) == 0) {
         arg_store.push_back("jobs=" + a.substr(7));
+      } else if (a == "--cache" && i + 1 < argc) {
+        arg_store.push_back("cache=" + std::string(argv[++i]));
+      } else if (a.rfind("--cache=", 0) == 0) {
+        arg_store.push_back("cache=" + a.substr(8));
       } else {
         arg_store.push_back(a);
       }
