@@ -22,7 +22,10 @@ using namespace memsched;
 using bench::BenchSetup;
 
 namespace {
-const std::vector<std::string> kSchemes = {"HF-RF", "ME", "FIX-DESC", "FIX-ASC"};
+// Paper's Figure-3 schemes first (the summary indexes them 0-3), then the
+// epoch-aware zoo appended for the leaderboard comparison.
+const std::vector<std::string> kSchemes = {"HF-RF",   "ME",  "FIX-DESC", "FIX-ASC",
+                                           "BLISS", "TCM", "CADS"};
 }
 
 namespace {

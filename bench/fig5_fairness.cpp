@@ -19,7 +19,10 @@ using namespace memsched;
 using bench::BenchSetup;
 
 namespace {
-const std::vector<std::string> kSchemes = {"HF-RF", "ME", "RR", "LREQ", "ME-LREQ"};
+// Paper's five Figure-5 schemes first (the summary indexes 0-4; index 4 is
+// the ME-LREQ reference), then the epoch-aware zoo for the leaderboard.
+const std::vector<std::string> kSchemes = {"HF-RF",   "ME",  "RR",  "LREQ",
+                                           "ME-LREQ", "BLISS", "TCM", "CADS"};
 }
 
 namespace {
@@ -51,8 +54,9 @@ int run_bench(int argc, char** argv) {
   std::printf("%-8s", "mix");
   for (const auto& s : kSchemes) std::printf(" %9s", s.c_str());
   std::printf("   (unfairness; 1.0 = perfectly fair)\n");
-  util::RunningStat unf[5];
-  util::RunningStat melreq_cut_vs[5];  // reduction of ME-LREQ vs each scheme
+  std::vector<util::RunningStat> unf(kSchemes.size());
+  // Reduction of ME-LREQ vs each scheme.
+  std::vector<util::RunningStat> melreq_cut_vs(kSchemes.size());
   for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
     std::printf("%-8s", workloads[wi].name.c_str());
     const double base = rows[wi][0].unfairness;

@@ -29,7 +29,7 @@ trap 'rm -rf "$WORK"' EXIT
 [ -x "$SWEEP" ] || { echo "cache_smoke: $SWEEP not built" >&2; exit 1; }
 [ -x "$CTL" ] || { echo "cache_smoke: $CTL not built" >&2; exit 1; }
 
-ARGS="workloads=2MEM-1 schemes=FCFS,FCFS-RF,HF-RF,LREQ,ME,ME-LREQ \
+ARGS="workloads=2MEM-1 schemes=FCFS,FCFS-RF,HF-RF,LREQ,ME,ME-LREQ,BLISS,TCM,CADS \
       insts=15000 profile_insts=50000 timeout=240 quiet=1"
 
 # Reference report: no cache involved at all.

@@ -40,7 +40,7 @@ echo "  livelock recorded as gap; surviving point completed; exit 0"
 
 echo "== chaos 2: SIGKILL mid-sweep, then resume -> byte-identical report =="
 # Enough points that the kill reliably lands while the sweep is mid-flight.
-ARGS2="workloads=2MEM-1 schemes=FCFS,FCFS-RF,HF-RF,LREQ,ME,ME-LREQ \
+ARGS2="workloads=2MEM-1 schemes=FCFS,FCFS-RF,HF-RF,LREQ,ME,ME-LREQ,BLISS,TCM,CADS \
        insts=15000 profile_insts=50000 progress_window=100000 \
        timeout=240 quiet=1"
 # Reference: uninterrupted run.

@@ -31,7 +31,7 @@ trap 'rm -rf "$WORK"' EXIT
 [ -x "$SWEEP" ] || { echo "parallel_sweep_smoke: $SWEEP not built" >&2; exit 1; }
 
 # Small sensitivity grid (8 points) for the pure determinism check.
-GRID="workloads=2MEM-1,4MEM-1 schemes=HF-RF,ME-LREQ,FCFS,FCFS-RF insts=20000 \
+GRID="workloads=2MEM-1,4MEM-1 schemes=HF-RF,ME-LREQ,FCFS,FCFS-RF,BLISS,TCM,CADS insts=20000 \
       profile_insts=60000 repeats=1 timeout=240 quiet=1"
 
 echo "== pool 1: jobs=4 vs jobs=1 -> byte-identical manifest and report =="

@@ -30,7 +30,7 @@
 namespace memsched::ckpt {
 
 inline constexpr std::uint64_t kMagic = 0x3150'4b43'534d'454dULL;  // "MEMSCKP1"
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;  // v2: controller interval/epoch state
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
 std::uint32_t crc32(const void* data, std::size_t size);

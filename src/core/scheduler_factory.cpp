@@ -1,12 +1,17 @@
 #include "core/scheduler_factory.hpp"
 
+#include <cctype>
 #include <stdexcept>
 
 #include "core/me_schedulers.hpp"
+#include "sched/bliss.hpp"
+#include "sched/cads.hpp"
 #include "sched/policies.hpp"
 #include "sched/parbs.hpp"
 #include "sched/stfm.hpp"
+#include "sched/tcm.hpp"
 #include "util/assert.hpp"
+#include "util/config.hpp"
 
 namespace memsched::core {
 
@@ -18,10 +23,31 @@ MeTable me_for(const SchedulerArgs& args) {
   return args.me;
 }
 
+/// Nearest known scheme by edit distance, as a " (did you mean 'X'?)"
+/// suffix — empty when nothing is plausibly close.
+std::string suggestion_for(const std::string& canon) {
+  std::string best;
+  std::size_t best_d = canon.size();  // a full rewrite is not a suggestion
+  for (const std::string& known : known_schedulers()) {
+    const std::size_t d = util::edit_distance(canon, known);
+    if (d < best_d || (d == best_d && !best.empty() && known < best)) {
+      best_d = d;
+      best = known;
+    }
+  }
+  if (best.empty() || best_d > 3) return "";
+  return " (did you mean '" + best + "'?)";
+}
+
 }  // namespace
 
-sched::SchedulerPtr make_scheduler(const std::string& name, const SchedulerArgs& args) {
+sched::SchedulerPtr make_scheduler(const std::string& raw_name,
+                                   const SchedulerArgs& args) {
   using namespace memsched::sched;
+  // Scheme names are canonically UPPERCASE; accept any case from configs and
+  // CLIs ("bliss" == "BLISS"). The canonical name is what lands in reports.
+  std::string name = raw_name;
+  for (char& c : name) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   // "<scheme>/TOH" wraps the scheme so thread priority dominates row hits
   // (the literal Figure-1 reading; used by the ablation bench).
   if (name.size() > 4 && name.substr(name.size() - 4) == "/TOH") {
@@ -61,13 +87,16 @@ sched::SchedulerPtr make_scheduler(const std::string& name, const SchedulerArgs&
   }
   if (name == "ME-LREQ-ONLINE")
     return std::make_unique<OnlineMeLreqScheduler>(args.core_count, 0.25, args.cpu_hz);
-  throw std::invalid_argument("unknown scheduler: " + name);
+  if (name == "BLISS") return std::make_unique<BlissScheduler>(args.core_count);
+  if (name == "TCM") return std::make_unique<TcmScheduler>(args.core_count);
+  if (name == "CADS") return std::make_unique<CadsScheduler>(args.core_count);
+  throw std::invalid_argument("unknown scheduler: " + raw_name + suggestion_for(name));
 }
 
 std::vector<std::string> known_schedulers() {
   return {"FCFS",     "FCFS-RF", "HF-RF", "HF-RF-OOO", "RR",
           "LREQ",     "FQ",      "STFM",    "PAR-BS",  "FIX-DESC", "FIX-ASC", "ME",
-          "ME-LREQ",  "ME-LREQ-HW", "ME-LREQ-ONLINE"};
+          "ME-LREQ",  "ME-LREQ-HW", "ME-LREQ-ONLINE", "BLISS", "TCM", "CADS"};
 }
 
 }  // namespace memsched::core

@@ -27,11 +27,14 @@ struct SchedulerArgs {
 /// Creates a scheduler by name. Known names:
 ///   FCFS, FCFS-RF, HF-RF, HF-RF-OOO, RR, LREQ, FQ, STFM, PAR-BS,
 ///   FIX-DESC, FIX-ASC, ME, ME-LREQ, ME-LREQ-HW, ME-LREQ-ONLINE,
+///   BLISS, TCM, CADS (the modern epoch-aware zoo),
 /// plus two parameterised families:
 ///   "<name>/TOH"            — thread-priority-over-hit ablation variant;
 ///   "ME-LREQ-POW-<a>-<b>"   — generalized exponents in tenths
 ///                             (ME-LREQ-POW-05-20 = ME^0.5 / Pending^2.0).
-/// Throws std::invalid_argument for unknown names.
+/// Matching is case-insensitive ("bliss" == "BLISS"); the canonical
+/// UPPERCASE name is what reaches reports. Throws std::invalid_argument for
+/// unknown names, with a did-you-mean suggestion when one is close.
 sched::SchedulerPtr make_scheduler(const std::string& name, const SchedulerArgs& args);
 
 /// All scheme names make_scheduler accepts, in evaluation order.

@@ -53,6 +53,43 @@ MemoryController::MemoryController(dram::DramSystem& dram, sched::Scheduler& sch
   if (dram.timing().refresh_enabled) {
     next_refresh_.assign(dram.channel_count(), dram.timing().tREFI);
   }
+  // The snapshot's interval pointers must always be valid, so the arrays are
+  // sized regardless; they only ever change when epoch_len_ != 0.
+  interval_served_.assign(core_count, 0);
+  interval_arrivals_.assign(core_count, 0);
+  epoch_len_ = scheduler.epoch_ticks();
+  next_epoch_ = epoch_len_;
+}
+
+sched::QueueSnapshot MemoryController::make_snapshot(Tick now) const {
+  sched::QueueSnapshot snap;
+  snap.now = now;
+  snap.core_count = core_count_;
+  snap.pending_reads = pending_reads_.data();
+  snap.pending_writes = pending_writes_.data();
+  snap.drain_mode = drain_mode_;
+  snap.epoch_len = epoch_len_;
+  snap.epoch_start = epoch_len_ != 0 ? next_epoch_ - epoch_len_ : 0;
+  snap.epoch_index = epoch_index_;
+  snap.interval_served = interval_served_.data();
+  snap.interval_arrivals = interval_arrivals_.data();
+  snap.streak_core = streak_core_;
+  snap.streak_len = streak_len_;
+  return snap;
+}
+
+void MemoryController::roll_epochs(Tick now) {
+  while (now >= next_epoch_) {
+    // The callback sees the *ending* interval: its boundary tick and the
+    // statistics accumulated over it, which are cleared right after.
+    scheduler_.on_epoch(next_epoch_, make_snapshot(next_epoch_));
+    std::fill(interval_served_.begin(), interval_served_.end(), 0);
+    std::fill(interval_arrivals_.begin(), interval_arrivals_.end(), 0);
+    streak_core_ = kInvalidCore;
+    streak_len_ = 0;
+    ++epoch_index_;
+    next_epoch_ += epoch_len_;
+  }
 }
 
 Request MemoryController::make_request(CoreId core, Addr line_addr, bool is_write,
@@ -73,6 +110,7 @@ Request MemoryController::make_request(CoreId core, Addr line_addr, bool is_writ
 bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
                                     bool is_prefetch) {
   MEMSCHED_ASSERT(core < core_count_, "read from unknown core");
+  maybe_roll_epochs(now);  // before any interval-counter mutation
   FaultInjector::EnqueueFault fault{};
   if (fault_ != nullptr) {
     fault = fault_->on_enqueue(/*is_write=*/false);
@@ -108,6 +146,7 @@ bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
   read_q_.push_back(req);
   ++pending_reads_[core];
   ++occupied_;
+  if (epoch_len_ != 0) ++interval_arrivals_[core];
   MC_AUDIT(on_enqueue(req, now));
   if (fault.duplicate && can_accept()) {
     const Request dup =
@@ -115,6 +154,7 @@ bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
     read_q_.push_back(dup);
     ++pending_reads_[core];
     ++occupied_;
+    if (epoch_len_ != 0) ++interval_arrivals_[core];
     MC_AUDIT(on_enqueue(dup, now));
   }
   return true;
@@ -122,6 +162,7 @@ bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
 
 bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
   MEMSCHED_ASSERT(core < core_count_, "write from unknown core");
+  maybe_roll_epochs(now);  // before any interval-counter mutation
   FaultInjector::EnqueueFault fault{};
   if (fault_ != nullptr) {
     fault = fault_->on_enqueue(/*is_write=*/true);
@@ -144,6 +185,7 @@ bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
   write_q_.push_back(req);
   ++pending_writes_[core];
   ++occupied_;
+  if (epoch_len_ != 0) ++interval_arrivals_[core];
   MC_AUDIT(on_enqueue(req, now));
   if (fault.duplicate && can_accept()) {
     // A duplicated write lands on the same line; with write combining off it
@@ -152,6 +194,7 @@ bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
     write_q_.push_back(dup);
     ++pending_writes_[core];
     ++occupied_;
+    if (epoch_len_ != 0) ++interval_arrivals_[core];
     MC_AUDIT(on_enqueue(dup, now));
   }
   update_drain_mode(now);
@@ -440,6 +483,15 @@ void MemoryController::start_transaction(Request req, RowState state, Tick now) 
                                             : Phase::kNeedPrecharge;
   slot.req = req;
   ++inflight_count_;
+  if (epoch_len_ != 0) {
+    ++interval_served_[req.core];
+    if (streak_core_ == req.core) {
+      ++streak_len_;
+    } else {
+      streak_core_ = req.core;
+      streak_len_ = 1;
+    }
+  }
   scheduler_.on_served(req);
   ++stats_.sched_rounds;
 }
@@ -494,15 +546,10 @@ void MemoryController::deliver_completions(Tick now) {
 }
 
 void MemoryController::tick(Tick now) {
+  maybe_roll_epochs(now);  // catch up past boundaries before anything else
   deliver_completions(now);
 
-  sched::QueueSnapshot snap;
-  snap.now = now;
-  snap.core_count = core_count_;
-  snap.pending_reads = pending_reads_.data();
-  snap.pending_writes = pending_writes_.data();
-  snap.drain_mode = drain_mode_;
-  scheduler_.prepare(snap);
+  scheduler_.prepare(make_snapshot(now));
 
   for (std::uint32_t ch = 0; ch < dram_.channel_count(); ++ch) {
     // Injected command-issue stall: the channel is frozen outright — no
@@ -687,6 +734,16 @@ void MemoryController::save_state(ckpt::Writer& w) const {
   for (const auto& st : stats_.core_read_latency_cpu) w.put_stat(st);
   w.put_u64_vec(stats_.core_reads);
   w.put_u64_vec(stats_.core_writes);
+  // Epoch/interval bookkeeping (inert but well-defined when epoch_len_ == 0).
+  w.put_u64(next_epoch_);
+  w.put_u64(epoch_index_);
+  w.put_u64(interval_served_.size());
+  for (std::size_t i = 0; i < interval_served_.size(); ++i) {
+    w.put_u32(interval_served_[i]);
+    w.put_u32(interval_arrivals_[i]);
+  }
+  w.put_u32(streak_core_);
+  w.put_u32(streak_len_);
 }
 
 void MemoryController::load_state(ckpt::Reader& r) {
@@ -752,6 +809,18 @@ void MemoryController::load_state(ckpt::Reader& r) {
   for (auto& st : stats_.core_read_latency_cpu) r.get_stat(st);
   stats_.core_reads = r.get_u64_vec();
   stats_.core_writes = r.get_u64_vec();
+  next_epoch_ = r.get_u64();
+  epoch_index_ = r.get_u64();
+  const std::uint64_t nint = r.get_u64();
+  if (nint != interval_served_.size()) {
+    throw ckpt::SnapshotError("snapshot: controller interval-counter size mismatch");
+  }
+  for (std::size_t i = 0; i < interval_served_.size(); ++i) {
+    interval_served_[i] = r.get_u32();
+    interval_arrivals_[i] = r.get_u32();
+  }
+  streak_core_ = r.get_u32();
+  streak_len_ = r.get_u32();
 }
 
 std::string MemoryController::dump_state(Tick now) const {

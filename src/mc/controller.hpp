@@ -142,6 +142,18 @@ class MemoryController {
   [[nodiscard]] std::uint32_t inflight() const { return inflight_count_; }
   [[nodiscard]] bool idle() const;  ///< no queued or in-flight work
 
+  /// Interval statistics for epoch-aware schemes (zero / kInvalidCore when
+  /// the scheduler's epoch_ticks() == 0). Exposed for tests.
+  [[nodiscard]] std::uint32_t interval_served(CoreId core) const {
+    return interval_served_[core];
+  }
+  [[nodiscard]] std::uint32_t interval_arrivals(CoreId core) const {
+    return interval_arrivals_[core];
+  }
+  [[nodiscard]] CoreId streak_core() const { return streak_core_; }
+  [[nodiscard]] std::uint32_t streak_len() const { return streak_len_; }
+  [[nodiscard]] std::uint64_t epochs_rolled() const { return epoch_index_; }
+
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
 
   /// Requests that finished since the last reset_stats() — the forward-
@@ -189,6 +201,23 @@ class MemoryController {
   /// extends the controller-overhead window (fault injection only).
   Request make_request(CoreId core, Addr line_addr, bool is_write, bool is_prefetch,
                        Tick now, Tick extra_delay);
+
+  /// Fills a QueueSnapshot as of tick `now` from the live counters.
+  [[nodiscard]] sched::QueueSnapshot make_snapshot(Tick now) const;
+
+  /// Epoch catch-up: fires the scheduler's on_epoch(Tick, snap) for every
+  /// boundary <= now that has not been processed yet, oldest first, then
+  /// clears the interval statistics. Called at the top of tick() and of both
+  /// enqueue paths — i.e. before *any* scheduler-visible mutation at a tick
+  /// past the boundary. Because every such mutation happens at ticks both
+  /// engines visit, and the callback receives the boundary tick (not `now`),
+  /// the (on_epoch, on_served) call sequence — and therefore all policy
+  /// state — is bit-identical between the cycle and skip engines even though
+  /// the skip engine may process a boundary late.
+  void roll_epochs(Tick now);
+  void maybe_roll_epochs(Tick now) {
+    if (epoch_len_ != 0 && now >= next_epoch_) roll_epochs(now);
+  }
 
   [[nodiscard]] RowState row_state_of(const Request& req) const;
   [[nodiscard]] bool another_queued_hit(const Request& req) const;
@@ -245,6 +274,17 @@ class MemoryController {
   std::vector<std::uint32_t> pending_writes_;
   std::vector<std::uint8_t> open_predictor_;  ///< per-bank 2-bit counters (adaptive)
   std::vector<Tick> next_refresh_;  ///< per channel, if refresh enabled
+
+  // Interval bookkeeping for epoch-aware schemes. epoch_len_ is cached from
+  // scheduler.epoch_ticks() at construction; when 0 every update below is
+  // behind one predictable branch and the paper schemes are unaffected.
+  Tick epoch_len_ = 0;
+  Tick next_epoch_ = 0;
+  std::uint64_t epoch_index_ = 0;
+  std::vector<std::uint32_t> interval_served_;    ///< per core, this interval
+  std::vector<std::uint32_t> interval_arrivals_;  ///< per core, this interval
+  CoreId streak_core_ = kInvalidCore;
+  std::uint32_t streak_len_ = 0;
 
   std::uint32_t occupied_ = 0;  ///< queued + in-flight entries
   std::uint32_t inflight_count_ = 0;

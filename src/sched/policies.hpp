@@ -78,6 +78,10 @@ class ThreadOverHit final : public Scheduler {
   void on_epoch(CoreId core, double insts, double bytes) override {
     inner_->on_epoch(core, insts, bytes);
   }
+  [[nodiscard]] Tick epoch_ticks() const override { return inner_->epoch_ticks(); }
+  void on_epoch(Tick boundary, const QueueSnapshot& snap) override {
+    inner_->on_epoch(boundary, snap);
+  }
   void reset() override { inner_->reset(); }
   void save_state(ckpt::Writer& w) const override { inner_->save_state(w); }
   void load_state(ckpt::Reader& r) override { inner_->load_state(r); }

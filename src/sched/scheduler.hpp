@@ -38,12 +38,36 @@ namespace memsched::sched {
 /// Controller state a policy may consult when ranking cores. Counts cover
 /// *queued* requests only (in-flight transactions have left the queues,
 /// matching the paper's "pending request" counters in Figure 1).
+///
+/// The interval fields below are live only for epoch-aware schemes (those
+/// returning epoch_ticks() != 0): the controller then maintains per-core
+/// statistics over the current interval and resets them at every epoch
+/// boundary, right after the on_epoch(Tick, QueueSnapshot) callback. For
+/// epoch-less schemes interval_served/interval_arrivals point at all-zero
+/// arrays and the streak fields stay at their defaults — the bookkeeping is
+/// switched off so the paper schemes pay nothing for it.
 struct QueueSnapshot {
   Tick now = 0;
   std::uint32_t core_count = 0;
   const std::uint32_t* pending_reads = nullptr;   ///< per core, size core_count
   const std::uint32_t* pending_writes = nullptr;  ///< per core, size core_count
   bool drain_mode = false;
+
+  // --- epoch/interval machinery (epoch-aware schemes only) ---
+  Tick epoch_len = 0;          ///< scheduler's epoch_ticks(); 0 = disabled
+  Tick epoch_start = 0;        ///< first tick of the current interval
+  std::uint64_t epoch_index = 0;  ///< intervals completed before this one
+  /// Transactions started per core since the interval began (bandwidth
+  /// pressure; TCM's cluster partition input).
+  const std::uint32_t* interval_served = nullptr;
+  /// Requests accepted into the queues per core since the interval began
+  /// (memory intensity / latency-sensitivity proxy).
+  const std::uint32_t* interval_arrivals = nullptr;
+  /// Longest *current* run of consecutive serves: streak_core has been
+  /// served streak_len times in a row (BLISS's blacklisting trigger).
+  /// kInvalidCore / 0 until the first serve of an interval.
+  CoreId streak_core = kInvalidCore;
+  std::uint32_t streak_len = 0;
 };
 
 class Scheduler {
@@ -109,6 +133,26 @@ class Scheduler {
     (void)core;
     (void)committed_insts;
     (void)dram_bytes;
+  }
+
+  /// Interval length in bus ticks for the controller-driven quantum callback
+  /// below. 0 (default) disables the controller's interval bookkeeping
+  /// entirely — the scheme never sees on_epoch(Tick, ...) and the snapshot's
+  /// interval fields stay inert.
+  [[nodiscard]] virtual Tick epoch_ticks() const { return 0; }
+
+  /// Quantum callback: the controller invokes this exactly once per elapsed
+  /// epoch_ticks() interval, in order, with `boundary` = the interval's end
+  /// tick (a multiple of epoch_ticks()). `snap` carries the per-core
+  /// interval statistics of the interval that just ended; the controller
+  /// clears them immediately after this returns. Boundaries are processed
+  /// lazily — the callback runs at the first controller activity at or after
+  /// the boundary — so implementations must derive state from `boundary` and
+  /// `snap` only, never from wall-progress outside them; that is what keeps
+  /// the cycle and skip engines byte-identical.
+  virtual void on_epoch(Tick boundary, const QueueSnapshot& snap) {
+    (void)boundary;
+    (void)snap;
   }
 
   /// Reset any internal state between runs.

@@ -347,6 +347,14 @@ INSTANTIATE_TEST_SUITE_P(
         KillCase(sim::Engine::kSkip, "PAR-BS", "2MIX-1", false),
         KillCase(sim::Engine::kCycle, "STFM", "2MEM-2", false),
         KillCase(sim::Engine::kSkip, "STFM", "2MEM-2", false),
+        // Epoch-aware zoo: interval counters + blacklist/cluster/score state
+        // must survive a mid-interval SIGKILL (controller section v2).
+        KillCase(sim::Engine::kCycle, "BLISS", "4MIX-1", false),
+        KillCase(sim::Engine::kSkip, "BLISS", "4MIX-1", false),
+        KillCase(sim::Engine::kCycle, "TCM", "4MIX-1", false),
+        KillCase(sim::Engine::kSkip, "TCM", "4MIX-1", false),
+        KillCase(sim::Engine::kCycle, "CADS", "2MEM-2", false),
+        KillCase(sim::Engine::kSkip, "CADS", "2MEM-2", false),
         KillCase(sim::Engine::kCycle, "HF-RF", "2MEM-1", true),
         KillCase(sim::Engine::kSkip, "ME-LREQ", "2MEM-1", true)),
     [](const auto& pi) {

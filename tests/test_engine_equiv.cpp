@@ -128,6 +128,24 @@ TEST(EngineEquiv, NoAuditNoWatchdog) {
   expect_engines_agree(cfg, sim::workload_by_name("4MEM-1"), "ME-LREQ", 25'000, 5'000);
 }
 
+// Epoch-aware schedulers (BLISS / TCM / CADS) roll interval state lazily on
+// controller entry; refresh adds extra channel events the skip engine must
+// jump over without perturbing when those rolls are observed. Exercise the
+// combination explicitly.
+class EpochSchemeRefresh : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EpochSchemeRefresh, ByteIdenticalWithRefresh) {
+  sim::SystemConfig cfg;
+  cfg.timing.refresh_enabled = true;
+  expect_engines_agree(cfg, sim::workload_by_name("4MIX-1"), GetParam(), 25'000,
+                       5'000);
+  expect_engines_agree(cfg, sim::workload_by_name("2MEM-2"), GetParam(), 20'000,
+                       4'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpochAware, EpochSchemeRefresh,
+                         ::testing::Values("BLISS", "TCM", "CADS"));
+
 TEST(EngineEquiv, SingleCore) {
   sim::SystemConfig cfg;
   expect_engines_agree(cfg, sim::make_workload("solo", "b"), "FCFS", 30'000, 5'000);

@@ -87,7 +87,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("FCFS", "FCFS-RF", "HF-RF", "RR", "LREQ",
                                          "FQ", "STFM", "PAR-BS", "FIX-DESC", "FIX-ASC", "ME", "ME-LREQ",
                                          "ME-LREQ-HW", "ME-LREQ-ONLINE",
-                                         "ME-LREQ/TOH", "ME/TOH"),
+                                         "ME-LREQ/TOH", "ME/TOH",
+                                         "BLISS", "TCM", "CADS"),
                        ::testing::Values(1u, 2u, 3u)),
     [](const auto& pi) {
       std::string n = std::get<0>(pi.param);

@@ -1,0 +1,273 @@
+// Property tests for the epoch-aware scheduler zoo (BLISS / TCM / CADS)
+// plus the factory's name contract (case-insensitive canonical names,
+// did-you-mean suggestions) and the scheme-name round trip through the JSON
+// report. Registered under the `scheduler-zoo` ctest label.
+//
+// The policy-level tests drive the schedulers with hand-built QueueSnapshots
+// — exactly the values the controller's interval machinery would present —
+// so each paper-mechanism claim (blacklist-on-streak, disjoint cluster
+// cover, monotonic hog deprioritisation) is pinned in isolation from queue
+// dynamics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scheduler_factory.hpp"
+#include "sched/bliss.hpp"
+#include "sched/cads.hpp"
+#include "sched/tcm.hpp"
+#include "sim/experiment.hpp"
+#include "sim/json_report.hpp"
+#include "sim/workloads.hpp"
+#include "util/json.hpp"
+
+namespace memsched {
+namespace {
+
+/// Owns the per-core arrays a QueueSnapshot points into.
+struct SnapFixture {
+  explicit SnapFixture(std::uint32_t cores)
+      : pending_reads(cores, 1),
+        pending_writes(cores, 0),
+        interval_served(cores, 0),
+        interval_arrivals(cores, 0) {
+    snap.core_count = cores;
+    snap.pending_reads = pending_reads.data();
+    snap.pending_writes = pending_writes.data();
+    snap.interval_served = interval_served.data();
+    snap.interval_arrivals = interval_arrivals.data();
+  }
+
+  std::vector<std::uint32_t> pending_reads;
+  std::vector<std::uint32_t> pending_writes;
+  std::vector<std::uint32_t> interval_served;
+  std::vector<std::uint32_t> interval_arrivals;
+  sched::QueueSnapshot snap;
+};
+
+// ---------------------------------------------------------------------------
+// BLISS: a core streaking >= threshold is deprioritised until the next
+// clearing interval wipes the blacklist.
+// ---------------------------------------------------------------------------
+
+TEST(BlissZoo, StreakAtThresholdBlacklistsUntilIntervalClear) {
+  sched::BlissScheduler s(4);
+  SnapFixture f(4);
+
+  // Below threshold: nobody blacklisted, all cores rank equal.
+  f.snap.streak_core = 2;
+  f.snap.streak_len = s.streak_threshold() - 1;
+  s.prepare(f.snap);
+  EXPECT_FALSE(s.blacklisted(2));
+  EXPECT_EQ(s.core_priority(2), s.core_priority(0));
+
+  // At threshold: the streaker drops strictly below every other core.
+  f.snap.streak_len = s.streak_threshold();
+  s.prepare(f.snap);
+  EXPECT_TRUE(s.blacklisted(2));
+  EXPECT_LT(s.core_priority(2), s.core_priority(0));
+  EXPECT_LT(s.core_priority(2), s.core_priority(1));
+  EXPECT_LT(s.core_priority(2), s.core_priority(3));
+  EXPECT_EQ(s.blacklist_events(), 1u);
+
+  // prepare() is idempotent: the controller may snapshot many times per
+  // round (and the cycle engine every tick) without double-counting.
+  s.prepare(f.snap);
+  s.prepare(f.snap);
+  EXPECT_EQ(s.blacklist_events(), 1u);
+
+  // The clearing interval forgives: after on_epoch the core ranks equal
+  // again and can be re-blacklisted by a fresh streak.
+  s.on_epoch(s.epoch_ticks(), f.snap);
+  EXPECT_FALSE(s.blacklisted(2));
+  EXPECT_EQ(s.core_priority(2), s.core_priority(0));
+  s.prepare(f.snap);
+  EXPECT_TRUE(s.blacklisted(2));
+  EXPECT_EQ(s.blacklist_events(), 2u);
+}
+
+TEST(BlissZoo, BlacklistDominatesRowHits) {
+  // The BLISS priority order is non-blacklisted > row-hit > age: core rank
+  // must sit above the hit-first key.
+  sched::BlissScheduler s(2);
+  EXPECT_FALSE(s.hit_first_above_core());
+  EXPECT_GT(s.epoch_ticks(), Tick{0});
+}
+
+// ---------------------------------------------------------------------------
+// TCM: the quantum partition is a disjoint cover of all cores, light cores
+// outrank heavy ones, and the bandwidth ranking rotates across quanta.
+// ---------------------------------------------------------------------------
+
+TEST(TcmZoo, ClusterPartitionIsDisjointCover) {
+  constexpr std::uint32_t kCores = 6;
+  sched::TcmScheduler s(kCores);
+  SnapFixture f(kCores);
+  // Skewed bandwidth use: cores 0-1 light, 2-5 increasingly heavy.
+  const std::uint32_t served[kCores] = {1, 2, 40, 55, 70, 90};
+  for (std::uint32_t c = 0; c < kCores; ++c) {
+    f.interval_served[c] = served[c];
+    f.interval_arrivals[c] = served[c] + 1;
+  }
+  s.on_epoch(s.epoch_ticks(), f.snap);
+
+  std::set<CoreId> seen;
+  for (const CoreId c : s.latency_cluster()) EXPECT_TRUE(seen.insert(c).second);
+  for (const CoreId c : s.bandwidth_cluster()) EXPECT_TRUE(seen.insert(c).second);
+  EXPECT_EQ(seen.size(), kCores);  // disjoint AND covering
+  for (CoreId c = 0; c < kCores; ++c) EXPECT_EQ(seen.count(c), 1u);
+
+  // The lightest users land in the latency cluster and outrank every
+  // bandwidth-cluster core.
+  const auto& lat = s.latency_cluster();
+  EXPECT_NE(std::find(lat.begin(), lat.end(), CoreId{0}), lat.end());
+  for (const CoreId l : s.latency_cluster())
+    for (const CoreId b : s.bandwidth_cluster())
+      EXPECT_GT(s.core_priority(l), s.core_priority(b));
+}
+
+TEST(TcmZoo, IdleQuantumPutsEveryCoreInLatencyCluster) {
+  constexpr std::uint32_t kCores = 4;
+  sched::TcmScheduler s(kCores);
+  SnapFixture f(kCores);  // interval_served all zero
+  s.on_epoch(s.epoch_ticks(), f.snap);
+  EXPECT_EQ(s.latency_cluster().size(), kCores);
+  EXPECT_TRUE(s.bandwidth_cluster().empty());
+}
+
+TEST(TcmZoo, BandwidthRanksRotateAcrossQuanta) {
+  constexpr std::uint32_t kCores = 4;
+  sched::TcmScheduler s(kCores);
+  SnapFixture f(kCores);
+  // Everyone heavy and equal: the whole population exceeds ClusterThresh
+  // except the first greedy pick, so most cores are bandwidth-clustered and
+  // the rotation (TCM's shuffle stand-in) must change relative ranks.
+  for (std::uint32_t c = 0; c < kCores; ++c) f.interval_served[c] = 50;
+
+  s.on_epoch(s.epoch_ticks(), f.snap);
+  ASSERT_GE(s.bandwidth_cluster().size(), 2u);
+  std::vector<double> first;
+  for (const CoreId c : s.bandwidth_cluster()) first.push_back(s.core_priority(c));
+
+  for (std::uint32_t c = 0; c < kCores; ++c) f.interval_served[c] = 50;
+  s.on_epoch(2 * s.epoch_ticks(), f.snap);
+  EXPECT_EQ(s.quanta(), 2u);
+  std::vector<double> second;
+  for (const CoreId c : s.bandwidth_cluster()) second.push_back(s.core_priority(c));
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_NE(first, second);  // the rotation moved somebody
+}
+
+// ---------------------------------------------------------------------------
+// CADS: a synthetic hog's priority responds monotonically — every interval
+// it keeps hogging pushes it strictly further below the quiet cores.
+// ---------------------------------------------------------------------------
+
+TEST(CadsZoo, HogPriorityDecreasesMonotonically) {
+  constexpr std::uint32_t kCores = 4;
+  constexpr CoreId kHog = 1;
+  sched::CadsScheduler s(kCores);
+  SnapFixture f(kCores);
+
+  double prev = s.core_priority(kHog);
+  for (int interval = 1; interval <= 6; ++interval) {
+    for (std::uint32_t c = 0; c < kCores; ++c)
+      f.interval_served[c] = (c == kHog) ? 120 : 3;
+    s.on_epoch(static_cast<Tick>(interval) * s.epoch_ticks(), f.snap);
+    const double cur = s.core_priority(kHog);
+    EXPECT_LT(cur, prev) << "interval " << interval;
+    prev = cur;
+    // The hog always ranks below every light core.
+    for (CoreId c = 0; c < kCores; ++c) {
+      if (c == kHog) continue;
+      EXPECT_LT(s.core_priority(kHog), s.core_priority(c));
+    }
+  }
+
+  // And it recovers once it goes quiet: score decays, priority climbs back.
+  for (std::uint32_t c = 0; c < kCores; ++c) f.interval_served[c] = 0;
+  s.on_epoch(7 * s.epoch_ticks(), f.snap);
+  EXPECT_GT(s.core_priority(kHog), prev);
+}
+
+// ---------------------------------------------------------------------------
+// Factory name contract: canonical UPPERCASE names, case-insensitive input,
+// did-you-mean suggestions for near-misses.
+// ---------------------------------------------------------------------------
+
+TEST(FactoryZoo, CaseInsensitiveCanonicalNames) {
+  core::SchedulerArgs args;
+  args.core_count = 2;
+  EXPECT_EQ(core::make_scheduler("bliss", args)->name(), "BLISS");
+  EXPECT_EQ(core::make_scheduler("Bliss", args)->name(), "BLISS");
+  EXPECT_EQ(core::make_scheduler("tcm", args)->name(), "TCM");
+  EXPECT_EQ(core::make_scheduler("cads", args)->name(), "CADS");
+  EXPECT_EQ(core::make_scheduler("hf-rf", args)->name(), "HF-RF");
+}
+
+TEST(FactoryZoo, DidYouMeanSuggestsNearestScheme) {
+  core::SchedulerArgs args;
+  args.core_count = 2;
+  try {
+    core::make_scheduler("blis", args);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("blis"), std::string::npos) << msg;   // echoes the input
+    EXPECT_NE(msg.find("did you mean"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'BLISS'"), std::string::npos) << msg;
+  }
+  try {
+    core::make_scheduler("CADZ", args);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'CADS'"), std::string::npos) << e.what();
+  }
+  // Nothing plausibly close: no suggestion appended.
+  try {
+    core::make_scheduler("COMPLETELY-WRONG", args);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FactoryZoo, KnownSchedulersListsTheZoo) {
+  const auto known = core::known_schedulers();
+  for (const char* name : {"BLISS", "TCM", "CADS"})
+    EXPECT_NE(std::find(known.begin(), known.end(), name), known.end()) << name;
+}
+
+// ---------------------------------------------------------------------------
+// Golden-report contract: the canonical scheme name survives the trip
+// lowercase CLI input -> Experiment -> JSON report -> parse.
+// ---------------------------------------------------------------------------
+
+TEST(ReportZoo, SchemeNameRoundTripsThroughJsonReport) {
+  sim::ExperimentConfig cfg;
+  cfg.profile_insts = 60'000;
+  cfg.eval_insts = 30'000;
+  cfg.warmup_insts = 5'000;
+  cfg.eval_repeats = 1;
+  sim::Experiment exp(cfg);
+  const sim::Workload w = sim::workload_by_name("2MIX-1");
+
+  for (const char* input : {"bliss", "tcm", "cads"}) {
+    const sim::WorkloadRun run = exp.run(w, input);
+    std::string canon = input;
+    for (char& c : canon) c = static_cast<char>(std::toupper(c));
+    EXPECT_EQ(run.scheme, canon);
+
+    const util::Json parsed = util::Json::parse(sim::to_json(run).dump());
+    EXPECT_EQ(parsed.at("scheme").as_string(), canon);
+    EXPECT_EQ(parsed.at("workload").as_string(), w.name);
+  }
+}
+
+}  // namespace
+}  // namespace memsched
