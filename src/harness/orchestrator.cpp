@@ -92,7 +92,8 @@ Orchestrator::Orchestrator(OrchestratorConfig cfg) : cfg_(std::move(cfg)) {
   if (!cfg_.cache_dir.empty()) {
     cache::ResultCacheConfig cc;
     cc.dir = cfg_.cache_dir;
-    cc.fingerprint = cfg_.fingerprint;
+    cc.fingerprint =
+        cfg_.cache_fingerprint.empty() ? cfg_.fingerprint : cfg_.cache_fingerprint;
     cache_ = std::make_unique<cache::ResultCache>(std::move(cc), cfg_.cache_faults);
   }
   if (cfg_.work_dir.empty()) {
@@ -122,6 +123,7 @@ void Orchestrator::commit_record(const PointRecord& rec, bool cacheable) {
     cache_->put(rec.name, rec.payload);
   }
   if (rec.ok() && rec.wall_ms > 0.0) cost_.observe(rec.name, rec.wall_ms);
+  if (cfg_.on_record) cfg_.on_record(rec);
 }
 
 bool Orchestrator::cache_lookup(const PointSpec& point, std::size_t index,

@@ -65,6 +65,13 @@ struct OrchestratorConfig {
   std::string fingerprint;    ///< sweep identity; resume refuses a mismatch
   std::string work_dir;       ///< scratch dir for per-point result/stderr files
 
+  /// Result-cache identity; empty = `fingerprint`. Grid sweeps pass the
+  /// point-independent config fingerprint here so two grids that share a
+  /// configuration share cache entries per point (the sweep daemon's
+  /// incremental re-sweeps), while the manifest and report keep the full
+  /// sweep identity.
+  std::string cache_fingerprint;
+
   double timeout_seconds = 300.0;  ///< per-attempt wall-clock watchdog; 0 = none
   std::uint32_t max_attempts = 1;  ///< bounded retry (1 = no retry)
   double backoff_seconds = 0.0;    ///< base of the capped exponential retry
@@ -103,6 +110,12 @@ struct OrchestratorConfig {
   /// resumes them from their snapshots. Children that complete before the
   /// signal lands are still recorded.
   const volatile std::sig_atomic_t* stop = nullptr;
+
+  /// Liveness hook: invoked after every committed point record (including
+  /// cache hits). The serve daemon's job runners heartbeat
+  /// through this so their supervisor can tell "long point" from "wedged
+  /// runner". Must be cheap and must not throw.
+  std::function<void(const PointRecord&)> on_record;
 };
 
 struct SweepSummary {

@@ -1,0 +1,159 @@
+#include "serve/wire.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "ckpt/snapshot.hpp"
+#include "util/unix_socket.hpp"
+
+namespace memsched::serve {
+
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buf.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  buf.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  buf.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void WireWriter::put_u32(std::uint32_t v) { append_u32(buf_, v); }
+
+void WireWriter::put_u64(std::uint64_t v) {
+  append_u32(buf_, static_cast<std::uint32_t>(v & 0xffff'ffffu));
+  append_u32(buf_, static_cast<std::uint32_t>(v >> 32));
+}
+
+void WireWriter::put_str(const std::string& s) {
+  if (s.size() > kMaxFramePayload) throw WireError("wire: string too large to encode");
+  append_u32(buf_, static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+const std::uint8_t* WireReader::need(std::size_t n) {
+  if (size_ - pos_ < n) throw WireError("wire: record truncated");
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t WireReader::get_u8() { return *need(1); }
+
+std::uint32_t WireReader::get_u32() { return load_u32(need(4)); }
+
+std::uint64_t WireReader::get_u64() {
+  const std::uint64_t lo = get_u32();
+  const std::uint64_t hi = get_u32();
+  return lo | (hi << 32);
+}
+
+std::string WireReader::get_str() {
+  const std::uint32_t n = get_u32();
+  if (n > kMaxFramePayload) throw WireError("wire: string length implausible");
+  const std::uint8_t* p = need(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::vector<std::uint8_t> frame_payload(std::uint32_t magic,
+                                        const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) throw WireError("wire: payload too large");
+  std::vector<std::uint8_t> out;
+  out.reserve(12 + payload.size());
+  append_u32(out, magic);
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  append_u32(out, ckpt::crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+FrameParse parse_frame(std::uint32_t magic, const std::uint8_t* data, std::size_t size) {
+  FrameParse r;
+  if (size < 12) {
+    // Could still be a valid header mid-write — but only if what IS there
+    // matches the magic prefix. A wrong byte this early is corruption.
+    const std::size_t have = std::min<std::size_t>(size, 4);
+    std::uint8_t want[4];
+    want[0] = static_cast<std::uint8_t>(magic & 0xff);
+    want[1] = static_cast<std::uint8_t>((magic >> 8) & 0xff);
+    want[2] = static_cast<std::uint8_t>((magic >> 16) & 0xff);
+    want[3] = static_cast<std::uint8_t>((magic >> 24) & 0xff);
+    if (std::memcmp(data, want, have) != 0) {
+      r.error = "bad magic";
+      return r;
+    }
+    r.need_more = true;
+    return r;
+  }
+  if (load_u32(data) != magic) {
+    r.error = "bad magic";
+    return r;
+  }
+  const std::uint32_t len = load_u32(data + 4);
+  if (len > kMaxFramePayload) {
+    r.error = "implausible frame length";
+    return r;
+  }
+  if (size - 12 < len) {
+    r.need_more = true;
+    return r;
+  }
+  const std::uint32_t want_crc = load_u32(data + 8);
+  if (ckpt::crc32(data + 12, len) != want_crc) {
+    r.error = "payload CRC mismatch";
+    return r;
+  }
+  r.ok = true;
+  r.consumed = 12 + static_cast<std::size_t>(len);
+  r.payload.assign(data + 12, data + 12 + len);
+  return r;
+}
+
+bool write_message(int fd, const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> framed = frame_payload(kWireFrameMagic, payload);
+  return util::write_all(fd, framed.data(), framed.size());
+}
+
+bool read_message(int fd, std::vector<std::uint8_t>* payload, std::string* error) {
+  std::uint8_t header[12];
+  if (!util::read_exact(fd, header, sizeof header)) {
+    if (error) *error = errno == 0 ? "eof" : "read error";
+    return false;
+  }
+  if (load_u32(header) != kWireFrameMagic) {
+    if (error) *error = "bad magic";
+    return false;
+  }
+  const std::uint32_t len = load_u32(header + 4);
+  if (len > kMaxFramePayload) {
+    if (error) *error = "implausible frame length";
+    return false;
+  }
+  payload->resize(len);
+  if (len > 0 && !util::read_exact(fd, payload->data(), len)) {
+    if (error) *error = "truncated frame";
+    return false;
+  }
+  if (ckpt::crc32(payload->data(), len) != load_u32(header + 8)) {
+    if (error) *error = "payload CRC mismatch";
+    return false;
+  }
+  if (error) error->clear();
+  return true;
+}
+
+bool write_json(int fd, const util::Json& doc) {
+  const std::string text = doc.dump();
+  std::vector<std::uint8_t> payload(text.begin(), text.end());
+  return write_message(fd, payload);
+}
+
+}  // namespace memsched::serve

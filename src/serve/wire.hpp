@@ -1,0 +1,113 @@
+// Byte-level codec shared by the job queue's WAL records and the daemon's
+// socket protocol.
+//
+// WireWriter/WireReader serialize plain scalars and length-prefixed strings
+// into a flat byte buffer (little-endian, like every on-disk format in this
+// codebase). Framing adds a fixed header per record:
+//
+//   magic u32  'MSQ1' (queue records) or 'MSG1' (socket messages)
+//   len   u32  payload byte count (bounded; a torn length can't OOM us)
+//   crc   u32  CRC-32 of the payload (ckpt::crc32)
+//   payload
+//
+// The frame is what makes both transports crash- and corruption-evident: a
+// WAL append SIGKILLed at any byte offset leaves a tail whose magic, length
+// or CRC cannot check out, and recovery truncates it; a half-written socket
+// message is rejected the same way instead of being half-interpreted.
+//
+// WireReader throws WireError on any structural problem (short buffer,
+// over-read, oversized string) — never UB; callers treat it exactly like
+// ckpt::SnapshotError.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace memsched::serve {
+
+inline constexpr std::uint32_t kQueueFrameMagic = 0x3151'534d;  // "MSQ1"
+inline constexpr std::uint32_t kWireFrameMagic = 0x3147'534d;   // "MSG1"
+
+/// Hard bound on one frame's payload. Submissions and reports are small;
+/// anything bigger is a corrupt length field, not a legitimate message.
+inline constexpr std::uint32_t kMaxFramePayload = 16u * 1024 * 1024;
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends typed fields to a byte buffer.
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_str(const std::string& s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads typed fields back; every accessor throws WireError on over-read.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::string get_str();
+
+  /// Bytes not yet consumed (0 when a record was read exactly).
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Wraps `payload` in a magic/len/CRC frame.
+[[nodiscard]] std::vector<std::uint8_t> frame_payload(
+    std::uint32_t magic, const std::vector<std::uint8_t>& payload);
+
+/// Result of scanning one frame out of a byte stream.
+struct FrameParse {
+  bool ok = false;           ///< a complete, CRC-clean frame was extracted
+  bool need_more = false;    ///< prefix of a valid frame; not enough bytes yet
+  std::size_t consumed = 0;  ///< bytes used (header + payload) when ok
+  std::vector<std::uint8_t> payload;
+  std::string error;  ///< diagnosis when !ok && !need_more (torn/corrupt)
+};
+
+/// Parses the frame starting at `data`. Distinguishes "incomplete but so far
+/// valid" (a WAL tail mid-append, a socket message mid-read) from "corrupt"
+/// (bad magic, oversized length, CRC mismatch).
+[[nodiscard]] FrameParse parse_frame(std::uint32_t magic, const std::uint8_t* data,
+                                     std::size_t size);
+
+/// Writes one framed message to `fd`. False + errno on I/O failure.
+[[nodiscard]] bool write_message(int fd, const std::vector<std::uint8_t>& payload);
+
+/// Reads one framed message from `fd` (blocking). False on EOF, I/O error,
+/// or a corrupt frame (`*error` says which).
+[[nodiscard]] bool read_message(int fd, std::vector<std::uint8_t>* payload,
+                                std::string* error);
+
+/// JSON convenience used by the daemon protocol: one JSON document per
+/// framed message.
+[[nodiscard]] bool write_json(int fd, const util::Json& doc);
+
+}  // namespace memsched::serve

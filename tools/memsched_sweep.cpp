@@ -23,13 +23,9 @@
 #include "ckpt/signal.hpp"
 #include "mc/fault_injector.hpp"
 #include "harness/bench_registry.hpp"
-#include "harness/fingerprint.hpp"
+#include "harness/grid.hpp"
 #include "harness/guarded_main.hpp"
 #include "harness/orchestrator.hpp"
-#include "sim/engine.hpp"
-#include "sim/experiment.hpp"
-#include "sim/json_report.hpp"
-#include "sim/workloads.hpp"
 #include "util/config.hpp"
 
 using namespace memsched;
@@ -58,38 +54,6 @@ int usage() {
       "           output bytes are identical to a cold run. Cache I/O errors\n"
       "           degrade to re-simulation, never a failed sweep.\n");
   throw std::invalid_argument("bad sweep command line");
-}
-
-std::vector<std::string> split_list(const std::string& csv) {
-  std::vector<std::string> out;
-  std::size_t begin = 0;
-  while (begin <= csv.size()) {
-    const std::size_t end = csv.find(',', begin);
-    const std::string item =
-        csv.substr(begin, end == std::string::npos ? std::string::npos : end - begin);
-    if (!item.empty()) out.push_back(item);
-    if (end == std::string::npos) break;
-    begin = end + 1;
-  }
-  return out;
-}
-
-mc::FaultConfig fault_from(const util::Config& cli) {
-  mc::FaultConfig f;
-  f.enabled = cli.get_bool("fault", false);
-  f.seed = cli.get_uint("fault.seed", f.seed);
-  f.drop_read_prob = cli.get_double("fault.drop_read", 0.0);
-  f.drop_write_prob = cli.get_double("fault.drop_write", 0.0);
-  f.dup_prob = cli.get_double("fault.dup", 0.0);
-  f.delay_prob = cli.get_double("fault.delay", 0.0);
-  f.delay_ticks_max =
-      static_cast<std::uint32_t>(cli.get_uint("fault.delay_max", f.delay_ticks_max));
-  f.stall_prob = cli.get_double("fault.stall", 0.0);
-  f.stall_ticks =
-      static_cast<std::uint32_t>(cli.get_uint("fault.stall_ticks", f.stall_ticks));
-  if (const std::string err = f.validate(); !err.empty())
-    throw std::invalid_argument("fault config: " + err);
-  return f;
 }
 
 /// Deterministic chaos source for the result cache, armed from the
@@ -174,119 +138,39 @@ int finish(const util::Config& cli, harness::Orchestrator& orch,
 }
 
 int cmd_grid(const util::Config& cli) {
-  if (const auto err = cli.check_known(
-          {"workloads", "schemes", "insts", "repeats", "warmup", "profile_insts",
-           "seed", "profile_seed", "interleave", "engine", "verify",
-           "progress_window", "ckpt", "ckpt_interval", "fault", "manifest",
-           "report", "timeout", "attempts", "backoff", "isolate", "stop_after",
-           "strict", "quiet", "jobs", "cache"},
-          {"fault."})) {
+  // Grid-definition vocabulary lives in harness::grid_keys(); this front end
+  // adds its transport/orchestration keys on top. The daemon front end
+  // (memsched_served) accepts the grid keys alone — same parser, same
+  // defaults, same point bodies (harness/grid.cpp), so a submitted job and a
+  // CLI sweep of the same definition produce identical result bytes.
+  std::vector<std::string_view> known(harness::grid_keys());
+  for (const char* k : {"manifest", "report", "timeout", "attempts", "backoff",
+                        "isolate", "stop_after", "strict", "quiet", "jobs",
+                        "cache"}) {
+    known.push_back(k);
+  }
+  if (const auto err = cli.check_known(known, {"fault."})) {
     throw std::invalid_argument(*err);
   }
 
-  sim::ExperimentConfig cfg;
-  cfg.eval_insts = cli.get_uint("insts", 30'000);
-  cfg.eval_repeats = static_cast<std::uint32_t>(cli.get_uint("repeats", 1));
-  cfg.warmup_insts = cli.get_uint("warmup", cfg.warmup_insts);
-  cfg.profile_insts = cli.get_uint("profile_insts", 80'000);
-  cfg.eval_seed = cli.get_uint("seed", cfg.eval_seed);
-  cfg.profile_seed = cli.get_uint("profile_seed", cfg.profile_seed);
-  const std::string il = cli.get_string("interleave", "hybrid");
-  if (il == "line") cfg.base.interleave = dram::Interleave::kLineInterleave;
-  else if (il == "page") cfg.base.interleave = dram::Interleave::kPageInterleave;
-  else if (il == "hybrid") cfg.base.interleave = dram::Interleave::kHybrid;
-  else throw std::invalid_argument("unknown interleave '" + il + "'");
-  cfg.base.engine = sim::engine_from_string(cli.get_string("engine", "skip"));
-  cfg.base.audit.enabled = cli.get_bool("verify", cfg.base.audit.enabled);
-  cfg.base.progress_window_ticks =
-      cli.get_uint("progress_window", cfg.base.progress_window_ticks);
-  // Per-point checkpointing defaults on; degraded off under verify= (the
-  // auditor's shadow state is not serialized, so the pair is incompatible).
-  const bool ckpt_on = cli.get_bool("ckpt", true) && !cfg.base.audit.enabled;
-  const Tick ckpt_interval = cli.get_uint("ckpt_interval", 1'000'000);
-
-  const mc::FaultConfig fault = fault_from(cli);
-  const std::vector<std::string> fault_points =
-      split_list(cli.get_string("fault.points", ""));
-  const auto fault_targets = [&](const std::string& point_name) {
-    if (!fault.enabled) return false;
-    if (fault_points.empty()) return true;
-    for (const std::string& p : fault_points) {
-      if (p == point_name) return true;
-    }
-    return false;
-  };
-
-  const std::vector<std::string> workloads =
-      split_list(cli.get_string("workloads", "2MEM-1"));
-  const std::vector<std::string> schemes =
-      split_list(cli.get_string("schemes", "HF-RF,ME-LREQ"));
-  if (workloads.empty() || schemes.empty()) return usage();
+  harness::GridSpec spec;
+  try {
+    spec = harness::grid_from_config(cli);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
 
   // The fingerprint ties a manifest to the sweep definition; every knob that
   // changes a point's *result* belongs in it. grid_fingerprint builds it on
   // top of SystemConfig::fingerprint() so new simulator knobs (engine=, ...)
   // can never silently drop out of it again.
-  const std::string fp = harness::grid_fingerprint(
-      cfg, cli.get_string("workloads", "2MEM-1"),
-      cli.get_string("schemes", "HF-RF,ME-LREQ"), fault,
-      cli.get_string("fault.points", ""));
-
-  std::vector<harness::PointSpec> points;
-  for (const std::string& wname : workloads) {
-    for (const std::string& scheme : schemes) {
-      harness::PointSpec p;
-      p.name = wname + "/" + scheme;
-      // Dispatch hint for the parallel executor: simulated work scales with
-      // instruction count x cores (workload names lead with the core count,
-      // "4MEM-1" = 4 cores). Replaced by measured wall time once a timing
-      // sidecar exists; a wrong hint only costs wall clock.
-      const double cores = (wname.empty() || wname[0] < '1' || wname[0] > '9')
-                               ? 1.0
-                               : static_cast<double>(wname[0] - '0');
-      p.cost_hint = static_cast<double>(cfg.eval_insts) * cores *
-                    static_cast<double>(cfg.eval_repeats);
-      const bool chaos = fault_targets(p.name);
-      auto payload_for = [cfg, wname, scheme, fault, chaos,
-                          ckpt_interval](const std::string& ckpt_dir) {
-        sim::ExperimentConfig point_cfg = cfg;
-        if (chaos) {
-          point_cfg.base.fault = fault;
-          // Record-mode audit: induced corruption should be *counted* by the
-          // verification layer, not abort the child before the watchdogs get
-          // to demonstrate containment.
-          point_cfg.base.audit.abort_on_violation = false;
-        }
-        if (!ckpt_dir.empty()) {
-          point_cfg.ckpt_dir = ckpt_dir;
-          point_cfg.ckpt_interval = ckpt_interval;
-          point_cfg.ckpt_stop = &ckpt::stop_flag();
-        }
-        sim::Experiment exp(point_cfg);
-        const sim::Workload w = sim::resolve_workload(wname);
-        const sim::WorkloadRun r = exp.run(w, scheme);
-        util::Json payload = util::Json::object();
-        payload["workload"] = w.name;
-        payload["scheme"] = r.scheme;
-        payload["fault_injected"] = chaos;
-        payload["smt_speedup"] = r.smt_speedup;
-        payload["unfairness"] = r.unfairness;
-        payload["avg_read_latency_cpu"] = r.avg_read_latency_cpu;
-        payload["row_hit_rate"] = r.row_hit_rate;
-        payload["bus_utilization"] = r.bus_utilization;
-        return payload;
-      };
-      if (ckpt_on) {
-        p.body_ckpt = payload_for;
-      } else {
-        p.body = [payload_for]() { return payload_for(std::string{}); };
-      }
-      points.push_back(std::move(p));
-    }
-  }
-
-  harness::Orchestrator orch(orchestrator_from(cli, fp));
-  const harness::SweepSummary s = orch.run(points);
+  harness::OrchestratorConfig oc = orchestrator_from(cli, harness::fingerprint(spec));
+  // Cache entries key on the point-independent config identity, so CLI
+  // sweeps and daemon jobs that share a configuration share cached points.
+  oc.cache_fingerprint = harness::config_fingerprint(spec);
+  harness::Orchestrator orch(std::move(oc));
+  const harness::SweepSummary s = orch.run(harness::grid_points(spec));
   return finish(cli, orch, s);
 }
 
