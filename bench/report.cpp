@@ -15,7 +15,7 @@ BenchSetup BenchSetup::parse(int argc, char** argv,
     std::fprintf(stderr,
                  "usage: %s [insts=N] [repeats=N] [warmup=N] [profile_insts=N]\n"
                  "          [seed=N] [profile_seed=N] [interleave=line|page|hybrid]\n"
-                 "          [refresh=0|1] [verify=0|1] [engine=skip|cycle] [csv=path]\n",
+                 "          [refresh=0|1] [verify=0|1] [engine=skip|cycle|sampled] [csv=path]\n",
                  argv[0]);
     throw std::invalid_argument(msg);
   };
@@ -46,6 +46,7 @@ BenchSetup BenchSetup::parse(int argc, char** argv,
   const std::string eng = out.cli.get_string("engine", "skip");
   if (eng == "skip") e.base.engine = sim::Engine::kSkip;
   else if (eng == "cycle") e.base.engine = sim::Engine::kCycle;
+  else if (eng == "sampled") e.base.engine = sim::Engine::kSampled;
   else fail("unknown engine '" + eng + "'");
   out.csv_path = out.cli.get_string("csv", "");
   return out;

@@ -37,11 +37,23 @@ done
 echo "  fig2_smt_speedup ok"
 ./build/bench/micro_components --benchmark_min_time=0.01 > /dev/null
 echo "  micro_components ok"
+# Tiny grid; the table-quality run is documented in EXPERIMENTS.md.
+./build/bench/sampled_error_speedup insts=60000 reps=1 profile_insts=80000 \
+    intervals=2 interval_insts=2000 sample_warmup=1000 \
+    workloads=2MEM-1 schemes=HF-RF,ME-LREQ out=/tmp/BENCH_sampled_error.json \
+    > /dev/null
+rm -f /tmp/BENCH_sampled_error.json
+echo "  sampled_error_speedup ok"
 
 echo "== engine throughput gate (cycle vs skip, see docs/performance.md) =="
-./build/bench/sim_throughput out=/tmp/check_throughput.json > /dev/null
-python3 scripts/check_throughput.py /tmp/check_throughput.json
-rm -f /tmp/check_throughput.json
+# BENCH_throughput.json carries the per-case speedups and the busy-load
+# aggregate (busy_load.mticks_per_s). The gate is ratcheted: a committed
+# hot-path win must be folded into bench/baselines/ via
+#   python3 scripts/check_throughput.py --update-baseline /tmp/BENCH_throughput.json
+# and the update refuses to loosen the baseline (see the script docstring).
+./build/bench/sim_throughput out=/tmp/BENCH_throughput.json > /dev/null
+python3 scripts/check_throughput.py /tmp/BENCH_throughput.json
+rm -f /tmp/BENCH_throughput.json
 
 echo "== tool smoke =="
 ./build/tools/memsched_sim run workload=2MEM-1 scheme=ME-LREQ insts=20000 \

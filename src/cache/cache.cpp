@@ -73,6 +73,24 @@ AccessResult SetAssocCache::access(Addr addr, bool is_write) {
   return result;
 }
 
+bool SetAssocCache::try_hit(Addr addr, bool is_write, bool* was_prefetched) {
+  const std::uint64_t set = set_of(addr);
+  const Addr tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++lru_clock_;
+      line.dirty |= is_write;
+      ++stats_.hits;
+      if (was_prefetched != nullptr) *was_prefetched = line.prefetched;
+      line.prefetched = false;
+      return true;
+    }
+  }
+  return false;
+}
+
 void SetAssocCache::mark_prefetched(Addr addr) {
   const std::uint64_t set = set_of(addr);
   const Addr tag = tag_of(addr);
@@ -109,7 +127,7 @@ bool SetAssocCache::invalidate(Addr addr) {
   return false;
 }
 
-void SetAssocCache::warm_insert(Addr addr, bool dirty) {
+bool SetAssocCache::warm_touch(Addr addr, bool dirty) {
   const std::uint64_t set = set_of(addr);
   const Addr tag = tag_of(addr);
   Line* base = &lines_[set * cfg_.ways];
@@ -118,7 +136,7 @@ void SetAssocCache::warm_insert(Addr addr, bool dirty) {
     if (line.valid && line.tag == tag) {
       line.lru = ++lru_clock_;
       line.dirty |= dirty;
-      return;
+      return true;
     }
   }
   Line* victim = &base[0];
@@ -135,6 +153,7 @@ void SetAssocCache::warm_insert(Addr addr, bool dirty) {
   victim->dirty = dirty;
   victim->prefetched = false;
   victim->lru = ++lru_clock_;
+  return false;
 }
 
 void SetAssocCache::reset() {

@@ -62,6 +62,13 @@ class SetAssocCache {
   /// Tag probe without any state change.
   [[nodiscard]] bool probe(Addr addr) const;
 
+  /// Fused probe+access for the hit fast path: on a hit this is exactly
+  /// access() (LRU bump, dirty update, hit counter, prefetch-bit clear,
+  /// reported through `was_prefetched` when non-null) with one set lookup
+  /// instead of two; on a miss it is exactly probe() — no state or
+  /// statistics change, the caller decides whether/when to allocate.
+  bool try_hit(Addr addr, bool is_write, bool* was_prefetched = nullptr);
+
   /// Invalidate a line if present; returns true if it was dirty.
   bool invalidate(Addr addr);
 
@@ -71,7 +78,12 @@ class SetAssocCache {
   /// Checkpoint-style warm insertion: allocates `addr`'s line like access()
   /// but updates no statistics and silently drops any victim (no writeback).
   /// Used to pre-warm caches to steady-state occupancy before measurement.
-  void warm_insert(Addr addr, bool dirty);
+  void warm_insert(Addr addr, bool dirty) { (void)warm_touch(addr, dirty); }
+
+  /// warm_insert that also reports whether the line was already resident —
+  /// the functional fast-forward's fused probe+insert (one set scan instead
+  /// of two, mirroring try_hit on the detailed path).
+  bool warm_touch(Addr addr, bool dirty);
 
   /// Zero the statistics counters without touching cache contents.
   void reset_stats() { stats_ = CacheStats{}; }

@@ -39,10 +39,9 @@ AccessReply CacheHierarchy::l2_access(CoreId core, Addr line, bool is_write,
     return {.outcome = AccessOutcome::kMiss, .done_cpu = 0};
   }
 
-  if (l2_.probe(line)) {
-    const AccessResult r = l2_.access(line, is_write);
-    MEMSCHED_ASSERT(r.hit, "L2 probe/access disagreement");
-    pf_useful_ += r.was_prefetched;
+  bool was_pf = false;
+  if (l2_.try_hit(line, is_write, &was_pf)) {
+    pf_useful_ += was_pf;
     return {.outcome = AccessOutcome::kHitL2,
             .done_cpu = now_cpu + l2_.config().hit_latency_cpu};
   }
@@ -88,8 +87,7 @@ AccessReply CacheHierarchy::load(CoreId core, Addr addr, CpuCycle now_cpu,
                                  std::uint64_t waiter_token) {
   const Addr line = line_base(addr);
   SetAssocCache& l1 = l1d_[core];
-  if (l1.probe(line)) {
-    l1.access(line, false);
+  if (l1.try_hit(line, false)) {
     return {.outcome = AccessOutcome::kHitL1,
             .done_cpu = now_cpu + l1.config().hit_latency_cpu};
   }
@@ -104,10 +102,7 @@ AccessReply CacheHierarchy::load(CoreId core, Addr addr, CpuCycle now_cpu,
 bool CacheHierarchy::store(CoreId core, Addr addr, std::uint64_t waiter_token) {
   const Addr line = line_base(addr);
   SetAssocCache& l1 = l1d_[core];
-  if (l1.probe(line)) {
-    l1.access(line, true);
-    return true;
-  }
+  if (l1.try_hit(line, true)) return true;
   // Write-allocate: the line is fetched from below like a load; the store
   // queue holds the entry until the fill returns (waiter_token, if any).
   const AccessReply reply = l2_access(core, line, false, 0, waiter_token);
@@ -121,8 +116,7 @@ AccessReply CacheHierarchy::ifetch(CoreId core, Addr addr, CpuCycle now_cpu,
                                    std::uint64_t waiter_token) {
   const Addr line = line_base(addr);
   SetAssocCache& l1 = l1i_[core];
-  if (l1.probe(line)) {
-    l1.access(line, false);
+  if (l1.try_hit(line, false)) {
     return {.outcome = AccessOutcome::kHitL1,
             .done_cpu = now_cpu + l1.config().hit_latency_cpu};
   }
@@ -130,6 +124,19 @@ AccessReply CacheHierarchy::ifetch(CoreId core, Addr addr, CpuCycle now_cpu,
   if (reply.outcome == AccessOutcome::kRetry) return reply;
   l1.access(line, false);  // instruction lines are never dirty
   return reply;
+}
+
+void CacheHierarchy::functional_touch(CoreId core, Addr addr, bool is_write,
+                                      bool is_ifetch) {
+  const Addr line = line_base(addr);
+  SetAssocCache& l1 = is_ifetch ? l1i_[core] : l1d_[core];
+  if (!l1.warm_touch(line, is_write)) {
+    // Would miss to L2: keep its recency/contents warm the same way. Victims
+    // are dropped at both levels (warm path), which slightly under-states
+    // L2 dirtiness across a fast-forward — the per-interval detailed warmup
+    // re-establishes the write-back pipeline before anything is measured.
+    l2_.warm_insert(line, /*dirty=*/false);
+  }
 }
 
 void CacheHierarchy::l2_insert_writeback(CoreId core, Addr victim_line) {

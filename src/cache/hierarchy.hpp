@@ -91,6 +91,13 @@ class CacheHierarchy {
   /// Instruction fetch by `core` (same protocol as load).
   AccessReply ifetch(CoreId core, Addr addr, CpuCycle now_cpu, std::uint64_t waiter_token);
 
+  /// Functional (timing-free) access for the sampled engine's fast-forward:
+  /// keeps tag/LRU/dirty state warm without MSHRs, DRAM traffic, statistics
+  /// or writebacks — an L1 miss touches L2, a miss at either level allocates
+  /// via warm_insert (victims dropped). Must not be called while a fill for
+  /// the line is in flight; the sampled engine drains the system first.
+  void functional_touch(CoreId core, Addr addr, bool is_write, bool is_ifetch);
+
   /// Once per bus cycle: dispatch pending MSHR fills and drain writebacks
   /// into the memory controller (both are back-pressured by its buffer).
   void tick(Tick now);

@@ -182,6 +182,26 @@ void CoreModel::account_stall_span(CpuCycle span) {
 
 void CoreModel::step_to(CpuCycle target_cpu) {
   self_wake_ = target_cpu;  // active unless the window ends provably blocked
+  if (paused_) {
+    // Drain mode: retire and commit what is in flight, fetch and dispatch
+    // nothing, accrue no stall statistics (the next interval's warmup+reset
+    // would wipe them anyway, but keeping them clean avoids surprises).
+    while (cycle_ < target_cpu) {
+      while (!outstanding_.empty() && outstanding_.front().done != kPending &&
+             outstanding_.front().done <= cycle_) {
+        outstanding_.pop_front();
+      }
+      const std::uint64_t commit_limit =
+          outstanding_.empty() ? issue_num_ : outstanding_.front().inst_num;
+      commit_num_ = std::min(commit_num_ + cfg_.issue_width, commit_limit);
+      ++cycle_;
+      if (outstanding_.empty() && commit_num_ == issue_num_) {
+        cycle_ = target_cpu;  // fully drained — nothing left to advance
+        self_wake_ = kIdle;
+      }
+    }
+    return;
+  }
   while (cycle_ < target_cpu) {
     // Retire loads whose data has arrived (front of the program-order list).
     while (!outstanding_.empty() && outstanding_.front().done != kPending &&
@@ -240,6 +260,63 @@ void CoreModel::step_to(CpuCycle target_cpu) {
       if (next_event > target_cpu) self_wake_ = next_event;
     }
   }
+}
+
+void CoreModel::functional_advance(std::uint64_t n) {
+  MEMSCHED_ASSERT(quiescent(), "functional_advance requires a drained core");
+  // Consecutive references to one line collapse into a single warm touch:
+  // with no intervening access to the same cache, repeats change neither
+  // residency nor relative LRU order — only the dirty bit can still be
+  // strengthened by a later store. Span-scoped, so detailed intervals in
+  // between can never invalidate the memo.
+  Addr last_line = ~Addr{0};
+  bool last_dirty = false;
+  const bool ifetch = cfg_.model_ifetch && stream_.code_bytes() != 0;
+  std::uint64_t remaining = n;
+  while (remaining > 0) {
+    trace::InstRecord rec;
+    std::uint64_t consumed;
+    if (have_pending_rec_) {
+      rec = pending_rec_;
+      have_pending_rec_ = false;
+      consumed = 1;
+    } else {
+      // Batched: the stream skips the whole compute run in one call.
+      consumed = stream_.next_ref(remaining, rec);
+    }
+    remaining -= consumed;
+    if (rec.cls != trace::InstClass::kCompute) {
+      const bool is_write = rec.cls == trace::InstClass::kStore;
+      const Addr line = rec.addr & ~static_cast<Addr>(kLineBytes - 1);
+      if (line != last_line) {
+        hierarchy_.functional_touch(id_, rec.addr, is_write, /*is_ifetch=*/false);
+        last_line = line;
+        last_dirty = is_write;
+      } else if (is_write && !last_dirty) {
+        hierarchy_.functional_touch(id_, rec.addr, /*is_write=*/true, /*is_ifetch=*/false);
+        last_dirty = true;
+      }
+    }
+    // Keep the I-fetch line position in step with the instruction count so
+    // detailed execution resumes fetching from the right code address: one
+    // code-line touch per countdown expiry across the consumed span (the
+    // touches land after the span's data touch, which only perturbs L2
+    // recency interleaving between the independent L1I/L1D streams).
+    if (ifetch) {
+      std::uint64_t span = consumed;
+      while (span >= insts_to_next_line_) {
+        span -= insts_to_next_line_;
+        insts_to_next_line_ = cfg_.insts_per_fetch_line;
+        const Addr addr = stream_.code_base() + code_pos_;
+        code_pos_ = (code_pos_ + kLineBytes) % stream_.code_bytes();
+        hierarchy_.functional_touch(id_, addr, /*is_write=*/false, /*is_ifetch=*/true);
+      }
+      insts_to_next_line_ -= static_cast<std::uint32_t>(span);
+    }
+  }
+  issue_num_ += n;
+  commit_num_ += n;
+  last_load_tracked_ = false;  // nothing in flight to depend on
 }
 
 void CoreModel::on_fill(std::uint64_t token, CpuCycle done_cpu) {

@@ -93,6 +93,28 @@ class CoreModel {
   /// Zero the stall/access counters (pipeline state untouched).
   void reset_stats() { stats_ = CoreRunStats{}; }
 
+  // --- sampled-engine support -------------------------------------------
+  /// A paused core retires and commits what is already in flight but
+  /// fetches/dispatches nothing — used to drain the system to a quiescent
+  /// point before a functional fast-forward. Not checkpointed: pause is a
+  /// transient run_sampled-internal state.
+  void set_paused(bool paused) { paused_ = paused; }
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  /// True when nothing is in flight in this core: every issued instruction
+  /// committed, no outstanding loads or store-queue fills, frontend not
+  /// waiting on a miss.
+  [[nodiscard]] bool quiescent() const {
+    return outstanding_.empty() && commit_num_ == issue_num_ &&
+           store_q_used_ == 0 && frontend_ready_ != kPending;
+  }
+
+  /// Functionally execute the next `n` trace instructions: the stream and
+  /// the issue/commit counters advance and the cache hierarchy stays warm
+  /// via timing-free touches, but no cycles pass and no statistics accrue.
+  /// Requires quiescent() (fills in flight would race the skipped stream).
+  void functional_advance(std::uint64_t n);
+
   /// Pack/unpack waiter tokens: the simulation kernel routes fills by core.
   /// Bit 63 marks I-fetch tokens, bit 62 store-queue tokens.
   static std::uint64_t make_token(CoreId core, std::uint64_t seq, bool ifetch,
@@ -145,6 +167,7 @@ class CoreModel {
   cache::CacheHierarchy& hierarchy_;
 
   CpuCycle cycle_ = 0;
+  bool paused_ = false;           ///< see set_paused()
   std::uint64_t issue_num_ = 0;   ///< instructions dispatched
   std::uint64_t commit_num_ = 0;  ///< instructions committed (in order)
   double budget_ = 0.0;

@@ -1,6 +1,7 @@
 #include "mc/controller.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "ckpt/snapshot.hpp"
@@ -32,23 +33,39 @@ MemoryController::MemoryController(dram::DramSystem& dram, sched::Scheduler& sch
       scheduler_(scheduler),
       cfg_(cfg),
       core_count_(core_count),
+      banks_per_channel_(dram.organization().banks_per_channel()),
       rng_(seed),
       pending_reads_(core_count, 0),
       pending_writes_(core_count, 0) {
   MEMSCHED_ASSERT(core_count > 0, "controller needs at least one core");
   MEMSCHED_ASSERT(cfg.drain_low < cfg.drain_high, "drain hysteresis inverted");
   MEMSCHED_ASSERT(cfg.drain_high <= cfg.buffer_entries, "drain_high exceeds buffer");
-  slots_.resize(static_cast<std::size_t>(dram.organization().channels) *
-                dram.organization().banks_per_channel());
-  open_predictor_.assign(slots_.size(), 2);  // weakly-open initial state
+  MEMSCHED_ASSERT(banks_per_channel_ <= 32, "per-channel bank mask is 32-bit");
+  const std::size_t nslots =
+      static_cast<std::size_t>(dram.organization().channels) * banks_per_channel_;
+  slot_valid_.assign(nslots, 0);
+  slot_phase_.assign(nslots, Phase::kNeedCas);
+  slot_req_.resize(nslots);
+  ch_inflight_mask_.assign(dram.channel_count(), 0);
+  sched_sleep_until_.assign(dram.channel_count(), 0);
+  cmd_sleep_until_.assign(dram.channel_count(), 0);
+  open_row_cache_.assign(nslots, kNoOpenRow);
+  row_cache_stale_ = true;  // adopt whatever state the device is in
+  open_predictor_.assign(nslots, 2);  // weakly-open initial state
   stats_.core_read_latency_cpu.resize(core_count);
   stats_.core_reads.resize(core_count, 0);
   stats_.core_writes.resize(core_count, 0);
-  read_q_.reserve(cfg.buffer_entries);
-  write_q_.reserve(cfg.buffer_entries);
-  scratch_cands_.reserve(cfg.buffer_entries);
-  scratch_orders_.reserve(cfg.buffer_entries);
-  scratch_demand_.reserve(cfg.buffer_entries);
+  read_q_.resize(dram.channel_count());
+  write_q_.resize(dram.channel_count());
+  for (SoaQueue& q : read_q_) q.reserve(cfg.buffer_entries);
+  for (SoaQueue& q : write_q_) q.reserve(cfg.buffer_entries);
+  completions_.reserve(2 * static_cast<std::size_t>(cfg.buffer_entries));
+  // Fixed-capacity scratch: queued requests never exceed the buffer size, so
+  // the branchless scans can store unconditionally without bounds checks.
+  scratch_cands_.resize(cfg.buffer_entries);
+  scratch_idx_.resize(cfg.buffer_entries);
+  scratch_orders_.resize(cfg.buffer_entries);
+  scratch_demand_.resize(cfg.buffer_entries);
   scratch_prio_.resize(core_count);
   if (dram.timing().refresh_enabled) {
     next_refresh_.assign(dram.channel_count(), dram.timing().tREFI);
@@ -59,6 +76,13 @@ MemoryController::MemoryController(dram::DramSystem& dram, sched::Scheduler& sch
   interval_arrivals_.assign(core_count, 0);
   epoch_len_ = scheduler.epoch_ticks();
   next_epoch_ = epoch_len_;
+  // Ranking properties are constant over the scheduler's lifetime (Scheduler
+  // contract) — cache them out of the per-tick path.
+  sch_window_ = scheduler.sched_window();
+  sch_hit_first_ = scheduler.use_hit_first();
+  sch_hit_above_ = scheduler.hit_first_above_core();
+  sch_read_first_ = scheduler.use_read_first();
+  sch_random_tie_ = scheduler.random_core_tie_break();
 }
 
 sched::QueueSnapshot MemoryController::make_snapshot(Tick now) const {
@@ -123,17 +147,19 @@ bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
       return true;
     }
   }
-  if (cfg_.forward_writes) {
-    for (const Request& w : write_q_) {
-      if (w.line_addr == line_addr) {
-        // Read-after-write forwarding: served from the write buffer without
-        // a DRAM transaction, after the controller pipeline overhead.
+  if (cfg_.forward_writes && write_total_ != 0) {
+    // Read-after-write forwarding is an existence check over the write
+    // queues' line addresses — the served data never touches DRAM. A line
+    // lives on exactly one channel, so only that queue can match.
+    const SoaQueue& wq = write_q_[dram_.address_map().decode(line_addr).channel];
+    const std::size_t n = wq.size();
+    const Addr* lines = wq.line.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lines[i] == line_addr) {
+        // Served from the write buffer after the controller pipeline overhead.
         const Request req = make_request(core, line_addr, false, false, now, 0);
         const Tick done = req.visible_tick;
-        auto it = std::upper_bound(
-            completions_.begin(), completions_.end(), done,
-            [](Tick t, const Completion& c) { return t < c.done; });
-        completions_.insert(it, Completion{done, req});
+        insert_completion(req, done);
         ++stats_.read_forwards;
         MC_AUDIT(on_forward(req, done));
         return true;
@@ -143,7 +169,10 @@ bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
   if (!can_accept()) return false;
   const Request req =
       make_request(core, line_addr, false, is_prefetch, now, fault.delay_ticks);
-  read_q_.push_back(req);
+  read_q_[req.dram.channel].push(
+      req, static_cast<std::uint32_t>(slot_index(req.dram.channel, req.dram.bank)));
+  sched_sleep_until_[req.dram.channel] = 0;
+  ++read_total_;
   ++pending_reads_[core];
   ++occupied_;
   if (epoch_len_ != 0) ++interval_arrivals_[core];
@@ -151,7 +180,9 @@ bool MemoryController::enqueue_read(CoreId core, Addr line_addr, Tick now,
   if (fault.duplicate && can_accept()) {
     const Request dup =
         make_request(core, line_addr, false, is_prefetch, now, fault.delay_ticks);
-    read_q_.push_back(dup);
+    read_q_[dup.dram.channel].push(
+        dup, static_cast<std::uint32_t>(slot_index(dup.dram.channel, dup.dram.bank)));
+    ++read_total_;
     ++pending_reads_[core];
     ++occupied_;
     if (epoch_len_ != 0) ++interval_arrivals_[core];
@@ -171,9 +202,12 @@ bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
       return true;
     }
   }
-  if (cfg_.combine_writes) {
-    for (Request& w : write_q_) {
-      if (w.line_addr == line_addr) {
+  if (cfg_.combine_writes && write_total_ != 0) {
+    const SoaQueue& wq = write_q_[dram_.address_map().decode(line_addr).channel];
+    const std::size_t n = wq.size();
+    const Addr* lines = wq.line.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lines[i] == line_addr) {
         ++stats_.write_merges;
         MC_AUDIT(on_merge(core, line_addr, now));
         return true;  // coalesced into the existing entry
@@ -182,7 +216,10 @@ bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
   }
   if (!can_accept()) return false;
   const Request req = make_request(core, line_addr, true, false, now, fault.delay_ticks);
-  write_q_.push_back(req);
+  write_q_[req.dram.channel].push(
+      req, static_cast<std::uint32_t>(slot_index(req.dram.channel, req.dram.bank)));
+  sched_sleep_until_[req.dram.channel] = 0;
+  ++write_total_;
   ++pending_writes_[core];
   ++occupied_;
   if (epoch_len_ != 0) ++interval_arrivals_[core];
@@ -191,7 +228,9 @@ bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
     // A duplicated write lands on the same line; with write combining off it
     // costs a second DRAM transaction, with it on it is merged away later.
     const Request dup = make_request(core, line_addr, true, false, now, fault.delay_ticks);
-    write_q_.push_back(dup);
+    write_q_[dup.dram.channel].push(
+        dup, static_cast<std::uint32_t>(slot_index(dup.dram.channel, dup.dram.bank)));
+    ++write_total_;
     ++pending_writes_[core];
     ++occupied_;
     if (epoch_len_ != 0) ++interval_arrivals_[core];
@@ -202,37 +241,42 @@ bool MemoryController::enqueue_write(CoreId core, Addr line_addr, Tick now) {
 }
 
 void MemoryController::update_drain_mode([[maybe_unused]] Tick now) {
-  const auto writes = static_cast<std::uint32_t>(write_q_.size());
+  const std::uint32_t writes = write_total_;
   if (!drain_mode_ && writes >= cfg_.drain_high) {
     drain_mode_ = true;
     ++stats_.drain_entries;
+    // Primary/secondary swapped: every channel's scheduling sleep is void.
+    std::fill(sched_sleep_until_.begin(), sched_sleep_until_.end(), Tick{0});
     MC_AUDIT(on_drain(true, writes, now));
   } else if (drain_mode_ && writes <= cfg_.drain_low) {
     drain_mode_ = false;
+    std::fill(sched_sleep_until_.begin(), sched_sleep_until_.end(), Tick{0});
     MC_AUDIT(on_drain(false, writes, now));
   }
 }
 
 RowState MemoryController::row_state_of(const Request& req) const {
-  const dram::Bank& bank = dram_.channel(req.dram.channel).bank(req.dram.bank);
-  if (!bank.row_open()) return RowState::kClosed;
-  return bank.open_row() == req.dram.row ? RowState::kHit : RowState::kConflict;
+  const std::uint64_t open =
+      open_row_cache_[slot_index(req.dram.channel, req.dram.bank)];
+  if (open == kNoOpenRow) return RowState::kClosed;
+  return open == req.dram.row ? RowState::kHit : RowState::kConflict;
 }
 
 bool MemoryController::another_queued_hit(const Request& req) const {
   // Close-page with lookahead (§4.1): keep the row open only when some other
-  // queued request will hit it; otherwise auto-precharge.
-  for (const Request& r : read_q_) {
-    if (r.id != req.id && r.dram.channel == req.dram.channel &&
-        r.dram.bank == req.dram.bank && r.dram.row == req.dram.row)
-      return true;
-  }
-  for (const Request& r : write_q_) {
-    if (r.id != req.id && r.dram.channel == req.dram.channel &&
-        r.dram.bank == req.dram.bank && r.dram.row == req.dram.row)
-      return true;
-  }
-  return false;
+  // queued request will hit it; otherwise auto-precharge. Pure existence
+  // check — the (channel, bank) pair is one slot-index compare.
+  const auto s =
+      static_cast<std::uint32_t>(slot_index(req.dram.channel, req.dram.bank));
+  const auto scan = [&](const SoaQueue& q) {
+    const std::size_t n = q.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (q.slot[i] == s && q.row[i] == req.dram.row && q.rec[i].id != req.id)
+        return true;
+    }
+    return false;
+  };
+  return scan(read_q_[req.dram.channel]) || scan(write_q_[req.dram.channel]);
 }
 
 void MemoryController::record_read_done(const Request& req, Tick done) {
@@ -243,141 +287,234 @@ void MemoryController::record_read_done(const Request& req, Tick done) {
   stats_.core_read_latency_cpu[req.core].add(latency_cpu);
 }
 
+void MemoryController::insert_completion(const Request& req, Tick done) {
+  // Ascending done tick, FIFO among equal ticks — delivery order is
+  // result-visible. Everything before comp_head_ is already delivered and
+  // has done <= any new completion, so the search starts at the head.
+  const auto it = std::upper_bound(
+      completions_.begin() + static_cast<std::ptrdiff_t>(comp_head_),
+      completions_.end(), done,
+      [](Tick t, const Completion& c) { return t < c.done; });
+  completions_.insert(it, Completion{done, req});
+}
+
 void MemoryController::advance_in_flight(std::uint32_t ch, Tick now) {
+  const std::uint32_t mask = ch_inflight_mask_[ch];
+  if (mask == 0) {
+    cmd_sleep_until_[ch] = kNeverTick;  // woken by the next start_transaction
+    return;
+  }
   dram::Channel& channel = dram_.channel(ch);
-  const std::uint32_t banks = channel.bank_count();
   // Rotate the starting bank so command-bus slots are not monopolised by
-  // low-numbered banks when several transactions are in flight.
-  const std::uint32_t start = static_cast<std::uint32_t>(now) % banks;
-  for (std::uint32_t i = 0; i < banks; ++i) {
-    const std::uint32_t b = (start + i) % banks;
-    InFlight& slot = slots_[slot_index(ch, b)];
-    if (!slot.valid) continue;
-    Request& req = slot.req;
-    switch (slot.phase) {
-      case Phase::kNeedPrecharge:
-        if (channel.can_precharge(b, now)) {
-          channel.issue_precharge(b, now);
-          slot.phase = Phase::kNeedActivate;
-          return;  // command bus consumed this tick
-        }
-        break;
-      case Phase::kNeedActivate:
-        if (channel.can_activate(b, now)) {
-          channel.issue_activate(b, req.dram.row, now);
-          slot.phase = Phase::kNeedCas;
-          return;
-        }
-        break;
-      case Phase::kNeedCas: {
-        const bool is_write = req.is_write;
-        if (is_write ? channel.can_write(b, now) : channel.can_read(b, now)) {
-          MEMSCHED_ASSERTF(channel.bank(b).open_row() == req.dram.row,
-                           "CAS to wrong row: ch%u bank %u open row %llu, "
-                           "request %llu wants row %llu at tick %llu",
-                           ch, b,
-                           static_cast<unsigned long long>(channel.bank(b).open_row()),
-                           static_cast<unsigned long long>(req.id),
-                           static_cast<unsigned long long>(req.dram.row),
-                           static_cast<unsigned long long>(now));
-          const bool predictor_open =
-              cfg_.page_policy == PagePolicy::kAdaptive &&
-              open_predictor_[slot_index(ch, b)] >= 2;
-          const bool keep_open = cfg_.page_policy == PagePolicy::kOpenPage ||
-                                 predictor_open || another_queued_hit(req);
-          if (is_write) {
-            [[maybe_unused]] const Tick wdone = channel.issue_write(b, now, !keep_open);
-            MC_AUDIT(on_cas(req, now, wdone));
-            MEMSCHED_ASSERTF(pending_writes_[req.core] > 0,
-                             "write counter underflow: core %u tick %llu", req.core,
-                             static_cast<unsigned long long>(now));
-            --pending_writes_[req.core];
-            ++stats_.writes_served;
-            ++stats_.core_writes[req.core];
-          } else {
-            const Tick done = channel.issue_read(b, now, !keep_open);
-            MC_AUDIT(on_cas(req, now, done));
-            MEMSCHED_ASSERTF(pending_reads_[req.core] > 0,
-                             "read counter underflow: core %u tick %llu", req.core,
-                             static_cast<unsigned long long>(now));
-            --pending_reads_[req.core];
-            ++stats_.reads_served;
-            stats_.prefetch_reads += req.is_prefetch;
-            ++stats_.core_reads[req.core];
-            record_read_done(req, done);
-            auto it = std::upper_bound(
-                completions_.begin(), completions_.end(), done,
-                [](Tick t, const Completion& c) { return t < c.done; });
-            completions_.insert(it, Completion{done, req});
+  // low-numbered banks when several transactions are in flight. Visiting
+  // the mask's set bits [start, banks) then [0, start) reproduces the
+  // (start + i) % banks walk over the occupied banks only.
+  const std::uint32_t start = static_cast<std::uint32_t>(now) % banks_per_channel_;
+  const std::uint32_t low_bits = (1u << start) - 1;  // start == 0 -> empty set
+  for (std::uint32_t part : {mask & ~low_bits, mask & low_bits}) {
+    while (part != 0) {
+      const auto b = static_cast<std::uint32_t>(std::countr_zero(part));
+      part &= part - 1;
+      const std::size_t idx = slot_index(ch, b);
+      Request& req = slot_req_[idx];
+      switch (slot_phase_[idx]) {
+        case Phase::kNeedPrecharge:
+          if (channel.can_precharge(b, now)) {
+            channel.issue_precharge(b, now);
+            open_row_cache_[idx] = kNoOpenRow;
+            slot_phase_[idx] = Phase::kNeedActivate;
+            return;  // command bus consumed this tick
           }
-          slot.valid = false;
-          MEMSCHED_ASSERT(inflight_count_ > 0 && occupied_ > 0, "slot accounting");
-          --inflight_count_;
-          --occupied_;
-          return;
+          break;
+        case Phase::kNeedActivate:
+          if (channel.can_activate(b, now)) {
+            channel.issue_activate(b, req.dram.row, now);
+            open_row_cache_[idx] = req.dram.row;
+            slot_phase_[idx] = Phase::kNeedCas;
+            return;
+          }
+          break;
+        case Phase::kNeedCas: {
+          const bool is_write = req.is_write;
+          if (is_write ? channel.can_write(b, now) : channel.can_read(b, now)) {
+            MEMSCHED_ASSERTF(channel.bank(b).open_row() == req.dram.row,
+                             "CAS to wrong row: ch%u bank %u open row %llu, "
+                             "request %llu wants row %llu at tick %llu",
+                             ch, b,
+                             static_cast<unsigned long long>(channel.bank(b).open_row()),
+                             static_cast<unsigned long long>(req.id),
+                             static_cast<unsigned long long>(req.dram.row),
+                             static_cast<unsigned long long>(now));
+            const bool predictor_open =
+                cfg_.page_policy == PagePolicy::kAdaptive && open_predictor_[idx] >= 2;
+            const bool keep_open = cfg_.page_policy == PagePolicy::kOpenPage ||
+                                   predictor_open || another_queued_hit(req);
+            if (is_write) {
+              [[maybe_unused]] const Tick wdone = channel.issue_write(b, now, !keep_open);
+              MC_AUDIT(on_cas(req, now, wdone));
+              MEMSCHED_ASSERTF(pending_writes_[req.core] > 0,
+                               "write counter underflow: core %u tick %llu", req.core,
+                               static_cast<unsigned long long>(now));
+              --pending_writes_[req.core];
+              ++stats_.writes_served;
+              ++stats_.core_writes[req.core];
+            } else {
+              const Tick done = channel.issue_read(b, now, !keep_open);
+              MC_AUDIT(on_cas(req, now, done));
+              MEMSCHED_ASSERTF(pending_reads_[req.core] > 0,
+                               "read counter underflow: core %u tick %llu", req.core,
+                               static_cast<unsigned long long>(now));
+              --pending_reads_[req.core];
+              ++stats_.reads_served;
+              stats_.prefetch_reads += req.is_prefetch;
+              ++stats_.core_reads[req.core];
+              record_read_done(req, done);
+              insert_completion(req, done);
+            }
+            if (!keep_open) open_row_cache_[idx] = kNoOpenRow;  // auto-precharge
+            slot_valid_[idx] = 0;
+            ch_inflight_mask_[ch] &= ~(1u << b);
+            sched_sleep_until_[ch] = 0;  // a bank slot opened up
+            MEMSCHED_ASSERT(inflight_count_ > 0 && occupied_ > 0, "slot accounting");
+            --inflight_count_;
+            --occupied_;
+            return;
+          }
+          break;
         }
-        break;
       }
     }
   }
+  // Full pass issued nothing: every occupied slot is waiting out a timing
+  // constraint. next_*_tick mirrors can_* exactly assuming no intervening
+  // command, and none can arrive while we sleep — refresh requires an empty
+  // channel and a new transaction resets the sleep — so the bound is exact.
+  Tick wake = kNeverTick;
+  for (std::uint32_t part = mask; part != 0; part &= part - 1) {
+    const auto b = static_cast<std::uint32_t>(std::countr_zero(part));
+    const std::size_t idx = slot_index(ch, b);
+    Tick t = 0;
+    switch (slot_phase_[idx]) {
+      case Phase::kNeedPrecharge:
+        t = channel.next_precharge_tick(b, now);
+        break;
+      case Phase::kNeedActivate:
+        t = channel.next_activate_tick(b, now);
+        break;
+      case Phase::kNeedCas:
+        t = slot_req_[idx].is_write ? channel.next_write_tick(b, now)
+                                    : channel.next_read_tick(b, now);
+        break;
+    }
+    wake = std::min(wake, t);
+  }
+  cmd_sleep_until_[ch] = std::max(wake, now + 1);
 }
 
 MemoryController::QueueView MemoryController::collect_eligible(
-    const std::vector<Request>& queue, bool is_write_queue, std::uint32_t ch,
-    Tick now, std::vector<Cand>& out, std::vector<std::uint64_t>* visible_orders) const {
+    const SoaQueue& queue, bool is_write_queue, Tick now, bool collect_orders,
+    std::size_t& n_cands, std::size_t& n_orders) {
+  // Two passes. The scan touches only the skinny arrays (visibility tick,
+  // bank slot) and stores a queue index unconditionally, bumping the count
+  // only when the entry qualifies — no data-dependent branches. The gather
+  // then materialises full candidates for the few survivors. Scratch holds
+  // buffer_entries slots and total queued requests never exceed that, so
+  // the unconditional store is always in bounds.
   QueueView view;
-  for (std::size_t i = 0; i < queue.size(); ++i) {
-    const Request& r = queue[i];
-    if (r.dram.channel != ch) continue;
-    if (r.visible_tick > now) continue;
-    view.any_visible = true;
-    if (visible_orders != nullptr) visible_orders->push_back(r.order);
-    if (slots_[slot_index(ch, r.dram.bank)].valid) continue;
-    out.push_back(Cand{i, is_write_queue, row_state_of(r) == RowState::kHit});
+  const std::size_t n = queue.size();
+  const Tick* vis = queue.vis.data();
+  const std::uint32_t* slot = queue.slot.data();
+  const std::uint64_t* ord = queue.ord.data();
+  std::uint32_t* idx = scratch_idx_.data();
+  std::uint64_t* orders = scratch_orders_.data();
+  const std::size_t base = n_cands;
+  std::size_t nc = n_cands;
+  std::size_t no = n_orders;
+  bool any_visible = false;
+  Tick min_future = kNeverTick;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tick v = vis[i];
+    const bool visible = v <= now;
+    any_visible |= visible;
+    min_future = (!visible && v < min_future) ? v : min_future;
+    if (collect_orders) {
+      orders[no] = ord[i];
+      no += visible ? std::size_t{1} : std::size_t{0};
+    }
+    idx[nc] = static_cast<std::uint32_t>(i);
+    nc += (visible && slot_valid_[slot[i]] == 0) ? std::size_t{1} : std::size_t{0};
   }
+  Cand* cands = scratch_cands_.data();
+  for (std::size_t k = base; k < nc; ++k) {
+    const std::uint32_t i = idx[k];
+    cands[k] = Cand{i,
+                    queue.core[i],
+                    ord[i],
+                    is_write_queue,
+                    open_row_cache_[slot[i]] == queue.row[i],
+                    queue.pf[i] != 0};
+  }
+  // Present this queue's candidates in arrival order — the order the legacy
+  // append-and-erase storage enumerated them in. pick()'s demand filter
+  // indexes positionally (see schedule_new), so enumeration order is
+  // result-visible; arrival-sorting here keeps swap-removal storage order
+  // invisible. Candidate counts are bounded by the free banks of one
+  // channel, so a short insertion sort beats anything fancier.
+  for (std::size_t i = base + 1; i < nc; ++i) {
+    const Cand c = cands[i];
+    std::size_t j = i;
+    while (j > base && cands[j - 1].order > c.order) {
+      cands[j] = cands[j - 1];
+      --j;
+    }
+    cands[j] = c;
+  }
+  view.any_visible = any_visible;
+  view.min_future_vis = min_future;
+  n_cands = nc;
+  n_orders = no;
   return view;
 }
 
-void MemoryController::filter_window(std::uint32_t window,
-                                     std::vector<std::uint64_t>& visible_orders,
-                                     std::vector<Cand>& cands) const {
-  if (window == 0 || visible_orders.size() <= window) return;  // unbounded / fits
+std::size_t MemoryController::filter_window(std::uint32_t window,
+                                            std::size_t n_orders,
+                                            std::size_t n_cands) {
+  if (window == 0 || n_orders <= window) return n_cands;  // unbounded / fits
   // Threshold = the window-th smallest arrival order among visible requests.
-  std::nth_element(visible_orders.begin(),
-                   visible_orders.begin() + (window - 1), visible_orders.end());
-  const std::uint64_t threshold = visible_orders[window - 1];
-  const bool hits_allowed = scheduler_.use_hit_first();
+  std::nth_element(scratch_orders_.begin(),
+                   scratch_orders_.begin() + (window - 1),
+                   scratch_orders_.begin() + static_cast<std::ptrdiff_t>(n_orders));
+  const std::uint64_t threshold = scratch_orders_[window - 1];
+  const bool hits_allowed = sch_hit_first_;
   std::size_t keep = 0;
-  for (std::size_t i = 0; i < cands.size(); ++i) {
-    const Cand& c = cands[i];
-    const Request& r = c.from_write_queue ? write_q_[c.queue_index]
-                                          : read_q_[c.queue_index];
-    if ((hits_allowed && c.row_hit) || r.order <= threshold) cands[keep++] = c;
+  for (std::size_t i = 0; i < n_cands; ++i) {
+    const Cand& c = scratch_cands_[i];
+    if ((hits_allowed && c.row_hit) || c.order <= threshold)
+      scratch_cands_[keep++] = c;
   }
-  cands.resize(keep);
+  return keep;
 }
 
-std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
-  MEMSCHED_ASSERT(!cands_in.empty(), "pick on empty candidate set");
-  const auto req_of = [&](const Cand& c) -> const Request& {
-    return c.from_write_queue ? write_q_[c.queue_index] : read_q_[c.queue_index];
-  };
+std::size_t MemoryController::pick(std::size_t n_cands) {
+  MEMSCHED_ASSERT(n_cands > 0, "pick on empty candidate set");
+  const Cand* cands = scratch_cands_.data();
+  std::size_t n = n_cands;
   // Demand requests strictly outrank prefetches.
-  const std::vector<Cand>* cands_ptr = &cands_in;
-  bool any_demand = false, any_prefetch = false;
-  for (const Cand& c : cands_in) {
-    (req_of(c).is_prefetch ? any_prefetch : any_demand) = true;
+  bool any_demand = false;
+  bool any_prefetch = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    (cands[i].is_prefetch ? any_prefetch : any_demand) = true;
   }
   if (any_demand && any_prefetch) {
-    scratch_demand_.clear();
-    for (const Cand& c : cands_in) {
-      if (!req_of(c).is_prefetch) scratch_demand_.push_back(c);
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!cands[i].is_prefetch) scratch_demand_[m++] = cands[i];
     }
-    cands_ptr = &scratch_demand_;
+    cands = scratch_demand_.data();
+    n = m;
   }
-  const std::vector<Cand>& cands = *cands_ptr;
-  const bool hit_first = scheduler_.use_hit_first();
-  const bool hit_above = hit_first && scheduler_.hit_first_above_core();
+  const bool hit_first = sch_hit_first_;
+  const bool hit_above = hit_first && sch_hit_above_;
 
   // core_priority() is a pure function of prepare()'s snapshot (Scheduler
   // contract), but a virtual call — and the stages below query it once per
@@ -394,28 +531,29 @@ std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
   // Stage 1 (optional): restrict to row hits when any exist.
   bool any_hit = false;
   if (hit_above) {
-    for (const Cand& c : cands) any_hit |= c.row_hit;
+    for (std::size_t i = 0; i < n; ++i) any_hit |= cands[i].row_hit;
   }
 
   // Stage 2: best core priority among (possibly restricted) candidates.
   double best_prio = -std::numeric_limits<double>::infinity();
-  for (const Cand& c : cands) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cand& c = cands[i];
     if (hit_above && any_hit && !c.row_hit) continue;
-    best_prio = std::max(best_prio, prio_of(req_of(c).core));
+    best_prio = std::max(best_prio, prio_of(c.core));
   }
 
   // Stage 3: resolve core ties. Random mode picks one core uniformly among
   // the tied ones (§3.2); age mode lets arrival order decide below.
   CoreId chosen_core = kInvalidCore;
-  if (scheduler_.random_core_tie_break()) {
+  if (sch_random_tie_) {
     // Gather distinct cores achieving best_prio (core_count_ is small).
     std::uint64_t mask = 0;  // core_count_ <= 64 in all supported configs
     std::uint32_t tied = 0;
-    for (const Cand& c : cands) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Cand& c = cands[i];
       if (hit_above && any_hit && !c.row_hit) continue;
-      const CoreId core = req_of(c).core;
-      if (prio_of(core) == best_prio && !(mask & (1ULL << core))) {
-        mask |= 1ULL << core;
+      if (prio_of(c.core) == best_prio && !(mask & (1ULL << c.core))) {
+        mask |= 1ULL << c.core;
         ++tied;
       }
     }
@@ -435,23 +573,21 @@ std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
 
   // Stage 4: among remaining candidates, (row hit, arrival order).
   std::size_t best = kNpos;
-  for (std::size_t i = 0; i < cands.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const Cand& c = cands[i];
     if (hit_above && any_hit && !c.row_hit) continue;
-    const Request& r = req_of(c);
-    if (prio_of(r.core) != best_prio) continue;
-    if (chosen_core != kInvalidCore && r.core != chosen_core) continue;
+    if (prio_of(c.core) != best_prio) continue;
+    if (chosen_core != kInvalidCore && c.core != chosen_core) continue;
     if (best == kNpos) {
       best = i;
       continue;
     }
     const Cand& bc = cands[best];
-    const Request& br = req_of(bc);
     if (hit_first && c.row_hit != bc.row_hit) {
       if (c.row_hit) best = i;
       continue;
     }
-    if (r.order < br.order) best = i;
+    if (c.order < bc.order) best = i;
   }
   MEMSCHED_ASSERT(best != kNpos, "no candidate selected");
   return best;
@@ -460,8 +596,8 @@ std::size_t MemoryController::pick(const std::vector<Cand>& cands_in) {
 void MemoryController::start_transaction(Request req, RowState state, Tick now) {
   if (trace_sink_) trace_sink_(req, state, now);
   MC_AUDIT(on_schedule(req, state, now));
-  std::uint8_t& predictor =
-      open_predictor_[slot_index(req.dram.channel, req.dram.bank)];
+  const std::size_t idx = slot_index(req.dram.channel, req.dram.bank);
+  std::uint8_t& predictor = open_predictor_[idx];
   switch (state) {
     case RowState::kHit:
       ++stats_.row_hits;
@@ -475,13 +611,14 @@ void MemoryController::start_transaction(Request req, RowState state, Tick now) 
       if (predictor > 0) --predictor;  // penalty: the open row was wrong
       break;
   }
-  InFlight& slot = slots_[slot_index(req.dram.channel, req.dram.bank)];
-  MEMSCHED_ASSERT(!slot.valid, "double-booked bank slot");
-  slot.valid = true;
-  slot.phase = state == RowState::kHit      ? Phase::kNeedCas
-               : state == RowState::kClosed ? Phase::kNeedActivate
-                                            : Phase::kNeedPrecharge;
-  slot.req = req;
+  MEMSCHED_ASSERT(slot_valid_[idx] == 0, "double-booked bank slot");
+  slot_valid_[idx] = 1;
+  slot_phase_[idx] = state == RowState::kHit      ? Phase::kNeedCas
+                     : state == RowState::kClosed ? Phase::kNeedActivate
+                                                  : Phase::kNeedPrecharge;
+  slot_req_[idx] = req;
+  ch_inflight_mask_[req.dram.channel] |= 1u << req.dram.bank;
+  cmd_sleep_until_[req.dram.channel] = 0;  // new in-flight command
   ++inflight_count_;
   if (epoch_len_ != 0) {
     ++interval_served_[req.core];
@@ -497,55 +634,116 @@ void MemoryController::start_transaction(Request req, RowState state, Tick now) 
 }
 
 void MemoryController::schedule_new(std::uint32_t ch, Tick now) {
-  scratch_cands_.clear();
-  scratch_orders_.clear();
-  const std::uint32_t window = scheduler_.sched_window();
+  SoaQueue& ch_reads = read_q_[ch];
+  SoaQueue& ch_writes = write_q_[ch];
+  if (ch_reads.empty() && ch_writes.empty()) {
+    sched_sleep_until_[ch] = kNeverTick;  // woken by the next enqueue
+    return;
+  }
+  std::size_t n_cands = 0;
+  std::size_t n_orders = 0;
+  const std::uint32_t window = sch_window_;
   // Unbounded window (every thread-aware scheme): filter_window never reads
   // the visible orders, so don't collect them — the queue scan is the
   // hottest loop in the simulator.
-  std::vector<std::uint64_t>* orders = window == 0 ? nullptr : &scratch_orders_;
-  if (!scheduler_.use_read_first()) {
+  const bool collect_orders = window != 0;
+  if (!sch_read_first_) {
     // Naive FCFS: reads and writes compete purely by arrival order.
-    collect_eligible(read_q_, false, ch, now, scratch_cands_, orders);
-    collect_eligible(write_q_, true, ch, now, scratch_cands_, orders);
-    filter_window(window, scratch_orders_, scratch_cands_);
+    const QueueView vr =
+        collect_eligible(ch_reads, false, now, collect_orders, n_cands, n_orders);
+    const QueueView vw =
+        collect_eligible(ch_writes, true, now, collect_orders, n_cands, n_orders);
+    if (n_cands == 0) {
+      // No visible request targets a free bank. That cannot change before an
+      // enqueue, a freed slot or a drain flip (each resets the sleep) or the
+      // earliest visibility expiry — so don't rescan until then.
+      sched_sleep_until_[ch] = std::min(vr.min_future_vis, vw.min_future_vis);
+      return;
+    }
+    n_cands = filter_window(window, n_orders, n_cands);
   } else {
-    std::vector<Request>& primary = drain_mode_ ? write_q_ : read_q_;
-    std::vector<Request>& secondary = drain_mode_ ? read_q_ : write_q_;
+    const bool primary_write = drain_mode_;
+    SoaQueue& primary = primary_write ? ch_writes : ch_reads;
+    SoaQueue& secondary = primary_write ? ch_reads : ch_writes;
     const QueueView vp =
-        collect_eligible(primary, drain_mode_, ch, now, scratch_cands_, orders);
-    filter_window(window, scratch_orders_, scratch_cands_);
-    if (scratch_cands_.empty()) {
+        collect_eligible(primary, primary_write, now, collect_orders, n_cands, n_orders);
+    const bool primary_none = n_cands == 0;  // pre-filter: zero eligible
+    n_cands = filter_window(window, n_orders, n_cands);
+    if (n_cands == 0) {
       // Under a bounded window, a fully blocked primary class stalls the
       // channel rather than letting the secondary class jump ahead.
-      if (window != 0 && vp.any_visible) return;
-      scratch_orders_.clear();
-      collect_eligible(secondary, !drain_mode_, ch, now, scratch_cands_, orders);
-      filter_window(window, scratch_orders_, scratch_cands_);
+      if (window != 0 && vp.any_visible) {
+        // Sleepable only when the stall is for lack of *eligible* requests:
+        // with zero candidates the window threshold and row states cannot
+        // matter, so the outcome is frozen until a dirty event or until an
+        // invisible request (possibly targeting a free bank) surfaces.
+        if (primary_none) sched_sleep_until_[ch] = vp.min_future_vis;
+        return;
+      }
+      n_orders = 0;
+      const QueueView vs = collect_eligible(secondary, !primary_write, now,
+                                            collect_orders, n_cands, n_orders);
+      if (n_cands == 0) {
+        // Reaching here implies the primary scan was empty too (a non-empty
+        // primary only falls through under an unbounded window, which never
+        // filters anything away).
+        sched_sleep_until_[ch] = std::min(vp.min_future_vis, vs.min_future_vis);
+        return;
+      }
+      n_cands = filter_window(window, n_orders, n_cands);
     }
   }
-  if (scratch_cands_.empty()) return;
+  if (n_cands == 0) return;
 
-  const std::size_t winner = pick(scratch_cands_);
+  const std::size_t winner = pick(n_cands);
   const Cand cand = scratch_cands_[winner];
-  std::vector<Request>& queue = cand.from_write_queue ? write_q_ : read_q_;
-  Request req = queue[cand.queue_index];
+  SoaQueue& queue = cand.from_write_queue ? ch_writes : ch_reads;
+  const Request req = queue.rec[cand.queue_index];
   const RowState state = row_state_of(req);
-  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(cand.queue_index));
+  --(cand.from_write_queue ? write_total_ : read_total_);
+  queue.swap_remove(cand.queue_index);
   if (cand.from_write_queue) update_drain_mode(now);
   start_transaction(req, state, now);
 }
 
 void MemoryController::deliver_completions(Tick now) {
-  while (!completions_.empty() && completions_.front().done <= now) {
-    const Completion c = completions_.front();
-    completions_.pop_front();
+  // Index-based walk: the read callback can re-enter enqueue_read(), whose
+  // forwarding path inserts behind the head (new done > every delivered
+  // done) and may reallocate the arena.
+  while (comp_head_ < completions_.size() && completions_[comp_head_].done <= now) {
+    const Completion c = completions_[comp_head_];
+    ++comp_head_;
     MC_AUDIT(on_deliver(c.req, c.done, now));
     if (read_cb_) read_cb_(c.req, c.done);
   }
+  if (comp_head_ == completions_.size()) {
+    completions_.clear();
+    comp_head_ = 0;
+  } else if (comp_head_ >= 64) {
+    // Bound the delivered prefix under sustained load: each compaction of
+    // >= 64 consumed records moves only the (small) pending tail.
+    completions_.erase(completions_.begin(),
+                       completions_.begin() + static_cast<std::ptrdiff_t>(comp_head_));
+    comp_head_ = 0;
+  }
+}
+
+void MemoryController::resync_open_rows() {
+  for (std::uint32_t ch = 0; ch < dram_.channel_count(); ++ch) {
+    const dram::Channel& channel = dram_.channel(ch);
+    for (std::uint32_t b = 0; b < banks_per_channel_; ++b) {
+      const dram::Bank& bank = channel.bank(b);
+      open_row_cache_[slot_index(ch, b)] =
+          bank.row_open() ? bank.open_row() : kNoOpenRow;
+    }
+  }
+  row_cache_stale_ = false;
 }
 
 void MemoryController::tick(Tick now) {
+  // After load_state() the DRAM section (restored after ours) may have
+  // changed bank state under us — re-read the open-row cache once.
+  if (row_cache_stale_) resync_open_rows();
   maybe_roll_epochs(now);  // catch up past boundaries before anything else
   deliver_completions(now);
 
@@ -560,10 +758,7 @@ void MemoryController::tick(Tick now) {
       dram::Channel& channel = dram_.channel(ch);
       // Wait for in-flight transactions on this channel to drain, then
       // refresh all banks at once.
-      bool inflight_on_channel = false;
-      for (std::uint32_t b = 0; b < channel.bank_count(); ++b) {
-        inflight_on_channel |= slots_[slot_index(ch, b)].valid;
-      }
+      const bool inflight_on_channel = ch_inflight_mask_[ch] != 0;
       if (!inflight_on_channel && channel.can_refresh(now)) {
         channel.issue_refresh(now);
         next_refresh_[ch] += dram_.timing().tREFI;
@@ -573,17 +768,19 @@ void MemoryController::tick(Tick now) {
           // Close any row left open for a queued same-row request — that
           // request cannot be scheduled while refresh is pending, so the
           // open row would otherwise block the refresh forever.
-          for (std::uint32_t b = 0; b < channel.bank_count(); ++b) {
-            if (channel.bank(b).row_open() && channel.can_precharge(b, now)) {
+          for (std::uint32_t b = 0; b < banks_per_channel_; ++b) {
+            const std::size_t idx = slot_index(ch, b);
+            if (open_row_cache_[idx] != kNoOpenRow && channel.can_precharge(b, now)) {
               channel.issue_precharge(b, now);
+              open_row_cache_[idx] = kNoOpenRow;
               break;  // command bus consumed
             }
           }
         }
       }
     }
-    advance_in_flight(ch, now);
-    if (!refresh_blocking) schedule_new(ch, now);
+    if (now >= cmd_sleep_until_[ch]) advance_in_flight(ch, now);
+    if (!refresh_blocking && now >= sched_sleep_until_[ch]) schedule_new(ch, now);
   }
 }
 
@@ -592,50 +789,28 @@ Tick MemoryController::next_activity_tick(Tick now) const {
   Tick nxt = kNeverTick;
   const auto consider = [&nxt](Tick t) { nxt = std::min(nxt, t); };
 
-  if (!completions_.empty()) {
-    // Sorted by done tick; the front is the earliest delivery.
-    if (completions_.front().done <= now + 1) return now + 1;
-    consider(completions_.front().done);
+  if (comp_head_ < completions_.size()) {
+    // Sorted by done tick; the head is the earliest pending delivery.
+    const Tick d = completions_[comp_head_].done;
+    if (d <= now + 1) return now + 1;
+    consider(d);
   }
 
-  // Queued requests: a visible request with a free bank slot could be
-  // scheduled next tick (one transaction starts per channel per tick, and
-  // the bounded-window discipline may also hold it back — both resolve
-  // tick by tick, so the conservative answer is now + 1). A request still
-  // inside its overhead window becomes schedulable at visible_tick.
-  const auto scan_queue = [&](const std::vector<Request>& q) {
-    bool eligible = false;
-    for (const Request& r : q) {
-      if (r.visible_tick > now) consider(r.visible_tick);
-      else if (!slots_[slot_index(r.dram.channel, r.dram.bank)].valid) eligible = true;
-    }
-    return eligible;
-  };
-  if (scan_queue(read_q_) || scan_queue(write_q_)) return now + 1;
-
+  // Queue and command progress per channel: the sleep bounds maintained by
+  // tick() are exactly "no transaction can start / no command can issue on
+  // this channel before T" proofs. A dirty event (enqueue, freed slot, drain
+  // flip, new transaction, restore) resets a bound to 0, which lands here as
+  // the conservative now + 1; an untouched bound was established by a full
+  // scan whose conclusion cannot change before the bound expires.
   for (std::uint32_t ch = 0; ch < dram_.channel_count(); ++ch) {
-    const dram::Channel& channel = dram_.channel(ch);
     if (!next_refresh_.empty()) {
       if (now >= next_refresh_[ch]) return now + 1;  // refresh machinery engaged
       consider(next_refresh_[ch]);
     }
-    for (std::uint32_t b = 0; b < channel.bank_count(); ++b) {
-      const InFlight& slot = slots_[slot_index(ch, b)];
-      if (!slot.valid) continue;
-      switch (slot.phase) {
-        case Phase::kNeedPrecharge:
-          consider(channel.next_precharge_tick(b, now));
-          break;
-        case Phase::kNeedActivate:
-          consider(channel.next_activate_tick(b, now));
-          break;
-        case Phase::kNeedCas:
-          consider(slot.req.is_write ? channel.next_write_tick(b, now)
-                                     : channel.next_read_tick(b, now));
-          break;
-      }
-      if (nxt <= now + 1) return now + 1;  // can't get any earlier
-    }
+    const Tick s = sched_sleep_until_[ch];
+    const Tick c = cmd_sleep_until_[ch];
+    if (s <= now + 1 || c <= now + 1) return now + 1;
+    consider(std::min(s, c));
   }
   return nxt == kNeverTick ? kNeverTick : std::max(nxt, now + 1);
 }
@@ -648,8 +823,8 @@ void MemoryController::reset_stats() {
 }
 
 bool MemoryController::idle() const {
-  return read_q_.empty() && write_q_.empty() && inflight_count_ == 0 &&
-         completions_.empty();
+  return read_total_ == 0 && write_total_ == 0 && inflight_count_ == 0 &&
+         completions_pending() == 0;
 }
 
 namespace {
@@ -690,20 +865,22 @@ Request get_request(ckpt::Reader& r) {
 
 void MemoryController::save_state(ckpt::Writer& w) const {
   w.put_rng(rng_);
-  w.put_u64(read_q_.size());
-  for (const Request& q : read_q_) put_request(w, q);
-  w.put_u64(write_q_.size());
-  for (const Request& q : write_q_) put_request(w, q);
-  w.put_u64(slots_.size());
-  for (const InFlight& s : slots_) {
-    w.put_bool(s.valid);
-    w.put_u8(static_cast<std::uint8_t>(s.phase));
-    if (s.valid) put_request(w, s.req);
+  w.put_u64(read_total_);
+  for (const SoaQueue& q : read_q_)
+    for (const Request& r : q.rec) put_request(w, r);
+  w.put_u64(write_total_);
+  for (const SoaQueue& q : write_q_)
+    for (const Request& r : q.rec) put_request(w, r);
+  w.put_u64(slot_valid_.size());
+  for (std::size_t s = 0; s < slot_valid_.size(); ++s) {
+    w.put_bool(slot_valid_[s] != 0);
+    w.put_u8(static_cast<std::uint8_t>(slot_phase_[s]));
+    if (slot_valid_[s] != 0) put_request(w, slot_req_[s]);
   }
-  w.put_u64(completions_.size());
-  for (const Completion& c : completions_) {
-    w.put_u64(c.done);
-    put_request(w, c.req);
+  w.put_u64(completions_pending());
+  for (std::size_t i = comp_head_; i < completions_.size(); ++i) {
+    w.put_u64(completions_[i].done);
+    put_request(w, completions_[i].req);
   }
   w.put_u64(pending_reads_.size());
   for (std::uint32_t v : pending_reads_) w.put_u32(v);
@@ -746,30 +923,43 @@ void MemoryController::save_state(ckpt::Writer& w) const {
   w.put_u32(streak_len_);
 }
 
+// read_total_/write_total_ are derived state: the save side writes them as
+// queue-length framing, the load side recomputes them from the restored
+// queues in rebuild_derived_state() below instead of mentioning them.
+// memsched-lint: allow(ckpt-symmetry)
 void MemoryController::load_state(ckpt::Reader& r) {
   r.get_rng(rng_);
-  read_q_.clear();
+  for (SoaQueue& q : read_q_) q.clear();
   const std::uint64_t nreads = r.get_u64();
-  for (std::uint64_t i = 0; i < nreads; ++i) read_q_.push_back(get_request(r));
-  write_q_.clear();
+  for (std::uint64_t i = 0; i < nreads; ++i) {
+    const Request q = get_request(r);
+    read_q_[q.dram.channel].push(
+        q, static_cast<std::uint32_t>(slot_index(q.dram.channel, q.dram.bank)));
+  }
+  for (SoaQueue& q : write_q_) q.clear();
   const std::uint64_t nwrites = r.get_u64();
-  for (std::uint64_t i = 0; i < nwrites; ++i) write_q_.push_back(get_request(r));
+  for (std::uint64_t i = 0; i < nwrites; ++i) {
+    const Request q = get_request(r);
+    write_q_[q.dram.channel].push(
+        q, static_cast<std::uint32_t>(slot_index(q.dram.channel, q.dram.bank)));
+  }
   const std::uint64_t nslots = r.get_u64();
-  if (nslots != slots_.size()) {
+  if (nslots != slot_valid_.size()) {
     throw ckpt::SnapshotError("snapshot: controller slot count mismatch");
   }
-  for (InFlight& s : slots_) {
-    s.valid = r.get_bool();
-    s.phase = static_cast<Phase>(r.get_u8());
-    s.req = s.valid ? get_request(r) : Request{};
+  for (std::size_t s = 0; s < slot_valid_.size(); ++s) {
+    slot_valid_[s] = r.get_bool() ? 1 : 0;
+    slot_phase_[s] = static_cast<Phase>(r.get_u8());
+    slot_req_[s] = slot_valid_[s] != 0 ? get_request(r) : Request{};
   }
   completions_.clear();
+  comp_head_ = 0;
   const std::uint64_t ncomp = r.get_u64();
   for (std::uint64_t i = 0; i < ncomp; ++i) {
     Completion c;
     c.done = r.get_u64();
     c.req = get_request(r);
-    completions_.push_back(c);
+    completions_.push_back(c);  // saved in ascending done order
   }
   const std::uint64_t ncores = r.get_u64();
   if (ncores != pending_reads_.size()) {
@@ -821,6 +1011,26 @@ void MemoryController::load_state(ckpt::Reader& r) {
   }
   streak_core_ = r.get_u32();
   streak_len_ = r.get_u32();
+  rebuild_derived_state();
+}
+
+void MemoryController::rebuild_derived_state() {
+  read_total_ = 0;
+  for (const SoaQueue& q : read_q_) read_total_ += static_cast<std::uint32_t>(q.size());
+  write_total_ = 0;
+  for (const SoaQueue& q : write_q_) write_total_ += static_cast<std::uint32_t>(q.size());
+  std::fill(sched_sleep_until_.begin(), sched_sleep_until_.end(), Tick{0});
+  std::fill(cmd_sleep_until_.begin(), cmd_sleep_until_.end(), Tick{0});
+  std::fill(ch_inflight_mask_.begin(), ch_inflight_mask_.end(), 0);
+  for (std::size_t s = 0; s < slot_valid_.size(); ++s) {
+    if (slot_valid_[s] != 0) {
+      ch_inflight_mask_[s / banks_per_channel_] |=
+          1u << (s % banks_per_channel_);
+    }
+  }
+  // The DRAM section restores after ours — re-read the open rows lazily at
+  // the next tick().
+  row_cache_stale_ = true;
 }
 
 std::string MemoryController::dump_state(Tick now) const {
@@ -833,8 +1043,9 @@ std::string MemoryController::dump_state(Tick now) const {
   append("controller state at tick %llu:\n", static_cast<unsigned long long>(now));
   append("  occupied %u/%u, reads queued %zu, writes queued %zu, in-flight %u, "
          "completions %zu, drain %s\n",
-         occupied_, cfg_.buffer_entries, read_q_.size(), write_q_.size(),
-         inflight_count_, completions_.size(), drain_mode_ ? "on" : "off");
+         occupied_, cfg_.buffer_entries, static_cast<std::size_t>(read_total_),
+         static_cast<std::size_t>(write_total_), inflight_count_,
+         completions_pending(), drain_mode_ ? "on" : "off");
   append("  served since stats reset: %llu reads, %llu writes, %llu forwards\n",
          static_cast<unsigned long long>(stats_.reads_served),
          static_cast<unsigned long long>(stats_.writes_served),
@@ -844,10 +1055,12 @@ std::string MemoryController::dump_state(Tick now) const {
     append(" c%u=%u/%u", c, pending_reads_[c], pending_writes_[c]);
   }
   out += '\n';
-  const auto dump_oldest = [&](const std::vector<Request>& q, const char* label) {
+  const auto dump_oldest = [&](const std::vector<SoaQueue>& qs, const char* label) {
     const Request* oldest = nullptr;
-    for (const Request& r : q) {
-      if (oldest == nullptr || r.order < oldest->order) oldest = &r;
+    for (const SoaQueue& q : qs) {
+      for (const Request& r : q.rec) {
+        if (oldest == nullptr || r.order < oldest->order) oldest = &r;
+      }
     }
     if (oldest == nullptr) return;
     append("  oldest %s: id %llu core %u line 0x%llx ch %u bank %u row %llu, "
@@ -861,12 +1074,12 @@ std::string MemoryController::dump_state(Tick now) const {
   };
   dump_oldest(read_q_, "read");
   dump_oldest(write_q_, "write");
-  for (std::size_t s = 0; s < slots_.size(); ++s) {
-    if (!slots_[s].valid) continue;
-    const Request& r = slots_[s].req;
+  for (std::size_t s = 0; s < slot_valid_.size(); ++s) {
+    if (slot_valid_[s] == 0) continue;
+    const Request& r = slot_req_[s];
     append("  in-flight slot %zu: id %llu core %u %s phase %d ch %u bank %u\n", s,
            static_cast<unsigned long long>(r.id), r.core, r.is_write ? "write" : "read",
-           static_cast<int>(slots_[s].phase), r.dram.channel, r.dram.bank);
+           static_cast<int>(slot_phase_[s]), r.dram.channel, r.dram.bank);
   }
   return out;
 }

@@ -15,10 +15,25 @@
 //     schedulable;
 //   * read-after-write forwarding from the write queue (served internally,
 //     no DRAM traffic) and write combining of duplicate lines.
+//
+// Hot-path data layout (docs/performance.md): the request queues are flat
+// structure-of-arrays — the per-tick scheduling scan touches only skinny
+// parallel arrays (channel, visibility tick, bank slot, row, arrival order)
+// while the full Request record rides alongside for winner extraction and
+// checkpointing. Queues are split per DRAM channel, so a channel's
+// scheduling scan never touches another channel's requests. Removal is O(1) swap-with-last; because pick()'s
+// demand-over-prefetch filter is index-sensitive, collect_eligible()
+// presents each queue's candidates in arrival order (what the legacy
+// append-and-erase storage produced), so storage order never leaks into
+// results. In-flight
+// bank slots keep a per-channel valid bitmask, an incrementally maintained
+// open-row index replaces per-candidate DRAM bank chasing, and completion
+// records live in a sorted arena with a consumed-prefix head instead of a
+// deque. All storage is reserved at construction — the steady-state tick
+// path performs no heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -134,8 +149,8 @@ class MemoryController {
 
   /// Drain state and queue occupancy (for tests and back-pressure probes).
   [[nodiscard]] bool drain_mode() const { return drain_mode_; }
-  [[nodiscard]] std::uint32_t queued_reads() const { return static_cast<std::uint32_t>(read_q_.size()); }
-  [[nodiscard]] std::uint32_t queued_writes() const { return static_cast<std::uint32_t>(write_q_.size()); }
+  [[nodiscard]] std::uint32_t queued_reads() const { return read_total_; }
+  [[nodiscard]] std::uint32_t queued_writes() const { return write_total_; }
   [[nodiscard]] std::uint32_t occupied() const { return occupied_; }
   [[nodiscard]] std::uint32_t pending_reads(CoreId core) const { return pending_reads_[core]; }
   [[nodiscard]] std::uint32_t pending_writes(CoreId core) const { return pending_writes_[core]; }
@@ -175,17 +190,90 @@ class MemoryController {
 
   /// Checkpoint/restore: queues, in-flight slots, pending completions, drain
   /// state, RNG and statistics. Owned DRAM state is NOT included — the
-  /// system-level snapshot saves it through its own section.
+  /// system-level snapshot saves it through its own section. Queues are
+  /// serialized in storage order (swap-removal order), which round-trips
+  /// exactly; derived indices (per-channel masks/counts, the open-row cache)
+  /// are rebuilt on load.
   void save_state(ckpt::Writer& w) const;
   void load_state(ckpt::Reader& r);
 
  private:
   enum class Phase : std::uint8_t { kNeedPrecharge, kNeedActivate, kNeedCas };
 
-  struct InFlight {
-    bool valid = false;
-    Phase phase = Phase::kNeedCas;
-    Request req;
+  /// Sentinel for open_row_cache_: bank has no open row (real row numbers
+  /// are bounded by the device geometry and can never equal it).
+  static constexpr std::uint64_t kNoOpenRow = ~std::uint64_t{0};
+
+  /// Flat structure-of-arrays request queue. The scheduling scans touch only
+  /// the skinny arrays below; `rec` holds the complete Request for winner
+  /// extraction, forwarding/combining checks and checkpointing. Entries are
+  /// removed by swapping with the last element — O(1), storage order is not
+  /// result-visible (see class comment).
+  struct SoaQueue {
+    std::vector<Tick> vis;             ///< visible_tick (overhead window end)
+    std::vector<std::uint32_t> slot;   ///< precomputed slot_index(channel, bank)
+    std::vector<std::uint64_t> row;    ///< dram row
+    std::vector<std::uint64_t> ord;    ///< arrival order (unique)
+    std::vector<Addr> line;            ///< line address (forwarding/combining)
+    std::vector<CoreId> core;          ///< issuing core
+    std::vector<std::uint8_t> pf;      ///< is_prefetch
+    std::vector<Request> rec;          ///< full record
+
+    [[nodiscard]] std::size_t size() const { return rec.size(); }
+    [[nodiscard]] bool empty() const { return rec.empty(); }
+
+    void reserve(std::size_t n) {
+      vis.reserve(n);
+      slot.reserve(n);
+      row.reserve(n);
+      ord.reserve(n);
+      line.reserve(n);
+      core.reserve(n);
+      pf.reserve(n);
+      rec.reserve(n);
+    }
+
+    void push(const Request& r, std::uint32_t slot_idx) {
+      vis.push_back(r.visible_tick);
+      slot.push_back(slot_idx);
+      row.push_back(r.dram.row);
+      ord.push_back(r.order);
+      line.push_back(r.line_addr);
+      core.push_back(r.core);
+      pf.push_back(r.is_prefetch ? 1 : 0);
+      rec.push_back(r);
+    }
+
+    void swap_remove(std::size_t i) {
+      const std::size_t last = rec.size() - 1;
+      vis[i] = vis[last];
+      vis.pop_back();
+      slot[i] = slot[last];
+      slot.pop_back();
+      row[i] = row[last];
+      row.pop_back();
+      ord[i] = ord[last];
+      ord.pop_back();
+      line[i] = line[last];
+      line.pop_back();
+      core[i] = core[last];
+      core.pop_back();
+      pf[i] = pf[last];
+      pf.pop_back();
+      rec[i] = rec[last];
+      rec.pop_back();
+    }
+
+    void clear() {
+      vis.clear();
+      slot.clear();
+      row.clear();
+      ord.clear();
+      line.clear();
+      core.clear();
+      pf.clear();
+      rec.clear();
+    }
   };
 
   struct Completion {
@@ -194,7 +282,7 @@ class MemoryController {
   };
 
   [[nodiscard]] std::size_t slot_index(std::uint32_t channel, std::uint32_t bank) const {
-    return static_cast<std::size_t>(channel) * dram_.organization().banks_per_channel() + bank;
+    return static_cast<std::size_t>(channel) * banks_per_channel_ + bank;
   }
 
   /// Builds a fresh request (next id, next arrival order). `extra_delay`
@@ -228,52 +316,121 @@ class MemoryController {
   void start_transaction(Request req, RowState state, Tick now);
   void record_read_done(const Request& req, Tick done);
 
-  /// A scheduling candidate: a queued request eligible to start now.
+  /// Sorted insert into the completion arena (ascending done tick, FIFO
+  /// among equal ticks — delivery order is result-visible).
+  void insert_completion(const Request& req, Tick done);
+
+  /// Number of undelivered completion records.
+  [[nodiscard]] std::size_t completions_pending() const {
+    return completions_.size() - comp_head_;
+  }
+
+  /// Rebuilds every derived index (per-channel queue counts, in-flight
+  /// masks, the open-row cache) from primary state after a restore.
+  void rebuild_derived_state();
+
+  /// Re-reads the open-row cache from the DRAM banks (after load_state(),
+  /// where the DRAM section restores later than ours).
+  void resync_open_rows();
+
+  /// A scheduling candidate: a queued request eligible to start now. Carries
+  /// every field pick() ranks on, so the priority stages never re-touch the
+  /// queues.
   struct Cand {
-    std::size_t queue_index;
+    std::uint32_t queue_index;
+    CoreId core;
+    std::uint64_t order;
     bool from_write_queue;
     bool row_hit;
+    bool is_prefetch;
   };
 
   /// Visibility summary of one queue on one channel, used by the bounded
-  /// scheduling-window discipline of the FCFS-family schemes.
+  /// scheduling-window discipline of the FCFS-family schemes and by the
+  /// scheduling-sleep machinery.
   struct QueueView {
-    bool any_visible = false;  ///< some request is past the overhead
+    bool any_visible = false;        ///< some request is past the overhead
+    Tick min_future_vis = kNeverTick;  ///< earliest not-yet-visible request
   };
 
-  /// Collect candidates eligible on channel `ch` from one queue; returns
-  /// the queue's visibility summary and appends every visible request's
-  /// arrival order to `visible_orders` (covering non-eligible ones too).
-  /// Pass `visible_orders = nullptr` when the scheme's window is unbounded:
-  /// the orders are only consumed by filter_window, and skipping the
-  /// append keeps the thread-aware schemes' queue scan allocation-free.
-  QueueView collect_eligible(const std::vector<Request>& queue, bool is_write_queue,
-                             std::uint32_t ch, Tick now, std::vector<Cand>& out,
-                             std::vector<std::uint64_t>* visible_orders) const;
+  /// Collect candidates eligible from one per-channel queue into the
+  /// fixed-capacity scratch at offset `n_cands` (branchless index store +
+  /// conditional count increment, then a gather over the few survivors);
+  /// returns the queue's visibility summary. When `collect_orders` every
+  /// visible request's arrival order is appended to scratch_orders_ at
+  /// n_orders (consumed only by the bounded scheduling window; skipping the
+  /// append keeps the thread-aware schemes' queue scan store-free).
+  QueueView collect_eligible(const SoaQueue& queue, bool is_write_queue,
+                             Tick now, bool collect_orders,
+                             std::size_t& n_cands, std::size_t& n_orders);
 
   /// Bounded-window discipline: drop candidates that are neither row hits
-  /// nor among the `window` oldest visible requests (per visible_orders).
-  void filter_window(std::uint32_t window, std::vector<std::uint64_t>& visible_orders,
-                     std::vector<Cand>& cands) const;
+  /// nor among the `window` oldest visible requests. Returns the new count.
+  std::size_t filter_window(std::uint32_t window, std::size_t n_orders,
+                            std::size_t n_cands);
 
   /// Pick the winning candidate per the scheduler's lexicographic key;
-  /// returns an index into `cands` (which must be non-empty).
-  std::size_t pick(const std::vector<Cand>& cands);
+  /// returns an index into scratch_cands_[0, n_cands) (must be non-empty).
+  std::size_t pick(std::size_t n_cands);
 
   dram::DramSystem& dram_;
   sched::Scheduler& scheduler_;
   ControllerConfig cfg_;
   std::uint32_t core_count_;
+  std::uint32_t banks_per_channel_;
   util::Xoshiro256 rng_;
 
-  std::vector<Request> read_q_;
-  std::vector<Request> write_q_;
-  std::vector<InFlight> slots_;  ///< one per (channel, bank)
-  std::deque<Completion> completions_;
+  std::vector<SoaQueue> read_q_;   ///< one queue per channel
+  std::vector<SoaQueue> write_q_;  ///< one queue per channel
+  std::uint32_t read_total_ = 0;   ///< queued reads across channels
+  std::uint32_t write_total_ = 0;  ///< queued writes across channels
+
+  // In-flight bank slots, structure-of-arrays; one entry per (channel,
+  // bank). slot_valid_ is the dense byte array the queue scans test;
+  // ch_inflight_mask_ lets advance_in_flight() visit only occupied banks.
+  std::vector<std::uint8_t> slot_valid_;
+  std::vector<Phase> slot_phase_;
+  std::vector<Request> slot_req_;
+  std::vector<std::uint32_t> ch_inflight_mask_;  ///< bit b = slot (ch, b) valid
+
+  /// Per-channel no-op elision (derived caches; a stale-low value is always
+  /// safe, so dirty events just reset to 0). sched_sleep_until_[ch] is a
+  /// proven lower bound on the next tick at which schedule_new(ch) could
+  /// start a transaction — set only when a scan found zero eligible
+  /// candidates, woken by enqueues, freed bank slots, drain flips and
+  /// visibility expiry. cmd_sleep_until_[ch] is the same bound for
+  /// advance_in_flight — set from the banks' next_*_tick lower bounds when
+  /// a full pass issued nothing, woken by new transactions.
+  std::vector<Tick> sched_sleep_until_;
+  std::vector<Tick> cmd_sleep_until_;
+
+  /// Open-row index: per (channel, bank) the currently open row, kNoOpenRow
+  /// when the bank is precharged. Mirrors the DRAM bank state exactly —
+  /// updated at every controller command-issue site (the controller is the
+  /// device's only command source) and rebuilt lazily after load_state()
+  /// (the DRAM section restores after the controller's).
+  std::vector<std::uint64_t> open_row_cache_;
+  bool row_cache_stale_ = false;
+
+  /// Completion arena: ascending done tick from comp_head_ on; delivered
+  /// records are a consumed prefix, compacted when it grows.
+  std::vector<Completion> completions_;
+  std::size_t comp_head_ = 0;
+
   std::vector<std::uint32_t> pending_reads_;
   std::vector<std::uint32_t> pending_writes_;
   std::vector<std::uint8_t> open_predictor_;  ///< per-bank 2-bit counters (adaptive)
   std::vector<Tick> next_refresh_;  ///< per channel, if refresh enabled
+
+  // Scheduler ranking properties, cached at construction. The Scheduler
+  // contract requires them to be constant over the scheduler's lifetime
+  // (sched/scheduler.hpp); caching removes five virtual calls per channel
+  // per tick from the scheduling path.
+  std::uint32_t sch_window_;
+  bool sch_hit_first_;
+  bool sch_hit_above_;
+  bool sch_read_first_;
+  bool sch_random_tie_;
 
   // Interval bookkeeping for epoch-aware schemes. epoch_len_ is cached from
   // scheduler.epoch_ticks() at construction; when 0 every update below is
@@ -297,8 +454,10 @@ class MemoryController {
   FaultInjector* fault_ = nullptr;
   ControllerStats stats_;
 
-  // Scratch buffers reused every tick to avoid per-cycle allocation.
+  // Fixed-capacity scratch (sized at construction, never reallocated) for
+  // the scheduling scans; counts are passed between the stages explicitly.
   std::vector<Cand> scratch_cands_;
+  std::vector<std::uint32_t> scratch_idx_;  ///< eligible queue indices, pre-gather
   std::vector<std::uint64_t> scratch_orders_;
   std::vector<Cand> scratch_demand_;   ///< pick()'s demand-over-prefetch subset
   std::vector<double> scratch_prio_;   ///< per-core priority cache, one pick()

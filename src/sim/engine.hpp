@@ -16,6 +16,17 @@
 // The skip engine never jumps past a watchdog poll boundary or an epoch
 // boundary, so watchdogs and scheduler on_epoch feeds fire at exactly the
 // same ticks as under the oracle.
+//
+// A third strategy trades exactness for wall clock:
+//
+//   * kSampled — SMARTS-style interval sampling: only K short measurement
+//     intervals (each preceded by a detailed warmup) are simulated in
+//     detail; between them the instruction streams are fast-forwarded
+//     functionally (caches stay warm, no timing). Results are *estimates*:
+//     each headline metric is reported as a per-interval mean with a 95%
+//     Student-t confidence interval (RunResult::sampling), and the
+//     differential suite (tests/test_sampled_equiv.cpp) measures the actual
+//     error against the exact engines. See docs/performance.md.
 #pragma once
 
 #include <stdexcept>
@@ -24,19 +35,27 @@
 namespace memsched::sim {
 
 enum class Engine {
-  kCycle,  ///< per-cycle reference oracle
-  kSkip,   ///< next-event fast-forward (default)
+  kCycle,    ///< per-cycle reference oracle
+  kSkip,     ///< next-event fast-forward (default)
+  kSampled,  ///< statistical interval sampling (approximate, with CIs)
 };
 
 [[nodiscard]] inline const char* engine_name(Engine e) {
-  return e == Engine::kCycle ? "cycle" : "skip";
+  switch (e) {
+    case Engine::kCycle: return "cycle";
+    case Engine::kSkip: return "skip";
+    case Engine::kSampled: return "sampled";
+  }
+  return "?";
 }
 
-/// Parses "cycle" / "skip"; throws std::invalid_argument otherwise.
+/// Parses "cycle" / "skip" / "sampled"; throws std::invalid_argument otherwise.
 [[nodiscard]] inline Engine engine_from_string(const std::string& s) {
   if (s == "cycle") return Engine::kCycle;
   if (s == "skip") return Engine::kSkip;
-  throw std::invalid_argument("unknown engine '" + s + "' (expected cycle|skip)");
+  if (s == "sampled") return Engine::kSampled;
+  throw std::invalid_argument("unknown engine '" + s +
+                              "' (expected cycle|skip|sampled)");
 }
 
 }  // namespace memsched::sim

@@ -56,6 +56,31 @@ util::Json to_json(const RunResult& r) {
     cores.push_back(std::move(cj));
   }
   j["cores"] = std::move(cores);
+
+  // Sampled-engine estimates only; exact-engine reports stay byte-identical
+  // to every report written before sampling existed.
+  if (r.sampling.enabled) {
+    const auto est_to_json = [](const MetricEstimate& e) {
+      util::Json ej = util::Json::object();
+      ej["mean"] = e.mean;
+      ej["ci95"] = e.ci95;
+      return ej;
+    };
+    util::Json s = util::Json::object();
+    s["intervals_measured"] = r.sampling.intervals_measured;
+    s["measured_insts_per_core"] = r.sampling.measured_insts_per_core;
+    s["skipped_insts_per_core"] = r.sampling.skipped_insts_per_core;
+    s["total_ipc"] = est_to_json(r.sampling.total_ipc);
+    s["read_latency_cpu"] = est_to_json(r.sampling.read_latency_cpu);
+    s["row_hit_rate"] = est_to_json(r.sampling.row_hit_rate);
+    s["bandwidth_gbs"] = est_to_json(r.sampling.bandwidth_gbs);
+    s["bus_utilization"] = est_to_json(r.sampling.bus_utilization);
+    s["ipc_ratio"] = est_to_json(r.sampling.ipc_ratio);
+    util::Json per_core = util::Json::array();
+    for (const MetricEstimate& e : r.sampling.core_ipc) per_core.push_back(est_to_json(e));
+    s["core_ipc"] = std::move(per_core);
+    j["sampling"] = std::move(s);
+  }
   return j;
 }
 

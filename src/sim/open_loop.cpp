@@ -53,6 +53,11 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg, sched::Scheduler& schedu
                              const ckpt::CheckpointPolicy& policy) {
   MEMSCHED_ASSERT(cfg.cores > 0, "open loop needs at least one core");
   MEMSCHED_ASSERT(cfg.inject_per_tick > 0.0, "offered load must be positive");
+  if (cfg.engine == Engine::kSampled) {
+    throw std::invalid_argument(
+        "engine=sampled applies to closed-loop core-driven runs only: the "
+        "open loop has no instruction stream to fast-forward (use skip)");
+  }
   if (policy.enabled() && cfg.audit.enabled) {
     throw std::invalid_argument(
         "checkpointing requires audit off: the auditor's shadow state is not "

@@ -1,6 +1,7 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -119,6 +120,8 @@ std::string MultiCoreSystem::run_fingerprint(std::uint64_t target_insts,
 RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_insts,
                                Tick max_ticks, const ckpt::CheckpointPolicy& policy) {
   MEMSCHED_ASSERT(target_insts > 0, "target instruction count must be positive");
+  if (config_.engine == Engine::kSampled)
+    return run_sampled(target_insts, warmup_insts, max_ticks, policy);
   const std::uint32_t n = config_.cores;
   if (policy.enabled() && auditor_) {
     throw std::invalid_argument(
@@ -434,6 +437,278 @@ RunResult MultiCoreSystem::run(std::uint64_t target_insts, std::uint64_t warmup_
   result.dram_energy = power.energy_of(*dram_, t);
   result.dram_power_watts =
       result.dram_energy.average_power(static_cast<double>(t) / config_.bus_hz());
+  return result;
+}
+
+namespace {
+
+/// Two-sided 97.5% Student-t quantile (=> 95% CI half-width multiplier) for
+/// `df` degrees of freedom; the normal 1.96 beyond the tabulated range.
+double student_t_975(std::size_t df) {
+  static constexpr double kT[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  return df <= 30 ? kT[df - 1] : 1.96;
+}
+
+MetricEstimate estimate(const std::vector<double>& samples) {
+  MetricEstimate e;
+  const std::size_t k = samples.size();
+  if (k == 0) return e;
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  e.mean = sum / static_cast<double>(k);
+  if (k < 2) return e;
+  double ss = 0.0;
+  for (const double s : samples) ss += (s - e.mean) * (s - e.mean);
+  const double var = ss / static_cast<double>(k - 1);
+  e.ci95 = student_t_975(k - 1) * std::sqrt(var / static_cast<double>(k));
+  return e;
+}
+
+}  // namespace
+
+RunResult MultiCoreSystem::run_sampled(std::uint64_t target_insts,
+                                       std::uint64_t warmup_insts, Tick max_ticks,
+                                       const ckpt::CheckpointPolicy& policy) {
+  if (policy.enabled()) {
+    throw std::invalid_argument(
+        "engine=sampled does not support checkpointing: the sampler's interval "
+        "position is not part of the snapshot format (use engine=skip)");
+  }
+  const std::uint32_t n = config_.cores;
+  const SamplingConfig& sc = config_.sampling;
+  const std::uint32_t intervals = sc.intervals;
+  const std::uint64_t warm = sc.warmup_insts;
+  const std::uint64_t meas = sc.interval_insts;
+  // Each interval owns an equal share of the instruction budget; whatever
+  // its detailed warmup+measurement does not cover is functionally
+  // fast-forwarded after the drain. A budget smaller than the detailed
+  // portion degenerates gracefully (ff == 0: detailed-only, still sampled).
+  const std::uint64_t stride = std::max<std::uint64_t>(target_insts / intervals, warm + meas);
+  const std::uint64_t ff = stride - (warm + meas);
+
+  std::vector<std::uint64_t> goal(n, 0);
+  std::vector<CpuCycle> finish_cycle(n, 0);
+  std::vector<bool> done(n, false);
+  std::uint32_t done_count = 0;
+  bool expect_progress = true;  ///< false while draining (cores paused)
+
+  std::vector<std::uint64_t> epoch_insts(n, 0);
+  std::vector<std::uint64_t> epoch_bytes(n, 0);
+  Tick next_epoch = config_.epoch_ticks;
+  constexpr Tick kWatchdogPollMask = 1023;
+  std::vector<ProgressWatchdog> watchdogs(n, ProgressWatchdog(config_.progress_window_ticks));
+
+  Tick t = 0;
+  Tick visited = 0;
+
+  // Cumulative data-bus busy ticks, recoverable from the utilization ratio.
+  auto busy_ticks = [&]() -> double {
+    return t == 0 ? 0.0 : dram_->data_bus_utilization(t) * static_cast<double>(t);
+  };
+
+  // One simulated bus tick plus the cycle-skip jump — the same stepping,
+  // epoch and watchdog protocol as run(), without checkpoint plumbing.
+  auto tick_once = [&] {
+    ++visited;
+    hierarchy_->tick(t);
+    controller_->tick(t);
+    const CpuCycle window_end = (t + 1) * config_.cpu_ratio;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      cores_[c]->step_to(window_end);
+      if (!done[c] && cores_[c]->committed() >= goal[c]) {
+        done[c] = true;
+        finish_cycle[c] = cores_[c]->cycle();
+        ++done_count;
+      }
+    }
+    if ((t & kWatchdogPollMask) == 0 && watchdogs[0].enabled()) {
+      for (std::uint32_t c = 0; c < n; ++c) {
+        if (watchdogs[c].poll(t, cores_[c]->committed(), expect_progress && !done[c])) {
+          watchdogs[c].raise("core " + std::to_string(c) + " (sampled run)",
+                             *controller_, *scheduler_, t);
+        }
+      }
+    }
+    if (t >= next_epoch) {
+      next_epoch += config_.epoch_ticks;
+      if (auditor_) auditor_->cross_check(t);
+      const auto& cs = controller_->stats();
+      for (std::uint32_t c = 0; c < n; ++c) {
+        const std::uint64_t insts = cores_[c]->committed();
+        const std::uint64_t bytes = (cs.core_reads[c] + cs.core_writes[c]) * kLineBytes;
+        scheduler_->on_epoch(c, static_cast<double>(insts - epoch_insts[c]),
+                             static_cast<double>(bytes - epoch_bytes[c]));
+        epoch_insts[c] = insts;
+        epoch_bytes[c] = bytes;
+      }
+    }
+    Tick jump = kNeverTick;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const CpuCycle wake = cores_[c]->next_activity_cycle();
+      if (wake != cpu::CoreModel::kIdle)
+        jump = std::min(jump, std::max(wake / config_.cpu_ratio, t + 1));
+    }
+    if (jump > t + 1) jump = std::min(jump, hierarchy_->next_activity_tick(t));
+    if (jump > t + 1) jump = std::min(jump, controller_->next_activity_tick(t));
+    jump = std::min(jump, next_epoch);
+    if (watchdogs[0].enabled()) jump = std::min(jump, (t | kWatchdogPollMask) + 1);
+    t = std::min(std::max(jump, t + 1), max_ticks);
+  };
+
+  // Detailed execution until every core commits `insts` more instructions.
+  auto run_detailed = [&](std::uint64_t insts) -> bool {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      goal[c] = cores_[c]->committed() + insts;
+      done[c] = false;
+    }
+    done_count = 0;
+    expect_progress = true;
+    while (done_count < n) {
+      if (t >= max_ticks) return false;
+      tick_once();
+    }
+    return true;
+  };
+
+  // Pause the cores and tick until nothing is in flight anywhere the
+  // functional fast-forward could race: outstanding loads, store-queue and
+  // frontend fills, L2 MSHRs and queued writebacks. Writes already inside
+  // the memory controller are ordinary pre-gap traffic and may stay queued;
+  // the next interval's detailed warmup absorbs them.
+  auto drain = [&]() -> bool {
+    for (auto& core : cores_) core->set_paused(true);
+    expect_progress = false;
+    auto quiescent = [&] {
+      if (!hierarchy_->idle()) return false;
+      for (const auto& core : cores_)
+        if (!core->quiescent()) return false;
+      return true;
+    };
+    bool ok = true;
+    while (!quiescent()) {
+      if (t >= max_ticks) {
+        ok = false;
+        break;
+      }
+      tick_once();
+    }
+    for (auto& core : cores_) core->set_paused(false);
+    return ok;
+  };
+
+  // The caller-level warmup is purely functional: it exists to touch caches
+  // at scale, and each interval re-warms queue/pipeline state in detail.
+  if (warmup_insts > 0) {
+    for (auto& core : cores_) core->functional_advance(warmup_insts);
+  }
+
+  std::vector<std::vector<double>> core_ipc_samples(n);
+  std::vector<double> ipc_samples, lat_samples, rhr_samples, bw_samples,
+      util_samples, ratio_samples;
+  std::vector<CpuCycle> base_cycle(n, 0);
+  std::uint64_t measured_insts = 0;
+  std::uint64_t skipped_insts = warmup_insts;
+  bool hit_limit = false;
+
+  for (std::uint32_t k = 0; k < intervals; ++k) {
+    if (!run_detailed(warm)) {
+      hit_limit = true;
+      break;
+    }
+    controller_->reset_stats();
+    hierarchy_->reset_stats();
+    for (std::uint32_t c = 0; c < n; ++c) {
+      cores_[c]->reset_stats();
+      base_cycle[c] = cores_[c]->cycle();
+      epoch_insts[c] = cores_[c]->committed();
+      epoch_bytes[c] = 0;
+    }
+    const Tick t_start = t;
+    const double busy_start = busy_ticks();
+    if (!run_detailed(meas)) {
+      hit_limit = true;
+      break;
+    }
+    double ipc_sum = 0.0, ipc_min = 0.0, ipc_max = 0.0;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const CpuCycle cycles =
+          finish_cycle[c] > base_cycle[c] ? finish_cycle[c] - base_cycle[c] : 1;
+      const double ipc = static_cast<double>(meas) / static_cast<double>(cycles);
+      core_ipc_samples[c].push_back(ipc);
+      ipc_sum += ipc;
+      ipc_min = c == 0 ? ipc : std::min(ipc_min, ipc);
+      ipc_max = c == 0 ? ipc : std::max(ipc_max, ipc);
+    }
+    ipc_samples.push_back(ipc_sum);
+    ratio_samples.push_back(ipc_min > 0.0 ? ipc_max / ipc_min : 1.0);
+    const auto& cs = controller_->stats();
+    lat_samples.push_back(cs.read_latency_cpu.mean());
+    rhr_samples.push_back(cs.row_hit_rate());
+    std::uint64_t bytes = 0;
+    for (std::uint32_t c = 0; c < n; ++c)
+      bytes += (cs.core_reads[c] + cs.core_writes[c]) * kLineBytes;
+    const Tick dt = t > t_start ? t - t_start : 1;
+    bw_samples.push_back(static_cast<double>(bytes) /
+                         (static_cast<double>(dt) / config_.bus_hz()) / 1e9);
+    util_samples.push_back((busy_ticks() - busy_start) / static_cast<double>(dt));
+    measured_insts += meas;
+
+    if (!drain()) {
+      hit_limit = true;
+      break;
+    }
+    if (k + 1 < intervals && ff > 0) {
+      for (auto& core : cores_) core->functional_advance(ff);
+      skipped_insts += ff;
+    }
+  }
+
+  if (auditor_) auditor_->finalize(t);
+
+  RunResult result;
+  result.ticks = t;             // detailed (simulated) ticks only
+  result.visited_ticks = visited;
+  result.hit_tick_limit = hit_limit;
+  result.controller_stats = controller_->stats();  // final interval's window
+
+  result.sampling.enabled = true;
+  result.sampling.intervals_measured = static_cast<std::uint32_t>(lat_samples.size());
+  result.sampling.measured_insts_per_core = measured_insts;
+  result.sampling.skipped_insts_per_core = skipped_insts;
+  result.sampling.total_ipc = estimate(ipc_samples);
+  result.sampling.read_latency_cpu = estimate(lat_samples);
+  result.sampling.row_hit_rate = estimate(rhr_samples);
+  result.sampling.bandwidth_gbs = estimate(bw_samples);
+  result.sampling.bus_utilization = estimate(util_samples);
+  result.sampling.ipc_ratio = estimate(ratio_samples);
+  result.sampling.core_ipc.resize(n);
+
+  result.avg_read_latency_cpu = result.sampling.read_latency_cpu.mean;
+  result.row_hit_rate = result.sampling.row_hit_rate.mean;
+  result.data_bus_utilization = result.sampling.bus_utilization.mean;
+  result.bandwidth_gbs = result.sampling.bandwidth_gbs.mean;
+
+  result.cores.resize(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    result.sampling.core_ipc[c] = estimate(core_ipc_samples[c]);
+    CoreResult& cr = result.cores[c];
+    cr.committed = cores_[c]->committed();
+    cr.finish_cycle = cores_[c]->cycle();
+    cr.ipc = result.sampling.core_ipc[c].mean;
+    cr.avg_read_latency_cpu = result.controller_stats.core_read_latency_cpu[c].mean();
+    cr.dram_reads = result.controller_stats.core_reads[c];
+    cr.dram_writes = result.controller_stats.core_writes[c];
+    cr.core_stats = cores_[c]->stats();
+  }
+
+  const dram::PowerModel power(config_.power, config_.timing, config_.bus_hz());
+  result.dram_energy = power.energy_of(*dram_, t);
+  result.dram_power_watts = result.dram_energy.average_power(
+      std::max<double>(static_cast<double>(t), 1.0) / config_.bus_hz());
   return result;
 }
 

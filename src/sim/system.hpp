@@ -32,6 +32,32 @@ struct CoreResult {
   cpu::CoreRunStats core_stats{};
 };
 
+/// A point estimate from the sampled engine: the mean across measurement
+/// intervals with the half-width of its 95% confidence interval (Student-t,
+/// K-1 degrees of freedom over K intervals).
+struct MetricEstimate {
+  double mean = 0.0;
+  double ci95 = 0.0;  ///< half-width; [mean - ci95, mean + ci95] covers 95%
+};
+
+/// Sampled-engine metadata attached to RunResult (enabled == false and all
+/// zeros for the exact engines, and never serialized for them).
+struct SamplingStats {
+  bool enabled = false;
+  std::uint32_t intervals_measured = 0;      ///< intervals that completed
+  std::uint64_t measured_insts_per_core = 0; ///< detailed, statistics-bearing
+  std::uint64_t skipped_insts_per_core = 0;  ///< functionally fast-forwarded
+  MetricEstimate total_ipc;
+  MetricEstimate read_latency_cpu;
+  MetricEstimate row_hit_rate;
+  MetricEstimate bandwidth_gbs;
+  MetricEstimate bus_utilization;
+  /// Per-interval max/min core-IPC ratio — the run-local fairness proxy
+  /// (full unfairness needs alone-run baselines, experiment layer's job).
+  MetricEstimate ipc_ratio;
+  std::vector<MetricEstimate> core_ipc;
+};
+
 struct RunResult {
   std::vector<CoreResult> cores;
   Tick ticks = 0;                    ///< bus cycles simulated
@@ -47,9 +73,15 @@ struct RunResult {
   mc::ControllerStats controller_stats{};  ///< full snapshot
 
   /// DRAM energy over the entire simulation (warmup included — device
-  /// counters are cumulative) and the corresponding average power.
+  /// counters are cumulative) and the corresponding average power. Under
+  /// engine=sampled these cover the detailed ticks only.
   dram::EnergyBreakdown dram_energy{};
   double dram_power_watts = 0.0;
+
+  /// Sampled-engine estimates; sampling.enabled == false for exact engines.
+  /// When enabled, the headline scalar fields above carry the estimate means
+  /// and controller_stats covers only the final measurement interval.
+  SamplingStats sampling{};
 
   [[nodiscard]] double total_ipc() const {
     double s = 0.0;
@@ -108,6 +140,13 @@ class MultiCoreSystem {
  private:
   void wire(sched::Scheduler& scheduler, const std::vector<double>& dispatch_ipc,
             std::uint64_t seed);
+
+  /// SMARTS-style interval sampling (engine == kSampled): K short detailed
+  /// measurement intervals separated by functional fast-forward, each
+  /// preceded by a detailed warmup and followed by a drain to quiescence.
+  /// Per-metric means and 95% CIs land in RunResult::sampling.
+  RunResult run_sampled(std::uint64_t target_insts, std::uint64_t warmup_insts,
+                        Tick max_ticks, const ckpt::CheckpointPolicy& policy);
 
   /// Snapshot fingerprint for one run() invocation: config + scheduler +
   /// seed + dispatch rates + run parameters + policy context.

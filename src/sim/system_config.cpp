@@ -23,6 +23,13 @@ std::string SystemConfig::validate() const {
     return "cpu_ratio mismatch between hierarchy/controller and system";
   if (epoch_ticks == 0) return "epoch_ticks must be nonzero";
   if (auto err = fault.validate(); !err.empty()) return err;
+  if (engine == Engine::kSampled) {
+    if (auto err = sampling.validate(); !err.empty()) return err;
+    if (fault.enabled)
+      return "engine=sampled is incompatible with fault injection: functional "
+             "fast-forward skips the faulted request path, so the estimates "
+             "would be meaningless";
+  }
   return {};
 }
 
@@ -66,6 +73,12 @@ std::string SystemConfig::fingerprint() const {
      << ',' << power.devices_per_rank << ',' << power.ranks_per_channel;
   os << ";region=" << region_bytes_per_core << ";warm=" << (warm_caches ? 1 : 0)
      << ";epoch=" << epoch_ticks << ";watchdog=" << progress_window_ticks;
+  // Appended only for the sampled engine so every exact-engine fingerprint
+  // (and thus every existing snapshot) is byte-identical to before.
+  if (engine == Engine::kSampled) {
+    os << ";sampling=" << sampling.intervals << ',' << sampling.interval_insts
+       << ',' << sampling.warmup_insts;
+  }
   os << ";fault=" << (fault.enabled ? 1 : 0) << ',' << fault.seed << ','
      << fault.drop_read_prob << ',' << fault.drop_write_prob << ',' << fault.dup_prob
      << ',' << fault.delay_prob << ',' << fault.delay_ticks_max << ','

@@ -17,6 +17,30 @@
 
 namespace memsched::sim {
 
+/// Parameters of the sampled engine (Engine::kSampled); ignored otherwise.
+/// The run's instruction budget is split into `intervals` equal chunks per
+/// core; of each chunk only `warmup_insts + interval_insts` are simulated in
+/// detail (the warmup re-establishes queue/MSHR/ROB state after the
+/// functional fast-forward, then the interval is measured) and the remainder
+/// is fast-forwarded functionally with caches kept warm.
+struct SamplingConfig {
+  // Defaults match the configuration validated by bench/sampled_error_speedup
+  // (errors within the stated 95% CIs on the fig2 grid): the measured window
+  // must be long enough for the controller queue to regain steady-state
+  // depth after each drain, or read latency and row-hit rate are
+  // systematically underestimated. At targets below K*(warmup+measure) the
+  // run degenerates gracefully to detailed-only execution.
+  std::uint32_t intervals = 10;           ///< K — number of measured intervals
+  std::uint64_t interval_insts = 20'000;  ///< measured instructions per interval
+  std::uint64_t warmup_insts = 10'000;    ///< detailed warmup before each interval
+
+  [[nodiscard]] std::string validate() const {
+    if (intervals < 2) return "sampling.intervals must be >= 2 (CIs need variance)";
+    if (interval_insts == 0) return "sampling.interval_insts must be nonzero";
+    return {};
+  }
+};
+
 struct SystemConfig {
   std::uint32_t cores = 4;       ///< Table 1: 1/2/4/8 cores
   double cpu_ghz = 3.2;
@@ -27,6 +51,9 @@ struct SystemConfig {
   /// provably idle spans, kCycle is the per-tick oracle the differential
   /// tests compare against.
   Engine engine = Engine::kSkip;
+
+  /// Interval-sampling parameters, used only when engine == kSampled.
+  SamplingConfig sampling{};
 
   cpu::CoreConfig core{};
   cache::HierarchyConfig hierarchy{};

@@ -144,16 +144,34 @@ InstRecord SyntheticStream::hot_ref() {
   return rec;
 }
 
-InstRecord SyntheticStream::next() {
-  ++insts_;
-  if (!rng_.chance(p_ref_)) return InstRecord{};  // compute instruction
-
+InstRecord SyntheticStream::ref_record() {
   if (!in_phase_ && gap_refs_remaining_ == 0 && mean_gap_refs_ >= 0.0) begin_phase();
 
   if (in_phase_ || line_refs_remaining_ > 0) return stream_ref();
 
   if (gap_refs_remaining_ != ~std::uint64_t{0}) --gap_refs_remaining_;
   return hot_ref();
+}
+
+InstRecord SyntheticStream::next() {
+  ++insts_;
+  if (!rng_.chance(p_ref_)) return InstRecord{};  // compute instruction
+  return ref_record();
+}
+
+std::uint64_t SyntheticStream::next_ref(std::uint64_t max_insts, InstRecord& rec) {
+  // Identical stream state evolution to max_insts repeated next() calls
+  // (one Bernoulli draw per instruction), without the per-instruction
+  // virtual dispatch — this is the functional fast-forward's hot loop.
+  for (std::uint64_t i = 1; i <= max_insts; ++i) {
+    ++insts_;
+    if (rng_.chance(p_ref_)) {
+      rec = ref_record();
+      return i;
+    }
+  }
+  rec = InstRecord{};
+  return max_insts;
 }
 
 void SyntheticStream::save_state(ckpt::Writer& w) const {

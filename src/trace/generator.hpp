@@ -35,6 +35,7 @@ class SyntheticStream final : public InstStream {
   SyntheticStream(const AppProfile& profile, Addr base_addr, std::uint64_t seed);
 
   InstRecord next() override;
+  std::uint64_t next_ref(std::uint64_t max_insts, InstRecord& rec) override;
   void reset(std::uint64_t seed) override;
 
   [[nodiscard]] std::uint64_t code_bytes() const override { return profile_.code_bytes; }
@@ -52,6 +53,7 @@ class SyntheticStream final : public InstStream {
 
  private:
   void begin_phase();
+  InstRecord ref_record();
   InstRecord stream_ref();
   InstRecord hot_ref();
 

@@ -36,6 +36,23 @@ class InstStream {
   /// Next dynamic instruction.
   virtual InstRecord next() = 0;
 
+  /// Batched form for the functional fast-forward: advance up to
+  /// `max_insts` instructions, stopping at (and consuming) the first memory
+  /// reference, which is written to `rec`. Returns the instruction count
+  /// consumed, including the reference. If no reference occurs, all
+  /// `max_insts` are consumed and `rec.cls` is kCompute. The default loops
+  /// next(); implementations may override to skip compute runs without a
+  /// virtual call per instruction, but must consume the same stream state
+  /// (RNG draws, cursors) as the equivalent next() sequence.
+  virtual std::uint64_t next_ref(std::uint64_t max_insts, InstRecord& rec) {
+    for (std::uint64_t i = 1; i <= max_insts; ++i) {
+      rec = next();
+      if (rec.cls != InstClass::kCompute) return i;
+    }
+    rec = InstRecord{};
+    return max_insts;
+  }
+
   /// Restart the stream with a new slice seed (SimPoint-slice stand-in:
   /// different seeds model different program slices).
   virtual void reset(std::uint64_t seed) = 0;

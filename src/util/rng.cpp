@@ -3,29 +3,10 @@
 #include <bit>
 
 namespace memsched::util {
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& w : s_) w = sm.next();
-}
-
-std::uint64_t Xoshiro256::next() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 std::uint64_t Xoshiro256::below(std::uint64_t bound) {
@@ -38,17 +19,6 @@ std::uint64_t Xoshiro256::below(std::uint64_t bound) {
     const std::uint64_t v = next() & mask;
     if (v < bound) return v;
   }
-}
-
-double Xoshiro256::uniform() {
-  // 53 high bits -> double in [0,1).
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool Xoshiro256::chance(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
 }
 
 Xoshiro256 Xoshiro256::fork(std::uint64_t stream) {

@@ -29,22 +29,44 @@ class SplitMix64 {
 };
 
 /// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+///
+/// The draw methods are defined inline: a draw sits on the per-instruction
+/// hot path of both the synthetic stream generator and the functional
+/// fast-forward, where an out-of-line call per Bernoulli costs more than
+/// the generator itself.
 class Xoshiro256 {
  public:
   /// Seeds the four state words via SplitMix64 as the authors recommend.
   explicit Xoshiro256(std::uint64_t seed = 0x243f6a8885a308d3ULL);
 
   /// Next raw 64-bit value.
-  std::uint64_t next();
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
-  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  /// Uniform integer in [0, bound) without modulo bias (bitmask rejection).
   std::uint64_t below(std::uint64_t bound);
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli draw with probability p (clamped to [0,1]).
-  bool chance(double p);
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   /// Derive an independent child generator; `stream` distinguishes children
   /// of the same parent deterministically.
@@ -61,6 +83,10 @@ class Xoshiro256 {
   }
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

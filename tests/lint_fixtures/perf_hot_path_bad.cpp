@@ -1,0 +1,35 @@
+// lint-as: src/mc/perf_hot_path_bad.cpp
+// Fixture: perf-hot-path must flag node-based container walks and heap
+// allocation inside controller tick-path functions (tick / *_tick / tick_*).
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Controller {
+  std::map<int, int> pending_;
+  std::vector<int> scratch_;
+
+  void tick(long now) {
+    for (const auto& [id, slot] : pending_) {  // expect-lint: perf-hot-path
+      scratch_.push_back(slot + static_cast<int>(now));
+    }
+    auto it = pending_.begin();  // expect-lint: perf-hot-path
+    if (it != pending_.end()) scratch_.push_back(it->second);
+    int* leak = new int(7);  // expect-lint: perf-hot-path
+    delete leak;
+  }
+
+  void cmd_tick() {
+    auto box = std::make_unique<int>(3);  // expect-lint: perf-hot-path
+    scratch_.push_back(*box);
+  }
+
+  void tick_refresh() {
+    void* raw = malloc(16);  // expect-lint: perf-hot-path
+    free(raw);
+  }
+};
+
+}  // namespace fixture

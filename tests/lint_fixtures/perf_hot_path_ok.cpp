@@ -1,0 +1,44 @@
+// lint-as: src/mc/perf_hot_path_ok.cpp
+// Fixture: perf-hot-path stays quiet on flat-array tick bodies, on point
+// lookups (order- and allocation-free), and on map walks in cold functions.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Controller {
+  std::map<int, int> row_history_;
+  std::vector<std::uint32_t> bank_of_;
+  std::vector<std::uint64_t> row_of_;
+  std::uint64_t open_row_[8] = {};
+
+  // The SoA shape the check protects: flat arrays, index arithmetic only.
+  void tick(long now) {
+    for (std::size_t i = 0; i < bank_of_.size(); ++i) {
+      if (row_of_[i] == open_row_[bank_of_[i]]) row_of_[i] = static_cast<std::uint64_t>(now);
+    }
+    // Point lookups into a map are O(log n) pointer chasing but not an
+    // order-dependent walk; they are left to the throughput gate.
+    const auto it = row_history_.find(static_cast<int>(now));
+    if (it != row_history_.end()) open_row_[0] = static_cast<std::uint64_t>(it->second);
+  }
+
+  // Cold path: statistics assembly may walk maps and allocate freely.
+  std::vector<int> snapshot_stats() const {
+    std::vector<int> out;
+    for (const auto& [row, hits] : row_history_) out.push_back(hits);
+    auto scratch = std::make_unique<int>(0);
+    out.push_back(*scratch);
+    return out;
+  }
+
+  // Calls *to* tick functions are not definitions and must not re-trigger
+  // body scanning at the call site.
+  void run(long until) {
+    for (long t = 0; t < until; ++t) tick(t);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// lint-as: src/mc/perf_hot_path_suppressed.cpp
+// Fixture: real perf-hot-path violations silenced by inline allow()
+// comments — the suppression mechanism must cover this check too.
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Controller {
+  std::map<int, int> pending_;
+  std::vector<int> scratch_;
+
+  void tick(long now) {
+    // Deliberate: this diagnostic-only walk runs once per epoch boundary.
+    // memsched-lint: allow(perf-hot-path)
+    for (const auto& [id, slot] : pending_) scratch_.push_back(slot);
+    auto box = std::make_unique<long>(now);  // memsched-lint: allow(perf-hot-path)
+    scratch_.push_back(static_cast<int>(*box));
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,224 @@
+// Differential validation of the sampled engine (sim/system.cpp run_sampled).
+//
+// Engine::kSampled trades exactness for speed: it executes K short detailed
+// measurement intervals separated by functional fast-forward and reports
+// per-metric means with 95% confidence intervals. Unlike kSkip (byte-identical
+// to kCycle by contract), sampled results carry statistical error — so these
+// tests validate them *differentially* against the exact engine:
+//   - every factory scheduler on a reference workload: the read-latency and
+//     fairness-proxy estimates must cover the exact value within their stated
+//     CI (plus a small bias allowance — the CI captures interval variance,
+//     not systematic warmup bias);
+//   - the sampled engine must do substantially less detailed work than the
+//     exact engine on the same target (the wall-clock speedup table lives in
+//     EXPERIMENTS.md; here we assert the visited-tick proxy);
+//   - sampled runs are deterministic: same seed, byte-identical JSON;
+//   - misuse is rejected: fault injection, checkpointing, the open-loop
+//     driver and degenerate interval counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scheduler_factory.hpp"
+#include "sim/json_report.hpp"
+#include "sim/open_loop.hpp"
+#include "sim/system.hpp"
+#include "sim/workloads.hpp"
+#include "trace/app_profile.hpp"
+
+namespace memsched {
+namespace {
+
+constexpr std::uint64_t kTarget = 120'000;
+constexpr std::uint64_t kWarmup = 10'000;
+
+sched::SchedulerPtr make_sched(const std::string& name, std::uint32_t cores) {
+  core::SchedulerArgs args;
+  args.core_count = cores;
+  std::vector<double> me, ipc;
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    me.push_back(9.0 / (1.0 + static_cast<double>(c)));
+    ipc.push_back(2.0 / (1.0 + 0.2 * static_cast<double>(c)));
+  }
+  args.me = core::MeTable(me);
+  args.ipc_single = ipc;
+  return core::make_scheduler(name, args);
+}
+
+sim::SystemConfig sampled_config(std::uint32_t cores) {
+  sim::SystemConfig cfg;
+  cfg.cores = cores;
+  cfg.engine = sim::Engine::kSampled;
+  cfg.sampling.intervals = 8;
+  cfg.sampling.interval_insts = 2'500;
+  cfg.sampling.warmup_insts = 1'500;
+  return cfg;
+}
+
+sim::RunResult run_engine(const sim::Workload& w, const std::string& scheme,
+                          sim::Engine engine, std::uint64_t seed = 42) {
+  sim::SystemConfig cfg =
+      engine == sim::Engine::kSampled ? sampled_config(w.cores()) : sim::SystemConfig{};
+  cfg.cores = w.cores();
+  cfg.engine = engine;
+  const sched::SchedulerPtr s = make_sched(scheme, cfg.cores);
+  sim::MultiCoreSystem sys(cfg, w.apps(), *s, seed);
+  return sys.run(kTarget, kWarmup, Tick{1} << 32);
+}
+
+/// |estimate - exact| within the stated 95% CI plus a bias allowance: the CI
+/// covers interval-to-interval variance; short detailed warmups add a small
+/// systematic component the differential bound must absorb.
+void expect_covered(const char* metric, const sim::MetricEstimate& est, double exact,
+                    double rel_bias, const std::string& ctx) {
+  const double bound = est.ci95 + rel_bias * std::abs(exact);
+  EXPECT_LE(std::abs(est.mean - exact), bound)
+      << ctx << ": " << metric << " estimate " << est.mean << " +/- " << est.ci95
+      << " vs exact " << exact;
+}
+
+// ---------------------------------------------------------------------------
+// Every factory scheduler on a fig-2 reference workload.
+// ---------------------------------------------------------------------------
+
+class EverySchemeSampled : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EverySchemeSampled, EstimatesCoverExactRun) {
+  const std::string scheme = GetParam();
+  const sim::Workload w = sim::workload_by_name("2MIX-1");
+  const sim::RunResult exact = run_engine(w, scheme, sim::Engine::kSkip);
+  const sim::RunResult sampled = run_engine(w, scheme, sim::Engine::kSampled);
+  const std::string ctx = scheme + "/2MIX-1";
+
+  ASSERT_TRUE(sampled.sampling.enabled);
+  ASSERT_EQ(sampled.sampling.intervals_measured, 8u);
+  ASSERT_FALSE(sampled.hit_tick_limit);
+
+  // Read latency and the fairness proxy are the acceptance-gated metrics.
+  expect_covered("read_latency_cpu", sampled.sampling.read_latency_cpu,
+                 exact.avg_read_latency_cpu, 0.15, ctx);
+  double exact_min = 0.0, exact_max = 0.0;
+  for (std::size_t c = 0; c < exact.cores.size(); ++c) {
+    const double ipc = exact.cores[c].ipc;
+    exact_min = c == 0 ? ipc : std::min(exact_min, ipc);
+    exact_max = c == 0 ? ipc : std::max(exact_max, ipc);
+  }
+  expect_covered("ipc_ratio", sampled.sampling.ipc_ratio,
+                 exact_min > 0.0 ? exact_max / exact_min : 1.0, 0.20, ctx);
+
+  // Secondary metrics: looser relative bounds, still anchored to the CI.
+  expect_covered("total_ipc", sampled.sampling.total_ipc, exact.total_ipc(), 0.15, ctx);
+  expect_covered("row_hit_rate", sampled.sampling.row_hit_rate, exact.row_hit_rate,
+                 0.20, ctx);
+
+  // Per-core IPC estimates (what the experiment layer's unfairness consumes).
+  ASSERT_EQ(sampled.sampling.core_ipc.size(), exact.cores.size());
+  for (std::size_t c = 0; c < exact.cores.size(); ++c) {
+    expect_covered("core_ipc", sampled.sampling.core_ipc[c], exact.cores[c].ipc, 0.20,
+                   ctx + " core " + std::to_string(c));
+  }
+
+  // The estimates are real numbers with non-degenerate spread information.
+  EXPECT_TRUE(std::isfinite(sampled.sampling.read_latency_cpu.ci95));
+  EXPECT_GE(sampled.sampling.read_latency_cpu.ci95, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, EverySchemeSampled,
+                         ::testing::ValuesIn(core::known_schedulers()),
+                         [](const auto& pi) {
+                           std::string n = pi.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------------
+// Work reduction: the point of sampling. Wall-clock speedup is measured by
+// bench/sim_throughput (EXPERIMENTS.md table); the deterministic proxy here
+// is simulated bus ticks — the sampled engine details only K*(warm+meas)
+// instructions per core out of the full target.
+// ---------------------------------------------------------------------------
+
+TEST(SampledSpeed, DetailedWorkShrinksSeveralFold) {
+  const sim::Workload w = sim::workload_by_name("4MEM-1");
+  const sim::RunResult exact = run_engine(w, "HF-RF", sim::Engine::kSkip);
+  const sim::RunResult sampled = run_engine(w, "HF-RF", sim::Engine::kSampled);
+  ASSERT_FALSE(sampled.hit_tick_limit);
+  // 8 * (1500 + 2500) = 32k detailed of 120k target => >= 3x fewer simulated
+  // ticks even with drain overhead counted against the sampler.
+  EXPECT_LT(sampled.ticks * 3, exact.ticks)
+      << "sampled detailed ticks " << sampled.ticks << " vs exact " << exact.ticks;
+  EXPECT_GT(sampled.sampling.skipped_insts_per_core,
+            sampled.sampling.measured_insts_per_core);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and report stability.
+// ---------------------------------------------------------------------------
+
+TEST(SampledDeterminism, SameSeedByteIdenticalJson) {
+  const sim::Workload w = sim::workload_by_name("2MEM-1");
+  const std::string a =
+      sim::to_json(run_engine(w, "PAR-BS", sim::Engine::kSampled)).dump();
+  const std::string b =
+      sim::to_json(run_engine(w, "PAR-BS", sim::Engine::kSampled)).dump();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"sampling\""), std::string::npos);
+}
+
+TEST(SampledDeterminism, ExactEngineReportsCarryNoSamplingSection) {
+  const sim::Workload w = sim::workload_by_name("2MEM-1");
+  const std::string j = sim::to_json(run_engine(w, "FCFS", sim::Engine::kSkip)).dump();
+  EXPECT_EQ(j.find("\"sampling\""), std::string::npos);
+}
+
+TEST(SampledFingerprint, OnlySampledConfigsMentionSampling) {
+  sim::SystemConfig exact;
+  EXPECT_EQ(exact.fingerprint().find(";sampling="), std::string::npos);
+  sim::SystemConfig s = sampled_config(2);
+  EXPECT_NE(s.fingerprint().find(";sampling="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Misuse rejection.
+// ---------------------------------------------------------------------------
+
+TEST(SampledRejects, FaultInjection) {
+  sim::SystemConfig cfg = sampled_config(2);
+  cfg.fault.enabled = true;
+  EXPECT_NE(cfg.validate().find("fault"), std::string::npos);
+}
+
+TEST(SampledRejects, DegenerateIntervalCount) {
+  sim::SystemConfig cfg = sampled_config(2);
+  cfg.sampling.intervals = 1;  // no variance -> no CI
+  EXPECT_FALSE(cfg.validate().empty());
+  cfg.sampling.intervals = 4;
+  cfg.sampling.interval_insts = 0;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(SampledRejects, Checkpointing) {
+  const sim::Workload w = sim::workload_by_name("2MEM-1");
+  sim::SystemConfig cfg = sampled_config(w.cores());
+  const sched::SchedulerPtr s = make_sched("FCFS", cfg.cores);
+  sim::MultiCoreSystem sys(cfg, w.apps(), *s, 42);
+  ckpt::CheckpointPolicy policy;
+  policy.path = "/tmp/memsched_sampled_reject.ckpt";
+  policy.interval_ticks = 1'000;
+  EXPECT_THROW(sys.run(10'000, 1'000, Tick{1} << 32, policy), std::invalid_argument);
+}
+
+TEST(SampledRejects, OpenLoopDriver) {
+  sim::OpenLoopConfig cfg;
+  cfg.engine = sim::Engine::kSampled;
+  cfg.inject_per_tick = 0.05;
+  const sched::SchedulerPtr s = make_sched("FCFS", cfg.cores);
+  EXPECT_THROW(sim::run_open_loop(cfg, *s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace memsched

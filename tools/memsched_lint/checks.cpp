@@ -101,6 +101,7 @@ const char kCacheEntryFraming[] = "cache-entry-framing";
 const char kContractMain[] = "contract-guarded-main";
 const char kContractAssert[] = "contract-raw-assert";
 const char kContractConfigKey[] = "contract-config-key";
+const char kPerfHotPath[] = "perf-hot-path";
 
 const std::vector<std::string> kUnorderedTypes = {
     "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
@@ -181,6 +182,37 @@ void collect_unordered_vars(const Sig& s, Decls& d) {
     if (s[i]->kind != TokKind::kIdent || !contains(aliases, s[i]->text)) continue;
     const std::size_t name = decl_name_after_type(s, i + 1);
     if (name != s.size()) add_unique(d.unordered_vars, s[name]->text);
+  }
+}
+
+/// Like collect_unordered_vars but for the whole node-based associative
+/// family. Ordered types are only recognized std::-qualified — `map`/`set`
+/// alone are too common as plain identifiers.
+void collect_assoc_vars(const Sig& s, Decls& d) {
+  std::vector<std::string> aliases;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i]->kind != TokKind::kIdent) continue;
+    const std::string& n = s[i]->text;
+    const bool ordered =
+        (n == "map" || n == "set" || n == "multimap" || n == "multiset") && i >= 2 &&
+        is_punct(s, i - 1, "::") && is_ident(s, i - 2, "std");
+    if (!ordered && !contains(kUnorderedTypes, n)) continue;
+    if (!is_punct(s, i + 1, "<")) continue;
+    const std::size_t close = match_angle(s, i + 1);
+    if (close == s.size()) continue;
+    std::size_t j = i;
+    if (j >= 2 && is_punct(s, j - 1, "::") && is_ident(s, j - 2, "std")) j -= 2;
+    if (j >= 3 && is_punct(s, j - 1, "=") && is_ident(s, j - 3, "using")) {
+      aliases.push_back(s[j - 2]->text);
+      continue;
+    }
+    const std::size_t name = decl_name_after_type(s, close + 1);
+    if (name != s.size()) add_unique(d.assoc_vars, s[name]->text);
+  }
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i]->kind != TokKind::kIdent || !contains(aliases, s[i]->text)) continue;
+    const std::size_t name = decl_name_after_type(s, i + 1);
+    if (name != s.size()) add_unique(d.assoc_vars, s[name]->text);
   }
 }
 
@@ -680,6 +712,112 @@ void check_config_key(const std::string& rel, const Sig& s, const Decls& d,
 }
 
 // ---------------------------------------------------------------------------
+// perf-hot-path
+//
+// The controller tick path is the simulator's innermost loop; the SoA queue
+// refactor moved it onto flat arrays with an arena/freelist precisely so it
+// performs no node-based container walks and no per-tick heap allocation
+// (docs/performance.md). This check keeps it that way. Hot functions are
+// identified by the tick naming convention (tick / *_tick / tick_*) in
+// src/mc/ — helpers outside that convention are covered transitively by the
+// throughput gate, not by this lint.
+
+const std::vector<std::string> kAllocCalls = {"malloc", "calloc", "realloc",
+                                              "make_unique", "make_shared"};
+
+[[nodiscard]] bool hot_path_name(const std::string& n) {
+  return n == "tick" || starts_with(n, "tick_") ||
+         (n.size() > 5 && n.rfind("_tick") == n.size() - 5);
+}
+
+void scan_hot_body(const std::string& rel, const std::string& fn, const Sig& s,
+                   std::size_t open, std::size_t close, const Decls& d,
+                   std::vector<Diagnostic>& out) {
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (s[i]->kind != TokKind::kIdent) continue;
+    const std::string& n = s[i]->text;
+    if (n == "new" && !(i > 0 && is_ident(s, i - 1, "operator"))) {
+      out.push_back({kPerfHotPath, rel, s[i]->line, s[i]->col,
+                     "'new' inside '" + fn +
+                         "' — per-tick heap allocation on the controller hot "
+                         "path; draw from the request arena/freelist instead"});
+      continue;
+    }
+    if (contains(kAllocCalls, n) &&
+        (is_punct(s, i + 1, "(") || is_punct(s, i + 1, "<"))) {
+      out.push_back({kPerfHotPath, rel, s[i]->line, s[i]->col,
+                     "'" + n + "' inside '" + fn +
+                         "' allocates on the controller hot path — "
+                         "preallocate outside the tick loop"});
+      continue;
+    }
+    // Range-for whose range expression mentions an associative container.
+    if (n == "for" && is_punct(s, i + 1, "(")) {
+      const std::size_t head_close = match_bracket(s, i + 1);
+      std::size_t colon = s.size();
+      for (std::size_t j = i + 2; j < head_close; ++j) {
+        if (is_punct(s, j, "(") || is_punct(s, j, "[") || is_punct(s, j, "{")) {
+          j = match_bracket(s, j);
+          if (j == s.size()) break;
+          continue;
+        }
+        if (is_punct(s, j, ":")) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == s.size()) continue;
+      for (std::size_t j = colon + 1; j < head_close; ++j) {
+        if (s[j]->kind == TokKind::kIdent && contains(d.assoc_vars, s[j]->text)) {
+          out.push_back({kPerfHotPath, rel, s[i]->line, s[i]->col,
+                         "range-for over '" + s[j]->text + "' inside '" + fn +
+                             "' — node-based container walk on the controller "
+                             "hot path; use the flat SoA arrays or a per-bank "
+                             "index instead"});
+          break;
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walk: m.begin() and friends.
+    if (contains(d.assoc_vars, n) &&
+        (is_punct(s, i + 1, ".") || is_punct(s, i + 1, "->")) && i + 2 < s.size() &&
+        s[i + 2]->kind == TokKind::kIdent && contains(kBeginNames, s[i + 2]->text) &&
+        is_punct(s, i + 3, "(")) {
+      out.push_back({kPerfHotPath, rel, s[i]->line, s[i]->col,
+                     "'" + n + "." + s[i + 2]->text + "()' inside '" + fn +
+                         "' walks a node-based container on the controller hot "
+                         "path; use the flat SoA arrays or a per-bank index "
+                         "instead"});
+    }
+  }
+}
+
+void check_perf_hot_path(const std::string& rel, const Sig& s, const Decls& d,
+                         std::vector<Diagnostic>& out) {
+  if (!starts_with(rel, "src/mc/")) return;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i]->kind != TokKind::kIdent || !hot_path_name(s[i]->text)) continue;
+    // A call site (obj.tick(...)), not a definition.
+    if (i > 0 && (is_punct(s, i - 1, ".") || is_punct(s, i - 1, "->"))) continue;
+    if (!is_punct(s, i + 1, "(")) continue;
+    const std::size_t params_close = match_bracket(s, i + 1);
+    if (params_close == s.size()) continue;
+    // Definition = parameter list followed (through const/override/final/
+    // noexcept(...)) directly by '{'. Anything else is a declaration or call.
+    std::size_t k = params_close + 1;
+    while (k < s.size() && s[k]->kind == TokKind::kIdent) {
+      ++k;
+      if (is_punct(s, k, "(")) k = match_bracket(s, k) + 1;  // noexcept(...)
+    }
+    if (!is_punct(s, k, "{")) continue;
+    const std::size_t body_close = match_bracket(s, k);
+    scan_hot_body(rel, s[i]->text, s, k, body_close, d, out);
+    i = body_close;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Inline suppressions.
 
 /// Lines carrying "memsched-lint: allow(a, b)" comments -> suppressed checks.
@@ -715,12 +853,14 @@ void check_config_key(const std::string& rel, const Sig& s, const Decls& d,
 const std::vector<std::string>& all_checks() {
   static const std::vector<std::string> kAll = {
       kCacheEntryFraming, kCkptSymmetry,  kContractConfigKey, kContractMain,
-      kContractAssert,    kDetBannedCall, kDetPointerKey,     kDetUnorderedIter};
+      kContractAssert,    kDetBannedCall, kDetPointerKey,     kDetUnorderedIter,
+      kPerfHotPath};
   return kAll;
 }
 
 void Decls::merge(const Decls& other) {
   for (const std::string& v : other.unordered_vars) add_unique(unordered_vars, v);
+  for (const std::string& v : other.assoc_vars) add_unique(assoc_vars, v);
   for (const std::string& v : other.clock_aliases) add_unique(clock_aliases, v);
   for (const std::string& v : other.config_keys) add_unique(config_keys, v);
   uses_check_known = uses_check_known || other.uses_check_known;
@@ -730,6 +870,7 @@ Decls collect_decls(const std::vector<Token>& toks) {
   const Sig s = significant(toks);
   Decls d;
   collect_unordered_vars(s, d);
+  collect_assoc_vars(s, d);
   collect_clock_aliases(s, d);
   collect_config_keys(s, d);
   return d;
@@ -761,6 +902,7 @@ std::vector<Diagnostic> run_checks(const std::string& rel_path,
   }
   if ((sc.in_src || sc.in_tools) && on(kContractAssert)) check_raw_assert(rel_path, s, out);
   if (code_scope && on(kContractConfigKey)) check_config_key(rel_path, s, decls, out);
+  if (sc.in_src && on(kPerfHotPath)) check_perf_hot_path(rel_path, s, decls, out);
 
   // Inline allow() suppressions: same line or the line directly above.
   const std::map<int, std::set<std::string>> allow = suppressions(toks);

@@ -27,6 +27,13 @@
 //   contract-config-key  in a TU that validates CLI keys via
 //                        Config::check_known, every literal key read through
 //                        get_*/has must be registered with check_known
+//   perf-hot-path        in src/mc/, functions on the controller tick path
+//                        (tick / *_tick / tick_*) must not walk node-based
+//                        associative containers (std::map/std::set/
+//                        unordered_*) or allocate (new, the malloc family,
+//                        make_unique/make_shared) — the SoA refactor moved
+//                        the hot loop onto flat arrays with an arena/freelist
+//                        and this check keeps it there
 //
 // Suppression: append "// memsched-lint: allow(<check>[, <check>...])" (or
 // allow(*)) on the flagged line or the line directly above it. Baselined
@@ -56,6 +63,10 @@ struct Diagnostic {
 struct Decls {
   /// Variables/members declared with an unordered_{map,set,multimap,multiset} type.
   std::vector<std::string> unordered_vars;
+  /// Variables/members of any node-based associative type (the unordered
+  /// family plus std::{map,set,multimap,multiset}) — the perf-hot-path
+  /// check's "never walk one of these per tick" set.
+  std::vector<std::string> assoc_vars;
   /// `using X = ... steady_clock ...` style aliases of a banned clock.
   std::vector<std::string> clock_aliases;
   /// String literals registered as known config keys (check_known argument
